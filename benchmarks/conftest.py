@@ -1,0 +1,43 @@
+"""Benchmark harness support.
+
+Each benchmark runs one experiment (quick mode by default — set
+``REPRO_BENCH_FULL=1`` for the full EXPERIMENTS.md workloads), times it
+via pytest-benchmark, validates the claim's headline property, and writes
+the rendered table under ``benchmarks/results/`` so the numbers that back
+EXPERIMENTS.md are regenerated on every run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    """Whether to run the full (slow) experiment workloads."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run one experiment under pytest-benchmark and persist its table."""
+
+    def run(experiment_id: str):
+        from repro.experiments.registry import run_experiment
+
+        quick = not full_mode()
+        table = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, quick=quick),
+            rounds=1,
+            iterations=1,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
+        path.write_text(table.render() + "\n", encoding="utf-8")
+        return table
+
+    return run

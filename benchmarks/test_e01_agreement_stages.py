@@ -1,0 +1,13 @@
+"""Benchmark E1 -- Lemma 8: Protocol 1 decides in < 4 expected stages.
+
+Regenerates the E1 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e1_agreement_stages(experiment_runner):
+    table = experiment_runner("E1")
+
+    mean_column = table.columns.index("mean stages")
+    assert all(row[mean_column] < 4 for row in table.rows)

@@ -1,0 +1,13 @@
+"""Benchmark E2 -- Theorem 10: Protocol 2 decides in <= 14 expected asynchronous rounds.
+
+Regenerates the E2 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e2_commit_rounds(experiment_runner):
+    table = experiment_runner("E2")
+
+    mean_column = table.columns.index("mean rounds")
+    assert all(row[mean_column] <= 14 for row in table.rows)

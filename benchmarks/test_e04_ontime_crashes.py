@@ -1,0 +1,13 @@
+"""Benchmark E4 -- Remark 2: on-time runs with <= t crashes decide in constant expected ticks.
+
+Regenerates the E4 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e4_ontime_crashes(experiment_runner):
+    table = experiment_runner("E4")
+
+    termination_column = table.columns.index("terminated")
+    assert all(row[termination_column] == "100%" for row in table.rows)

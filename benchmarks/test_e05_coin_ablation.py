@@ -1,0 +1,15 @@
+"""Benchmark E5 -- Remark 3: the shared coin list is what makes termination fast.
+
+Regenerates the E5 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e5_coin_ablation(experiment_runner):
+    table = experiment_runner("E5")
+
+    coins_column = table.columns.index("|coins|")
+    stages_column = table.columns.index("mean stages")
+    by_coins = {row[coins_column]: row[stages_column] for row in table.rows}
+    assert by_coins[0] > 2 * by_coins[1]

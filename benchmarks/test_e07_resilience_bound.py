@@ -1,0 +1,16 @@
+"""Benchmark E7 -- Theorem 14: the n > 2t resilience bound is sharp.
+
+Regenerates the E7 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e7_resilience_bound(experiment_runner):
+    table = experiment_runner("E7")
+
+    relation_column = table.columns.index("relation")
+    terminated_column = table.columns.index("terminated")
+    for row in table.rows:
+        blocked = row[terminated_column].startswith("0/")
+        assert blocked == (row[relation_column] == "n = 2t")

@@ -1,0 +1,16 @@
+"""Benchmark E8 -- Theorem 17: clock ticks grow without bound; asynchronous rounds stay constant.
+
+Regenerates the E8 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e8_time_lower_bound(experiment_runner):
+    table = experiment_runner("E8")
+
+    ticks_column = table.columns.index("mean ticks")
+    rounds_column = table.columns.index("max rounds")
+    ticks = [row[ticks_column] for row in table.rows]
+    assert ticks == sorted(ticks) and ticks[-1] > 2 * ticks[0]
+    assert all(row[rounds_column] <= 14 for row in table.rows)

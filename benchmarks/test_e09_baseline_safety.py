@@ -1,0 +1,16 @@
+"""Benchmark E9 -- Introduction: late messages break [S]/[DS]-style baselines, never Protocol 2.
+
+Regenerates the E9 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e9_baseline_safety(experiment_runner):
+    table = experiment_runner("E9")
+
+    protocol_column = table.columns.index("protocol")
+    wrong_column = table.columns.index("wrong answers")
+    for row in table.rows:
+        if row[protocol_column] == "Protocol 2":
+            assert row[wrong_column] == 0

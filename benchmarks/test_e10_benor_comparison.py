@@ -1,0 +1,24 @@
+"""Benchmark E10 -- Section 3: shared coins turn Ben-Or's exponential expected time into a constant.
+
+Regenerates the E10 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e10_benor_comparison(experiment_runner):
+    table = experiment_runner("E10")
+
+    balancer = "balancer (content-aware)"
+    stages_column = table.columns.index("mean stages")
+    benor = {}
+    p1 = {}
+    for row in table.rows:
+        if row[1] != balancer:
+            continue
+        if row[2] == "Ben-Or":
+            benor[row[0]] = row[stages_column]
+        else:
+            p1[row[0]] = row[stages_column]
+    for n in benor:
+        assert benor[n] > p1[n]

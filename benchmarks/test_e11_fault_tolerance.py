@@ -1,0 +1,17 @@
+"""Benchmark E11 -- Section 1: termination threshold sits exactly at t = ceil(n/2) - 1 crashes.
+
+Regenerates the E11 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e11_fault_tolerance(experiment_runner):
+    table = experiment_runner("E11")
+
+    crash_column = table.columns.index("crashes")
+    termination_column = table.columns.index("termination rate")
+    t_column = table.columns.index("t")
+    for row in table.rows:
+        expected = "100%" if row[crash_column] <= row[t_column] else "0%"
+        assert row[termination_column] == expected

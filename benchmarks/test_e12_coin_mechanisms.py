@@ -1,0 +1,23 @@
+"""Benchmark E12 -- coin-distribution mechanism ablation.
+
+Regenerates the E12 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e12_coin_mechanisms(experiment_runner):
+    table = experiment_runner("E12")
+    mechanism_column = table.columns.index("mechanism")
+    stages_column = table.columns.index("mean stages")
+    local_rows = [
+        row[stages_column]
+        for row in table.rows
+        if row[mechanism_column] == "local (Ben-Or)"
+    ]
+    shared_rows = [
+        row[stages_column]
+        for row in table.rows
+        if row[mechanism_column] != "local (Ben-Or)"
+    ]
+    assert min(local_rows) > 2 * max(shared_rows)

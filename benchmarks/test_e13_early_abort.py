@@ -1,0 +1,24 @@
+"""Benchmark E13 -- the unilateral early-abort ablation.
+
+Regenerates the E13 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e13_early_abort(experiment_runner):
+    table = experiment_runner("E13")
+    scenario_column = table.columns.index("scenario")
+    early_column = table.columns.index("early abort")
+    first_column = table.columns.index("mean first-abort ticks")
+    consistent_column = table.columns.index("consistent")
+    by_key = {
+        (row[scenario_column], row[early_column]): row for row in table.rows
+    }
+    scenarios = {row[scenario_column] for row in table.rows}
+    for scenario in scenarios:
+        without = by_key[(scenario, "no")]
+        with_early = by_key[(scenario, "yes")]
+        assert with_early[first_column] < without[first_column]
+        assert without[consistent_column] == "100%"
+        assert with_early[consistent_column] == "100%"

@@ -1,0 +1,26 @@
+"""Benchmark E14 -- the message cost of nonblocking commitment.
+
+Regenerates the E14 table of EXPERIMENTS.md (quick sizes by default;
+set ``REPRO_BENCH_FULL=1`` for the full workload) and validates the
+claim's headline property on the produced rows.
+"""
+
+
+def test_e14_message_cost(experiment_runner):
+    table = experiment_runner("E14")
+    protocol_column = table.columns.index("protocol")
+    n_column = table.columns.index("n")
+    per_n_column = table.columns.index("envelopes / n")
+    per_n = {
+        (row[protocol_column], row[n_column]): row[per_n_column]
+        for row in table.rows
+    }
+    sizes = sorted({row[n_column] for row in table.rows})
+    small, large = sizes[0], sizes[-1]
+    # Linear protocols: envelopes/n roughly flat across n.
+    for protocol in ("2PC", "3PC"):
+        assert per_n[(protocol, large)] < 2 * per_n[(protocol, small)]
+    # Broadcast protocols: envelopes/n grows ~linearly (quadratic total).
+    for protocol in ("decentralized 1PC", "Protocol 2"):
+        ratio = per_n[(protocol, large)] / per_n[(protocol, small)]
+        assert ratio > 1.5

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Run the commit protocol through a gauntlet of adversaries.
+
+The paper's model lets the adversary pick step order, delivery timing,
+and crashes — everything except message contents and coin flips.  This
+example throws every adversary in the library at Protocol 2 and tabulates
+what each one can and cannot do to it:
+
+* well-behaved schedules must commit (commit validity);
+* anything worse may cost the commit, but never consistency;
+* more than t crashes may cost termination, but never consistency.
+
+Run:  python examples/adversarial_gauntlet.py
+"""
+
+from repro import run_commit
+from repro.adversary import (
+    AdaptiveCrashAdversary,
+    CrashAt,
+    LateMessageAdversary,
+    OnTimeAdversary,
+    PartitionAdversary,
+    RandomAdversary,
+    ScheduledCrashAdversary,
+    SynchronousAdversary,
+)
+from repro.analysis.tables import ResultTable
+
+N = 5
+K = 4
+TRIALS = 10
+
+
+def gauntlet():
+    return {
+        "synchronous (well-behaved)": lambda seed: SynchronousAdversary(
+            seed=seed
+        ),
+        "on-time jitter": lambda seed: OnTimeAdversary(K=K, seed=seed),
+        "late messages (10%)": lambda seed: LateMessageAdversary(
+            K=K, seed=seed, late_probability=0.1
+        ),
+        "late messages (50%)": lambda seed: LateMessageAdversary(
+            K=K, seed=seed, late_probability=0.5
+        ),
+        "random fair scheduler": lambda seed: RandomAdversary(seed=seed),
+        "2 scheduled crashes (= t)": lambda seed: ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=3, cycle=2), CrashAt(pid=4, cycle=4)],
+            seed=seed,
+        ),
+        "coordinator killed mid-fanout": lambda seed: AdaptiveCrashAdversary(
+            victims=[0], kill_after_sends=1, suppress_to={1, 2}, seed=seed
+        ),
+        "partition, heals late": lambda seed: PartitionAdversary(
+            groups=[{0, 1, 2}, {3, 4}], start_cycle=1, heal_cycle=30, seed=seed
+        ),
+        "3 crashes (> t)": lambda seed: ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=p, cycle=2) for p in (2, 3, 4)],
+            seed=seed,
+        ),
+    }
+
+
+def main() -> None:
+    table = ResultTable(
+        title=f"Protocol 2 vs the adversary gauntlet (n={N}, t=2, "
+        f"{TRIALS} trials each, all-commit votes)",
+        columns=[
+            "adversary",
+            "terminated",
+            "commits",
+            "aborts",
+            "conflicts",
+        ],
+    )
+    for name, factory in gauntlet().items():
+        terminated = commits = aborts = conflicts = 0
+        for seed in range(TRIALS):
+            outcome = run_commit(
+                [1] * N,
+                K=K,
+                adversary=factory(seed),
+                seed=seed,
+                max_steps=6_000,
+            )
+            terminated += outcome.terminated
+            if not outcome.consistent:
+                conflicts += 1
+            decision = outcome.unanimous_decision
+            if decision is not None:
+                commits += decision.name == "COMMIT"
+                aborts += decision.name == "ABORT"
+        table.add_row(
+            name,
+            f"{terminated}/{TRIALS}",
+            commits,
+            aborts,
+            conflicts,
+        )
+    print(table.render())
+    conflict_column = table.columns.index("conflicts")
+    assert all(row[conflict_column] == 0 for row in table.rows)
+    print()
+    print("no adversary produced a conflicting decision — the protocol is")
+    print("safe under every timing and crash pattern it was thrown.")
+
+
+if __name__ == "__main__":
+    main()

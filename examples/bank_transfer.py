@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""A distributed bank transfer on the asyncio runtime.
+
+The scenario the paper's introduction motivates: one transaction touches
+several database shards concurrently, and all of them must install it or
+none may.  Here a transfer debits shard A and credits shard B while an
+audit shard logs it; the three shards plus two replicas run Protocol 2
+over the asyncio transport (real concurrency, jittery delays), once
+cleanly and once with a replica crashing mid-protocol.
+
+Run:  python examples/bank_transfer.py
+"""
+
+from dataclasses import dataclass, field
+
+from repro import Vote
+from repro.runtime import CrashInjection, UniformDelay, run_commit_cluster
+
+
+@dataclass
+class Shard:
+    """A toy database shard with staged (pending) writes."""
+
+    name: str
+    balances: dict[str, int] = field(default_factory=dict)
+    staged: dict[str, int] = field(default_factory=dict)
+
+    def stage(self, account: str, delta: int) -> Vote:
+        """Stage a write; vote abort if it would overdraw."""
+        balance = self.balances.get(account, 0)
+        if balance + delta < 0:
+            return Vote.ABORT
+        self.staged[account] = delta
+        return Vote.COMMIT
+
+    def finish(self, commit: bool) -> None:
+        """Install or discard the staged writes."""
+        if commit:
+            for account, delta in self.staged.items():
+                self.balances[account] = self.balances.get(account, 0) + delta
+        self.staged.clear()
+
+
+def transfer(shards, votes, crashes=(), seed=0):
+    """Run the commit protocol for one staged transfer."""
+    result = run_commit_cluster(
+        votes,
+        K=8,
+        delay_model=UniformDelay(low=0.0005, high=0.003),
+        crashes=crashes,
+        seed=seed,
+        deadline=15.0,
+    )
+    decision = result.unanimous_decision
+    assert result.consistent, "conflicting decisions would corrupt the bank!"
+    for shard in shards:
+        shard.finish(commit=(decision is not None and decision.name == "COMMIT"))
+    return result
+
+
+def main() -> None:
+    shard_a = Shard("accounts-a", balances={"alice": 100})
+    shard_b = Shard("accounts-b", balances={"bob": 10})
+    audit = Shard("audit-log")
+    replicas = [Shard("replica-1"), Shard("replica-2")]
+    shards = [shard_a, shard_b, audit, *replicas]
+
+    # --- Transfer 1: alice -> bob, 60 units.  Everyone can stage it.
+    votes = [
+        shard_a.stage("alice", -60),
+        shard_b.stage("bob", +60),
+        audit.stage("log", 0),
+        Vote.COMMIT,  # replicas always follow
+        Vote.COMMIT,
+    ]
+    result = transfer(shards, votes, seed=1)
+    print(f"transfer 1 decided {result.unanimous_decision.name}")
+    print(f"  alice={shard_a.balances['alice']}  bob={shard_b.balances['bob']}")
+    assert shard_a.balances["alice"] == 40
+    assert shard_b.balances["bob"] == 70
+
+    # --- Transfer 2: alice -> bob, 500 units.  Shard A must refuse: the
+    # unilateral-abort right every participant keeps.
+    votes = [
+        shard_a.stage("alice", -500),
+        shard_b.stage("bob", +500),
+        audit.stage("log", 0),
+        Vote.COMMIT,
+        Vote.COMMIT,
+    ]
+    result = transfer(shards, votes, seed=2)
+    print(f"transfer 2 decided {result.unanimous_decision.name} (overdraft)")
+    assert shard_a.balances["alice"] == 40  # unchanged
+
+    # --- Transfer 3: a replica crashes mid-protocol.  t = 2 of n = 5 may
+    # fail; the survivors still decide, consistently.
+    votes = [
+        shard_a.stage("alice", -15),
+        shard_b.stage("bob", +15),
+        audit.stage("log", 0),
+        Vote.COMMIT,
+        Vote.COMMIT,
+    ]
+    result = transfer(
+        shards,
+        votes,
+        crashes=[CrashInjection(pid=4, after_seconds=0.004)],
+        seed=3,
+    )
+    survivors = [r for r in result.nodes if r.pid != 4]
+    print(
+        f"transfer 3 decided {result.unanimous_decision.name} "
+        f"with replica-2 crashed"
+    )
+    assert all(r.decision is not None for r in survivors)
+    print(f"  alice={shard_a.balances['alice']}  bob={shard_b.balances['bob']}")
+    print("ledger consistent across all shards.")
+
+
+if __name__ == "__main__":
+    main()

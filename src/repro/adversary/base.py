@@ -1,0 +1,246 @@
+"""Adversary base classes and composable scheduling policies.
+
+The paper's adversary (Section 2.3) decides, from the message pattern
+alone, which processor steps next, which pending messages it receives, and
+which processors crash and when.  All compliant adversaries here consume
+only the :class:`~repro.sim.pattern.PatternView`; the one deliberately
+non-compliant adversary (:mod:`repro.adversary.omniscient`) is flagged via
+:attr:`Adversary.model_compliant`.
+
+Most interesting adversaries share a skeleton: step the alive processors in
+round-robin *cycles* (the lower-bound sections of the paper use the same
+cycle structure) and choose deliveries per-step through a
+:class:`DeliveryPolicy`.  :class:`CycleAdversary` implements that skeleton;
+concrete adversaries are mostly policy/plan combinations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.decisions import CrashDecision, Decision, StepDecision
+from repro.sim.message import MessageId
+from repro.sim.pattern import PatternView, PendingMessage
+
+
+class Adversary:
+    """Base class for schedulers of steps, deliveries, and crashes.
+
+    Attributes:
+        model_compliant: true when the adversary uses only pattern
+            information, as the paper's model demands.  Content-aware
+            adversaries (outside the model, used to demonstrate *why* the
+            secrecy assumption matters) set this to false.
+    """
+
+    model_compliant: bool = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def decide(self, view: PatternView) -> Decision:
+        """Choose the next event.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass
+class CycleContext:
+    """Timing bookkeeping a :class:`DeliveryPolicy` may consult.
+
+    Attributes:
+        cycle: the current cycle number (completed round-robin sweeps).
+        event_cycles: cycle number at each past event index, so a policy
+            can age pending messages in cycles.  Under round-robin
+            stepping, a message delivered ``d`` cycles after its send has
+            every processor taking about ``d`` steps in between, so
+            ``d <= K`` keeps it on time and ``d > K`` makes it late.
+        rng: the adversary's private randomness.
+    """
+
+    cycle: int
+    event_cycles: list[int]
+    rng: random.Random
+
+    def age_in_cycles(self, message: PendingMessage) -> int:
+        """How many cycles ago the message was sent."""
+        send_cycle = self.event_cycles[message.send_event]
+        return self.cycle - send_cycle
+
+
+class DeliveryPolicy:
+    """Chooses which pending envelopes a stepping processor receives."""
+
+    def select(
+        self,
+        view: PatternView,
+        pid: int,
+        pending: Sequence[PendingMessage],
+        ctx: CycleContext,
+    ) -> tuple[MessageId, ...]:
+        """Return ids (subset of ``pending``) to deliver at this step."""
+        raise NotImplementedError
+
+
+class DeliverAll(DeliveryPolicy):
+    """Deliver everything pending — the promptest possible schedule.
+
+    Under round-robin stepping every message is received at the
+    recipient's next step, so the run is on time for any ``K >= 1``.
+    """
+
+    def select(self, view, pid, pending, ctx):
+        return tuple(m.message_id for m in pending)
+
+
+class DelayCycles(DeliveryPolicy):
+    """Hold each message for a (possibly random) number of cycles.
+
+    Args:
+        min_cycles: smallest delivery delay, in cycles.
+        max_cycles: largest delivery delay; the delay for each message is
+            drawn uniformly from ``[min_cycles, max_cycles]`` once, the
+            first time the policy sees it, and remembered.
+
+    A policy with ``max_cycles <= K`` produces on-time runs; values above
+    ``K`` inject late messages.
+    """
+
+    def __init__(self, min_cycles: int = 1, max_cycles: int = 1) -> None:
+        if min_cycles < 0 or max_cycles < min_cycles:
+            raise ValueError(
+                f"need 0 <= min_cycles <= max_cycles, got "
+                f"({min_cycles}, {max_cycles})"
+            )
+        self.min_cycles = min_cycles
+        self.max_cycles = max_cycles
+        self._assigned: dict[MessageId, int] = {}
+
+    def _delay_for(self, message: PendingMessage, ctx: CycleContext) -> int:
+        if message.message_id not in self._assigned:
+            self._assigned[message.message_id] = ctx.rng.randint(
+                self.min_cycles, self.max_cycles
+            )
+        return self._assigned[message.message_id]
+
+    def select(self, view, pid, pending, ctx):
+        ready = []
+        for message in pending:
+            if ctx.age_in_cycles(message) >= self._delay_for(message, ctx):
+                ready.append(message.message_id)
+        return tuple(ready)
+
+
+class DropNonGuaranteed(DeliveryPolicy):
+    """Wrapper: never deliver non-guaranteed envelopes to chosen victims.
+
+    Models a crash in the middle of a broadcast: the sender's final-step
+    envelopes reach only the processors outside ``victims``.
+    """
+
+    def __init__(self, inner: DeliveryPolicy, victims: set[int]) -> None:
+        self.inner = inner
+        self.victims = set(victims)
+
+    def select(self, view, pid, pending, ctx):
+        chosen = self.inner.select(view, pid, pending, ctx)
+        if pid not in self.victims:
+            return chosen
+        suppressed = {
+            m.message_id for m in pending if not m.guaranteed
+        }
+        return tuple(mid for mid in chosen if mid not in suppressed)
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """One entry of a crash plan: crash ``pid`` at the start of ``cycle``."""
+
+    pid: int
+    cycle: int
+
+
+class CycleAdversary(Adversary):
+    """Round-robin stepping with pluggable delivery and crash behaviour.
+
+    Steps alive processors in ascending pid order, one *cycle* per sweep.
+    Before each sweep, due crash-plan entries are executed.  Deliveries are
+    chosen by the :class:`DeliveryPolicy`.
+
+    This adversary is fair by construction (every alive processor steps
+    every cycle) and, with the default :class:`DeliverAll` policy, yields
+    failure-free on-time runs — the well-behaved schedule under which the
+    paper's commit validity condition must force commit.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delivery: DeliveryPolicy | None = None,
+        crash_plan: Sequence[CrashAt] = (),
+    ) -> None:
+        super().__init__(seed)
+        self.delivery = delivery if delivery is not None else DeliverAll()
+        self.crash_plan = sorted(crash_plan, key=lambda c: (c.cycle, c.pid))
+        self._cycle = 0
+        self._queue: list[int] = []
+        self._event_cycles: list[int] = []
+        self._pending_crashes = list(self.crash_plan)
+
+    @property
+    def cycle(self) -> int:
+        """Completed round-robin sweeps so far."""
+        return self._cycle
+
+    def _context(self) -> CycleContext:
+        return CycleContext(
+            cycle=self._cycle, event_cycles=self._event_cycles, rng=self.rng
+        )
+
+    def _due_crash(self, view: PatternView) -> int | None:
+        """Pid of the next crash-plan entry that is due, if any."""
+        while self._pending_crashes:
+            entry = self._pending_crashes[0]
+            if entry.cycle > self._cycle:
+                return None
+            self._pending_crashes.pop(0)
+            if entry.pid not in view.crashed():
+                return entry.pid
+        return None
+
+    def decide(self, view: PatternView) -> Decision:
+        if not self._queue:
+            self._cycle += 1
+            self._queue = view.alive()
+        crash_pid = self._due_crash(view)
+        if crash_pid is not None:
+            self._queue = [p for p in self._queue if p != crash_pid]
+            self._note_event()
+            return CrashDecision(pid=crash_pid)
+        while True:
+            if not self._queue:
+                self._cycle += 1
+                self._queue = view.alive()
+            pid = self._queue.pop(0)
+            if pid in view.crashed():  # crashed since queued
+                continue
+            break
+        deliver = self.delivery.select(
+            view, pid, view.pending(pid), self._context()
+        )
+        self._note_event()
+        return StepDecision(pid=pid, deliver=deliver)
+
+    def _note_event(self) -> None:
+        """Record the cycle number of the event this decision will create."""
+        self._event_cycles.append(self._cycle)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(delivery={type(self.delivery).__name__}, "
+            f"crashes={len(self.crash_plan)})"
+        )

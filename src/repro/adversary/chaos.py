@@ -1,0 +1,106 @@
+"""A chaos adversary: randomized composition of every hostile behaviour.
+
+For fuzzing the safety properties, this adversary randomly composes the
+whole hostile repertoire within one run — biased step scheduling, random
+per-message delays (including late ones), transient partitions, and up
+to ``max_crashes`` fail-stops at random moments — all derived from one
+seed, so any counterexample it ever finds is replayable.
+
+It makes no fairness promise beyond a delivery backstop (messages older
+than ``force_age`` events are always delivered), so it is suitable for
+*safety* fuzzing (agreement, abort validity); termination under it is
+measured, not guaranteed.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary
+from repro.sim.decisions import CrashDecision, Decision, StepDecision
+from repro.sim.pattern import PatternView
+
+
+class ChaosAdversary(Adversary):
+    """Randomized hostile scheduling for safety fuzzing.
+
+    Args:
+        n: number of processors.
+        max_crashes: fail-stop budget (pass ``t`` for admissible runs, or
+            more to fuzz graceful degradation).
+        crash_probability: per-decision chance of spending a crash.
+        hold_probability: chance a deliverable message is held this step.
+        partition_probability: per-decision chance of toggling a random
+            half-partition on or off.
+        force_age: delivery backstop in events.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        max_crashes: int = 0,
+        seed: int = 0,
+        crash_probability: float = 0.002,
+        hold_probability: float = 0.5,
+        partition_probability: float = 0.01,
+        force_age: int = 400,
+    ) -> None:
+        super().__init__(seed)
+        if n <= 0:
+            raise ValueError(f"need at least one processor, got {n}")
+        if max_crashes >= n:
+            raise ValueError(
+                f"cannot budget {max_crashes} crashes for {n} processors"
+            )
+        for name, probability in (
+            ("crash_probability", crash_probability),
+            ("hold_probability", hold_probability),
+            ("partition_probability", partition_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"{name} out of range: {probability}")
+        self.n = n
+        self.max_crashes = max_crashes
+        self.crash_probability = crash_probability
+        self.hold_probability = hold_probability
+        self.partition_probability = partition_probability
+        self.force_age = force_age
+        self._crashes_spent = 0
+        self._partition: set[int] | None = None
+
+    def _maybe_toggle_partition(self) -> None:
+        if self.rng.random() >= self.partition_probability:
+            return
+        if self._partition is None:
+            members = self.rng.sample(range(self.n), self.n // 2)
+            self._partition = set(members)
+        else:
+            self._partition = None
+
+    def _crosses_partition(self, sender: int, recipient: int) -> bool:
+        if self._partition is None:
+            return False
+        return (sender in self._partition) != (recipient in self._partition)
+
+    def decide(self, view: PatternView) -> Decision:
+        self._maybe_toggle_partition()
+        alive = view.alive()
+        if (
+            self._crashes_spent < self.max_crashes
+            and len(alive) > 1
+            and self.rng.random() < self.crash_probability
+        ):
+            victim = self.rng.choice(alive)
+            self._crashes_spent += 1
+            return CrashDecision(pid=victim)
+        pid = self.rng.choice(alive)
+        now = view.event_count
+        deliver = []
+        for message in view.pending(pid):
+            overdue = now - message.send_event >= self.force_age
+            if overdue:
+                deliver.append(message.message_id)
+                continue
+            if self._crosses_partition(message.sender, pid):
+                continue
+            if self.rng.random() >= self.hold_probability:
+                deliver.append(message.message_id)
+        return StepDecision(pid=pid, deliver=tuple(deliver))

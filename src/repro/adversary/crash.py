@@ -1,0 +1,102 @@
+"""Crash-injecting adversaries, scripted and adaptive.
+
+The fail-stop model lets the adversary kill processors at any point and,
+by withholding the victim's final-step envelopes from chosen recipients,
+kill them *in the middle of a broadcast*.  The adaptive variants make the
+kill decision from the message pattern — e.g. crash the coordinator right
+after its first fan-out — which is exactly the adversary style the paper's
+dynamic adversary permits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversary.base import (
+    CrashAt,
+    CycleAdversary,
+    DeliverAll,
+    DeliveryPolicy,
+    DropNonGuaranteed,
+)
+from repro.sim.decisions import CrashDecision, Decision
+from repro.sim.pattern import PatternView
+
+
+class ScheduledCrashAdversary(CycleAdversary):
+    """Round-robin scheduling with crashes at scripted cycles.
+
+    Args:
+        crash_plan: the cycle at which each victim fail-stops.
+        partial_broadcast_victims: recipients that never receive the
+            crashed processors' final-step envelopes, modelling crashes
+            mid-broadcast.
+    """
+
+    def __init__(
+        self,
+        crash_plan: Sequence[CrashAt],
+        seed: int = 0,
+        delivery: DeliveryPolicy | None = None,
+        partial_broadcast_victims: set[int] | None = None,
+    ) -> None:
+        inner = delivery if delivery is not None else DeliverAll()
+        if partial_broadcast_victims:
+            inner = DropNonGuaranteed(inner, partial_broadcast_victims)
+        super().__init__(seed=seed, delivery=inner, crash_plan=crash_plan)
+
+
+class AdaptiveCrashAdversary(CycleAdversary):
+    """Crashes each victim right after its ``kill_after_sends``-th send.
+
+    A purely pattern-based adaptive kill: the adversary watches how many
+    envelopes each victim has emitted (pattern data) and fail-stops it the
+    moment the threshold is crossed, before the victim can take another
+    step.  With ``suppress_to`` set, the final envelopes are additionally
+    withheld from those recipients — the canonical "crash during the
+    broadcast so only some processors hear it" attack on commit protocols.
+
+    Args:
+        victims: processors to kill, in any order.
+        kill_after_sends: sends a victim must have made before it is
+            killed (1 = kill right after its first fan-out).
+        suppress_to: recipients denied the victims' final envelopes.
+    """
+
+    def __init__(
+        self,
+        victims: Sequence[int],
+        kill_after_sends: int = 1,
+        suppress_to: set[int] | None = None,
+        seed: int = 0,
+        delivery: DeliveryPolicy | None = None,
+    ) -> None:
+        inner = delivery if delivery is not None else DeliverAll()
+        if suppress_to:
+            inner = DropNonGuaranteed(inner, suppress_to)
+        super().__init__(seed=seed, delivery=inner)
+        if kill_after_sends < 1:
+            raise ValueError(
+                f"kill_after_sends must be >= 1, got {kill_after_sends}"
+            )
+        self.victims = list(victims)
+        self.kill_after_sends = kill_after_sends
+        self._killed: set[int] = set()
+
+    def _sends_by(self, view: PatternView, pid: int) -> int:
+        """Number of events at which ``pid`` sent at least one envelope."""
+        return sum(
+            1
+            for entry in view.history()
+            if entry.kind == "step" and entry.actor == pid and entry.sent
+        )
+
+    def decide(self, view: PatternView) -> Decision:
+        for victim in self.victims:
+            if victim in self._killed or victim in view.crashed():
+                continue
+            if self._sends_by(view, victim) >= self.kill_after_sends:
+                self._killed.add(victim)
+                self._note_event()
+                return CrashDecision(pid=victim)
+        return super().decide(view)

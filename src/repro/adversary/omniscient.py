@@ -1,0 +1,280 @@
+"""A content-aware adversary — deliberately OUTSIDE the paper's model.
+
+The paper's adversary never sees message contents, local states, or coin
+flips.  This module implements the classic *balancing* attack that a
+stronger, content-reading adversary can mount against Ben-Or-family
+protocols: when delivering first-phase stage messages, keep every
+processor's view balanced (no value held by more than ``n/2`` of the
+senders it has heard), so nobody ever sends an S-message and every stage
+ends in a re-flip.  Against Ben-Or with *local* coins this yields the
+exponential expected running time (all ~n private flips must coincide for
+progress); against Protocol 1 it is harmless — a balanced stage makes all
+processors adopt the *same* shared coin, which forces unanimity and a
+decision within two further stages.  That contrast is experiment E10.
+
+The class advertises :attr:`model_compliant` = ``False`` and must be
+attached to the :class:`~repro.sim.scheduler.Simulation` it schedules (it
+reads envelope payloads through the simulation's full-information side).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.adversary.base import Adversary, CrashAt
+from repro.core.messages import StageMessage
+from repro.errors import SchedulingError
+from repro.sim.decisions import CrashDecision, Decision, StepDecision
+from repro.sim.message import Envelope, MessageId
+from repro.sim.pattern import PatternView
+from repro.sim.scheduler import Simulation
+
+
+class OmniscientBalancer(Adversary):
+    """Content-reading delivery balancer for stage-structured protocols.
+
+    Scheduling is fair round-robin; the attack is purely in delivery
+    order.  For each (recipient, stage) the adversary tracks how many
+    phase-1 values of each kind the recipient has already seen (its own
+    self-posted value included, inferred from the envelopes it sent) and
+    withholds phase-1 envelopes whose delivery would give some value a
+    ``> n/2`` majority, *until* the recipient has a full ``n - t`` batch.
+    Once a recipient's batch for a stage is complete, leftovers for that
+    stage are released (at later steps, where they are stale), keeping the
+    run fair and admissible.
+
+    Args:
+        n: number of processors.
+        t: the protocol's fault parameter (the batch size is ``n - t``).
+    """
+
+    model_compliant = False
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        seed: int = 0,
+        crash_plan: tuple["CrashAt", ...] = (),
+    ) -> None:
+        super().__init__(seed)
+        self.n = n
+        self.t = t
+        self._sim: Simulation | None = None
+        self._queue: list[int] = []
+        self._cycle = 0
+        self.crash_plan = sorted(crash_plan, key=lambda c: (c.cycle, c.pid))
+        self._pending_crashes = list(self.crash_plan)
+        # delivered value counts per (recipient, stage): {value: senders}
+        self._seen: dict[tuple[int, int], dict[int, set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        # stages whose majority check the recipient has already performed
+        # (evidenced by its phase-2 send) -> leftovers are stale, release
+        self._stage_done: set[tuple[int, int]] = set()
+        # recipients' own phase-1 values per stage (from envelopes sent)
+        self._self_counted: set[tuple[int, int]] = set()
+
+    def attach(self, simulation: Simulation) -> None:
+        """Give the adversary full-information access (required)."""
+        self._sim = simulation
+        self._scanned = 0
+        # per-sender phase-1 values: (sender, stage) -> value
+        self._sent_phase1: dict[tuple[int, int], int] = {}
+        # senders that have sent their phase-2 message: (sender, stage)
+        self._sent_phase2: set[tuple[int, int]] = set()
+
+    def _refresh_index(self) -> None:
+        """Fold newly created envelopes into the content indexes."""
+        assert self._sim is not None
+        envelopes = list(self._sim._envelopes.values())
+        for envelope in envelopes[self._scanned:]:
+            for payload in envelope.payloads:
+                if not isinstance(payload, StageMessage):
+                    continue
+                key = (envelope.sender, payload.stage)
+                if payload.phase == 1 and payload.value is not None:
+                    self._sent_phase1.setdefault(key, payload.value)
+                elif payload.phase == 2:
+                    self._sent_phase2.add(key)
+        self._scanned = len(envelopes)
+
+    # -- content inspection ---------------------------------------------------
+
+    def _envelope(self, message_id: MessageId) -> Envelope:
+        assert self._sim is not None
+        return self._sim._envelopes[message_id]
+
+    def _recipient_active(self, pid: int) -> bool:
+        """Whether ``pid``'s program is still running (not returned)."""
+        assert self._sim is not None
+        return not self._sim.processes[pid].halted
+
+    @staticmethod
+    def _phase1(envelope: Envelope) -> StageMessage | None:
+        """The phase-1 stage payload carried by the envelope, if any."""
+        for payload in envelope.payloads:
+            if isinstance(payload, StageMessage) and payload.phase == 1:
+                return payload
+        return None
+
+    @staticmethod
+    def _phase2(envelope: Envelope) -> StageMessage | None:
+        """The phase-2 stage payload carried by the envelope, if any."""
+        for payload in envelope.payloads:
+            if isinstance(payload, StageMessage) and payload.phase == 2:
+                return payload
+        return None
+
+    def _majority_check_done(self, pid: int, stage: int) -> bool:
+        """Whether ``pid`` already evaluated stage ``stage``'s majority.
+
+        Evidenced by a phase-2 send for the stage: the protocol evaluates
+        the majority over its board in the same step it broadcasts the
+        phase-2 message, so anything delivered afterwards is stale and
+        safe to release.
+        """
+        if (pid, stage) in self._stage_done:
+            return True
+        if (pid, stage) in self._sent_phase2:
+            self._stage_done.add((pid, stage))
+            return True
+        return False
+
+    def _count_self_value(self, pid: int) -> None:
+        """Fold pid's own broadcast phase-1 values into its seen-counts.
+
+        A processor's own value reaches its board by self-post, invisible
+        to the pattern; a content-reading adversary recovers it from the
+        copies the processor sent to others.
+        """
+        for (sender, stage), value in self._sent_phase1.items():
+            if sender != pid:
+                continue
+            key = (pid, stage)
+            if key in self._self_counted:
+                continue
+            self._self_counted.add(key)
+            self._seen[key][value].add(pid)
+
+    # -- delivery choice ---------------------------------------------------------
+
+    def _choose_deliveries(
+        self, view: PatternView, pid: int
+    ) -> tuple[MessageId, ...]:
+        self._count_self_value(pid)
+        half = self.n / 2
+        batch = self.n - self.t
+        chosen: list[MessageId] = []
+        for meta in view.pending(pid):
+            envelope = self._envelope(meta.message_id)
+            payload = self._phase1(envelope)
+            if payload is None:
+                second = self._phase2(envelope)
+                if (
+                    second is not None
+                    and self._recipient_active(pid)
+                    and not self._majority_check_done(pid, second.stage)
+                ):
+                    # Hold phase-2 messages until the recipient has done
+                    # its own majority check (sent its phase-2): before
+                    # that they are useless to it, and delivering them in
+                    # the same step as the last phase-1 message would let
+                    # one step complete both waits and pack a phase-1
+                    # payload for the *next* stage into a mixed envelope
+                    # the balancer can no longer hold.
+                    continue
+                chosen.append(meta.message_id)
+                continue
+            key = (pid, payload.stage)
+            seen = self._seen[key]
+            if self._majority_check_done(pid, payload.stage):
+                chosen.append(meta.message_id)
+                if payload.value is not None:
+                    seen[payload.value].add(envelope.sender)
+                continue
+            if (pid, payload.stage) not in self._sent_phase1:
+                # The recipient has not revealed (or fixed) its own value
+                # for this stage yet; delivering now could later combine
+                # with its self-posted value into a majority.  It is not
+                # at this stage's wait yet either, so holding is free.
+                if not self._recipient_active(pid):
+                    chosen.append(meta.message_id)  # halted: stale, release
+                continue
+            value = payload.value
+            assert value is not None
+            # Would delivering this tip the value over the n/2 majority?
+            if len(seen[value] | {envelope.sender}) > half:
+                # Hold it — unless holding would starve the batch: if the
+                # recipient cannot reach n - t without it, give up on
+                # balancing this stage (the flips were too lopsided).
+                if not self._batch_reachable_without(view, pid, payload.stage, seen):
+                    self._stage_done.add((pid, payload.stage))
+                    chosen.append(meta.message_id)
+                    seen[value].add(envelope.sender)
+                continue
+            chosen.append(meta.message_id)
+            seen[value].add(envelope.sender)
+        return tuple(chosen)
+
+    def _batch_reachable_without(
+        self,
+        view: PatternView,
+        pid: int,
+        stage: int,
+        seen: dict[int, set[int]],
+    ) -> bool:
+        """Whether a balanced ``n - t`` batch is still achievable.
+
+        Counts the balanced capacity over everything seen plus everything
+        pending (now or in the future: processors not yet heard from for
+        this stage are optimistically assumed able to contribute, as long
+        as they are alive).
+        """
+        half = int(self.n // 2)  # cap per value: floor(n/2) given "> n/2"
+        available: dict[int, set[int]] = {
+            0: set(seen[0]),
+            1: set(seen[1]),
+        }
+        for (sender, sent_stage), value in self._sent_phase1.items():
+            if sent_stage == stage:
+                available[value].add(sender)
+        crashed = view.crashed()
+        unheard = [
+            q
+            for q in range(self.n)
+            if q not in crashed
+            and q not in available[0]
+            and q not in available[1]
+        ]
+        # Unheard alive processors could contribute either value; count
+        # them toward whichever side has slack.
+        cap0 = min(len(available[0]), half)
+        cap1 = min(len(available[1]), half)
+        slack = max(0, half - cap0) + max(0, half - cap1)
+        return cap0 + cap1 + min(len(unheard), slack) >= self.n - self.t
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def decide(self, view: PatternView) -> Decision:
+        if self._sim is None:
+            raise SchedulingError(
+                "OmniscientBalancer must be attach()ed to its Simulation "
+                "before scheduling"
+            )
+        self._refresh_index()
+        if not self._queue:
+            self._cycle += 1
+            self._queue = view.alive()
+        while self._pending_crashes and self._pending_crashes[0].cycle <= self._cycle:
+            entry = self._pending_crashes.pop(0)
+            if entry.pid not in view.crashed():
+                self._queue = [p for p in self._queue if p != entry.pid]
+                return CrashDecision(pid=entry.pid)
+        pid = self._queue.pop(0)
+        while pid in view.crashed():
+            if not self._queue:
+                self._cycle += 1
+                self._queue = view.alive()
+            pid = self._queue.pop(0)
+        return StepDecision(pid=pid, deliver=self._choose_deliveries(view, pid))

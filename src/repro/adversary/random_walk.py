@@ -1,0 +1,53 @@
+"""A fair random adversary: random steps, random (but fair) delivery.
+
+This is the "weather" adversary: no strategy, just arbitrary asynchrony.
+Fairness is kept by two rules — every processor is stepped infinitely
+often (chosen uniformly among the alive), and any envelope older than
+``force_age`` events is always delivered at its recipient's next step, so
+guaranteed messages cannot be withheld forever.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary
+from repro.sim.decisions import Decision, StepDecision
+from repro.sim.pattern import PatternView
+
+
+class RandomAdversary(Adversary):
+    """Uniformly random fair scheduling.
+
+    Args:
+        deliver_probability: chance each pending envelope is delivered when
+            its recipient steps.
+        force_age: envelopes older than this many events are always
+            delivered (the fairness backstop).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        deliver_probability: float = 0.5,
+        force_age: int = 200,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 < deliver_probability <= 1.0:
+            raise ValueError(
+                f"deliver_probability must be in (0, 1], got "
+                f"{deliver_probability}"
+            )
+        if force_age < 1:
+            raise ValueError(f"force_age must be >= 1, got {force_age}")
+        self.deliver_probability = deliver_probability
+        self.force_age = force_age
+
+    def decide(self, view: PatternView) -> Decision:
+        alive = view.alive()
+        pid = self.rng.choice(alive)
+        now = view.event_count
+        deliver = []
+        for message in view.pending(pid):
+            overdue = now - message.send_event >= self.force_age
+            if overdue or self.rng.random() < self.deliver_probability:
+                deliver.append(message.message_id)
+        return StepDecision(pid=pid, deliver=tuple(deliver))

@@ -1,0 +1,66 @@
+"""Scripted and function-backed adversaries, for tests and proofs.
+
+:class:`ScriptedAdversary` replays an explicit decision list — the
+executable analogue of the finite schedules manipulated in the paper's
+lower-bound proofs (Sections 4 and 5), where runs are built event by
+event.  :class:`FunctionAdversary` wraps a plain callable, which keeps
+one-off test adversaries to a single lambda.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.adversary.base import Adversary
+from repro.errors import SchedulingError
+from repro.sim.decisions import Decision
+from repro.sim.pattern import PatternView
+
+
+class ScriptedAdversary(Adversary):
+    """Replays a fixed, finite sequence of decisions.
+
+    Args:
+        decisions: the schedule to replay, in order.
+        then: optional fallback adversary consulted once the script is
+            exhausted; without one, running past the script raises
+            :class:`~repro.errors.SchedulingError` (the scripted run was
+            meant to be complete).
+    """
+
+    def __init__(
+        self,
+        decisions: Iterable[Decision],
+        then: Adversary | None = None,
+    ) -> None:
+        super().__init__(seed=0)
+        self._script = list(decisions)
+        self._cursor = 0
+        self._fallback = then
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scripted decision has been issued."""
+        return self._cursor >= len(self._script)
+
+    def decide(self, view: PatternView) -> Decision:
+        if not self.exhausted:
+            decision = self._script[self._cursor]
+            self._cursor += 1
+            return decision
+        if self._fallback is not None:
+            return self._fallback.decide(view)
+        raise SchedulingError(
+            f"scripted adversary exhausted after {len(self._script)} decisions"
+        )
+
+
+class FunctionAdversary(Adversary):
+    """Wraps ``fn(view) -> Decision`` as an adversary."""
+
+    def __init__(self, fn: Callable[[PatternView], Decision]) -> None:
+        super().__init__(seed=0)
+        self._fn = fn
+
+    def decide(self, view: PatternView) -> Decision:
+        return self._fn(view)

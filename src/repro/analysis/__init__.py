@@ -1,0 +1,47 @@
+"""Monte-Carlo analysis: trials, metrics, statistics, sweeps, tables."""
+
+from repro.analysis.histogram import histogram
+from repro.analysis.metrics import (
+    RunMetrics,
+    abort_validity_satisfied,
+    commit_validity_satisfied,
+    extract_metrics,
+)
+from repro.analysis.montecarlo import (
+    CommitTrialConfig,
+    TrialBatch,
+    run_commit_batch,
+    run_commit_trial,
+    run_custom_batch,
+)
+from repro.analysis.stats import Summary, proportion, summarize
+from repro.analysis.sweep import SweepPoint, grid, sweep
+from repro.analysis.tables import ResultTable
+from repro.analysis.verify import (
+    VerificationReport,
+    Verdict,
+    verify_commit_run,
+)
+
+__all__ = [
+    "CommitTrialConfig",
+    "Verdict",
+    "VerificationReport",
+    "ResultTable",
+    "RunMetrics",
+    "Summary",
+    "SweepPoint",
+    "TrialBatch",
+    "abort_validity_satisfied",
+    "commit_validity_satisfied",
+    "extract_metrics",
+    "grid",
+    "proportion",
+    "run_commit_batch",
+    "run_commit_trial",
+    "run_custom_batch",
+    "histogram",
+    "summarize",
+    "sweep",
+    "verify_commit_run",
+]

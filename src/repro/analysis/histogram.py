@@ -1,0 +1,60 @@
+"""Tiny ASCII histograms for metric distributions.
+
+E10's headline is a *distribution* claim (Ben-Or's stages are
+geometric-with-tiny-success-probability, Protocol 1's are a point mass),
+so the experiment reports benefit from a shape view, not just a mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def histogram(
+    samples: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    log_bins: bool = False,
+) -> str:
+    """Render samples as an ASCII histogram.
+
+    Args:
+        samples: the values (at least one).
+        bins: number of buckets.
+        width: bar width in characters for the fullest bucket.
+        log_bins: geometric bucket edges (for heavy-tailed metrics like
+            Ben-Or stage counts).
+    """
+    if not samples:
+        raise ValueError("cannot histogram zero samples")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    low = min(samples)
+    high = max(samples)
+    if low == high:
+        return f"{low:g} x{len(samples)}  {'#' * min(width, len(samples))}"
+    if log_bins and low > 0:
+        log_low = math.log(low)
+        log_high = math.log(high)
+        edges = [
+            math.exp(log_low + (log_high - log_low) * i / bins)
+            for i in range(bins + 1)
+        ]
+    else:
+        edges = [low + (high - low) * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for value in samples:
+        for index in range(bins):
+            if value <= edges[index + 1] or index == bins - 1:
+                counts[index] += 1
+                break
+    fullest = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        bar = "#" * (round(width * count / fullest) if count else 0)
+        lines.append(
+            f"[{edges[index]:>8.1f}, {edges[index + 1]:>8.1f}]  "
+            f"{count:>4}  {bar}"
+        )
+    return "\n".join(lines)

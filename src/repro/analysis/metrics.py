@@ -1,0 +1,164 @@
+"""Metric extraction from protocol outcomes.
+
+Each metric corresponds to a quantity the paper reasons about:
+
+* ``stages`` — agreement stages until the last nonfaulty decision
+  (Lemma 8: expected < 4 with ``|coins| >= n``);
+* ``rounds`` — asynchronous rounds until the last nonfaulty decision
+  (Theorem 10: expected <= 14 for Protocol 2);
+* ``ticks`` — largest clock reading at a decide step (Remark 1: <= 8K in
+  failure-free on-time runs);
+* safety flags — consistency, termination, validity conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.api import ProtocolOutcome
+from repro.types import Decision
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The standard metric bundle extracted from one run.
+
+    Attributes:
+        terminated: every nonfaulty program returned.
+        consistent: at most one decision value in the run.
+        decision: the unanimous decision bit, if any.
+        rounds: asynchronous rounds to the last nonfaulty decision.
+        ticks: max clock at a decide step.
+        first_decision_ticks: min clock at a decide step (how early the
+            first processor entered a decision state — the E13 metric).
+        stages: max agreement stages started by a nonfaulty processor.
+        decision_stage: max stage at which a nonfaulty processor decided.
+        shared_coin_stages: max stages resolved with the shared coin list.
+        private_coin_stages: max stages resolved with private flips.
+        messages: total envelopes sent.
+        events: total events in the run.
+        crashes: number of crashed processors.
+        on_time: whether the run had no late messages.
+    """
+
+    terminated: bool
+    consistent: bool
+    decision: int | None
+    rounds: int | None
+    ticks: int | None
+    first_decision_ticks: int | None
+    stages: int | None
+    decision_stage: int | None
+    shared_coin_stages: int | None
+    private_coin_stages: int | None
+    messages: int
+    events: int
+    crashes: int
+    on_time: bool
+
+
+def extract_metrics(
+    outcome: ProtocolOutcome,
+    programs: list | None = None,
+) -> RunMetrics:
+    """Build the metric bundle for one outcome.
+
+    Args:
+        outcome: the protocol outcome.
+        programs: the program objects (for stage telemetry).  When omitted,
+            stage metrics are ``None``.
+    """
+    run = outcome.run
+    nonfaulty = run.nonfaulty()
+    stages: int | None = None
+    decision_stage: int | None = None
+    shared_coin_stages: int | None = None
+    private_coin_stages: int | None = None
+    if programs is not None:
+        stage_values = []
+        decision_stage_values = []
+        shared_values = []
+        private_values = []
+        for program in programs:
+            if program.pid not in nonfaulty:
+                continue
+            stats = getattr(program, "stats", None)
+            if stats is None:
+                continue
+            agreement = getattr(stats, "agreement", stats)
+            if agreement is None:
+                continue
+            stage_count = getattr(agreement, "stages_started", None)
+            if stage_count is not None:
+                stage_values.append(stage_count)
+            decided_at = getattr(agreement, "decision_stage", None)
+            if decided_at is not None:
+                decision_stage_values.append(decided_at)
+            shared_values.append(getattr(agreement, "shared_coin_stages", 0))
+            private_values.append(getattr(agreement, "private_coin_stages", 0))
+        stages = max(stage_values) if stage_values else None
+        decision_stage = (
+            max(decision_stage_values) if decision_stage_values else None
+        )
+        shared_coin_stages = max(shared_values) if shared_values else None
+        private_coin_stages = max(private_values) if private_values else None
+    decision_values = run.decision_values()
+    decision = decision_values.pop() if len(decision_values) == 1 else None
+    return RunMetrics(
+        terminated=outcome.terminated,
+        consistent=run.agreement_holds(),
+        decision=decision,
+        rounds=outcome.decision_round if outcome.terminated else None,
+        ticks=run.max_decision_clock(),
+        first_decision_ticks=min(
+            (c for c in run.decision_clocks.values() if c is not None),
+            default=None,
+        ),
+        stages=stages,
+        decision_stage=decision_stage,
+        shared_coin_stages=shared_coin_stages,
+        private_coin_stages=private_coin_stages,
+        messages=run.messages_sent(),
+        events=run.event_count,
+        crashes=len(run.faulty()),
+        on_time=run.is_on_time(),
+    )
+
+
+def commit_validity_satisfied(
+    outcome: ProtocolOutcome, initial_votes: list[int]
+) -> bool:
+    """Check the paper's commit validity condition on one run.
+
+    If the run is deciding, all initial votes are 1, and the run is
+    failure-free and on time, the nonfaulty processors must decide 1.
+    Vacuously true otherwise.
+    """
+    run = outcome.run
+    preconditions = (
+        run.is_deciding()
+        and all(v == 1 for v in initial_votes)
+        and not run.faulty()
+        and run.is_on_time()
+    )
+    if not preconditions:
+        return True
+    return all(
+        run.decisions[pid] == int(Decision.COMMIT) for pid in run.nonfaulty()
+    )
+
+
+def abort_validity_satisfied(
+    outcome: ProtocolOutcome, initial_votes: list[int]
+) -> bool:
+    """Check the paper's abort validity condition on one run.
+
+    If the run is deciding and any initial vote is 0, the nonfaulty
+    processors must decide 0 — no matter the timing behaviour.
+    """
+    run = outcome.run
+    if not run.is_deciding() or all(v == 1 for v in initial_votes):
+        return True
+    return all(
+        run.decisions[pid] == int(Decision.ABORT) for pid in run.nonfaulty()
+    )

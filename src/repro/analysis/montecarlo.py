@@ -1,0 +1,171 @@
+"""Monte-Carlo trial running.
+
+Randomized protocols are analysed in expectation, so every experiment is
+a batch of independent trials: trial ``i`` derives its tape seed and its
+adversary seed from ``base_seed + i``, making whole batches replayable
+from one integer.  :class:`TrialBatch` aggregates the per-run metric
+bundles into the summaries the experiment tables print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.adversary.base import Adversary
+from repro.analysis.metrics import (
+    RunMetrics,
+    abort_validity_satisfied,
+    commit_validity_satisfied,
+    extract_metrics,
+)
+from repro.analysis.stats import Summary, proportion, summarize
+from repro.core.api import ProtocolOutcome
+from repro.core.commit import CommitProgram
+from repro.core.halting import HaltingMode
+from repro.errors import InsufficientDataError
+from repro.sim.scheduler import Simulation
+
+
+@dataclass
+class TrialBatch:
+    """Metrics of a batch of independent trials of one configuration."""
+
+    metrics: list[RunMetrics] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def __iter__(self) -> Iterator[RunMetrics]:
+        return iter(self.metrics)
+
+    def add(self, metric: RunMetrics) -> None:
+        self.metrics.append(metric)
+
+    def summary(self, name: str, confidence: float = 0.95) -> Summary:
+        """Summarise one numeric metric field over trials where it exists.
+
+        Raises:
+            InsufficientDataError: if no trial produced the metric (e.g.
+                asking for decision rounds in a batch that never decided).
+        """
+        values = [
+            getattr(m, name) for m in self.metrics if getattr(m, name) is not None
+        ]
+        if not values:
+            raise InsufficientDataError(
+                f"metric {name!r} absent from all {len(self.metrics)} trials"
+            )
+        return summarize(values, confidence=confidence)
+
+    def rate(self, predicate: Callable[[RunMetrics], bool]) -> float:
+        """Fraction of trials satisfying ``predicate``."""
+        return proportion(
+            sum(1 for m in self.metrics if predicate(m)), len(self.metrics)
+        )
+
+    @property
+    def termination_rate(self) -> float:
+        return self.rate(lambda m: m.terminated)
+
+    @property
+    def consistency_rate(self) -> float:
+        return self.rate(lambda m: m.consistent)
+
+    @property
+    def commit_rate(self) -> float:
+        return self.rate(lambda m: m.decision == 1)
+
+
+#: A factory building a fresh adversary for trial ``seed``.
+AdversaryFactory = Callable[[int], Adversary]
+
+
+@dataclass(frozen=True)
+class CommitTrialConfig:
+    """Configuration of one commit Monte-Carlo batch.
+
+    Attributes mirror :func:`repro.core.api.run_commit`; ``votes`` may be
+    a fixed list or a per-seed factory for randomized vote patterns.
+    """
+
+    votes: Sequence[int] | Callable[[int], Sequence[int]]
+    adversary_factory: AdversaryFactory
+    t: int | None = None
+    K: int = 4
+    coin_count: int | None = None
+    halting: HaltingMode = HaltingMode.DECIDE_BROADCAST
+    max_steps: int = 100_000
+    allow_sub_resilience: bool = False
+
+    def votes_for(self, seed: int) -> list[int]:
+        if callable(self.votes):
+            return [int(v) for v in self.votes(seed)]
+        return [int(v) for v in self.votes]
+
+
+def run_commit_trial(config: CommitTrialConfig, seed: int) -> RunMetrics:
+    """Run one commit trial and extract its metrics."""
+    votes = config.votes_for(seed)
+    n = len(votes)
+    t = config.t if config.t is not None else (n - 1) // 2
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=config.K,
+            coin_count=config.coin_count,
+            halting=config.halting,
+            allow_sub_resilience=config.allow_sub_resilience,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+    adversary = config.adversary_factory(seed)
+    simulation = Simulation(
+        programs=programs,
+        adversary=adversary,
+        K=config.K,
+        t=t,
+        seed=seed,
+        max_steps=config.max_steps,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    outcome = ProtocolOutcome(result=simulation.run())
+    metrics = extract_metrics(outcome, programs=programs)
+    if not abort_validity_satisfied(outcome, votes):
+        raise AssertionError(
+            f"abort validity violated in commit trial seed={seed}"
+        )
+    if not commit_validity_satisfied(outcome, votes):
+        raise AssertionError(
+            f"commit validity violated in commit trial seed={seed}"
+        )
+    return metrics
+
+
+def run_commit_batch(
+    config: CommitTrialConfig, trials: int, base_seed: int = 0
+) -> TrialBatch:
+    """Run ``trials`` independent commit trials."""
+    if trials <= 0:
+        raise InsufficientDataError(f"need at least one trial, got {trials}")
+    batch = TrialBatch()
+    for i in range(trials):
+        batch.add(run_commit_trial(config, base_seed + i))
+    return batch
+
+
+def run_custom_batch(
+    trial: Callable[[int], RunMetrics], trials: int, base_seed: int = 0
+) -> TrialBatch:
+    """Run an arbitrary per-seed trial function as a batch."""
+    if trials <= 0:
+        raise InsufficientDataError(f"need at least one trial, got {trials}")
+    batch = TrialBatch()
+    for i in range(trials):
+        batch.add(trial(base_seed + i))
+    return batch

@@ -1,0 +1,126 @@
+"""Summary statistics for Monte-Carlo trial results.
+
+Confidence intervals use the Student-t quantile when scipy is available
+and fall back to the normal approximation otherwise (the library's only
+hard dependencies are the standard library; scipy/numpy are optional
+extras).  All of the paper's quantitative claims are about *expected*
+values, so the primary object here is a mean with a confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InsufficientDataError
+
+try:  # pragma: no cover - environment-dependent import
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    """Two-sided Student-t quantile, with a normal fallback."""
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    # Normal approximation (exact enough for dof >= 30; conservative
+    # callers should install scipy).  Abramowitz-Stegun inverse-erf.
+    p = 0.5 + confidence / 2.0
+    # Beasley-Springer-Moro style rational approximation.
+    a = [
+        -3.969683028665376e01,
+        2.209460984245205e02,
+        -2.759285104469687e02,
+        1.383577518672690e02,
+        -3.066479806614716e01,
+        2.506628277459239e00,
+    ]
+    b = [
+        -5.447609879822406e01,
+        1.615858368580409e02,
+        -1.556989798598866e02,
+        6.680131188771972e01,
+        -1.328068155288572e01,
+    ]
+    q = p - 0.5
+    r = q * q
+    numerator = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+    denominator = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    return numerator * q / denominator
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and spread of one metric over Monte-Carlo trials.
+
+    Attributes:
+        count: number of samples.
+        mean: sample mean.
+        stdev: sample standard deviation (0 for a single sample).
+        minimum / maximum: range.
+        ci_low / ci_high: confidence interval for the mean.
+        confidence: the confidence level used.
+    """
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.2f} ± {(self.ci_high - self.mean):.2f} "
+            f"(n={self.count}, range [{self.minimum:.0f}, {self.maximum:.0f}])"
+        )
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Summarise samples with a confidence interval for the mean.
+
+    Raises:
+        InsufficientDataError: with no samples at all.
+    """
+    if not samples:
+        raise InsufficientDataError("cannot summarise zero samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    values = [float(v) for v in samples]
+    count = len(values)
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values) if count > 1 else 0.0
+    if count > 1 and stdev > 0.0:
+        half_width = _t_quantile(confidence, count - 1) * stdev / math.sqrt(count)
+    else:
+        half_width = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=stdev,
+        minimum=min(values),
+        maximum=max(values),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        confidence=confidence,
+    )
+
+
+def proportion(successes: int, trials: int) -> float:
+    """A guarded ratio for rate metrics.
+
+    Raises:
+        InsufficientDataError: when ``trials`` is zero.
+    """
+    if trials <= 0:
+        raise InsufficientDataError("cannot compute a rate over zero trials")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes {successes} out of range for trials {trials}"
+        )
+    return successes / trials

@@ -1,0 +1,80 @@
+"""ASCII result tables.
+
+Every experiment renders its results as a plain-text table with the same
+row/column vocabulary the EXPERIMENTS.md document uses, so the benchmark
+output and the written record stay literally comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ResultTable:
+    """A titled grid of stringifiable cells.
+
+    Attributes:
+        title: table caption (usually the experiment id and claim).
+        columns: header cells.
+        rows: body rows; each the same length as ``columns``.
+        notes: free-form footnotes printed under the table.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        header = [str(c) for c in self.columns]
+        body = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        rule = "  ".join("-" * w for w in widths)
+        parts = [self.title, rule, line(header), rule]
+        parts.extend(line(row) for row in body)
+        parts.append(rule)
+        for note in self.notes:
+            parts.append(f"* {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        header = [str(c) for c in self.columns]
+        parts = [f"**{self.title}**", ""]
+        parts.append("| " + " | ".join(header) + " |")
+        parts.append("|" + "|".join("---" for _ in header) + "|")
+        for row in self.rows:
+            parts.append("| " + " | ".join(_format_cell(c) for c in row) + " |")
+        for note in self.notes:
+            parts.append("")
+            parts.append(f"*{note}*")
+        return "\n".join(parts)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if cell is None:
+        return "-"
+    return str(cell)

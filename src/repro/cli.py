@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run-commit`` — run Protocol 2 once under a chosen adversary and
+  print the outcome (optionally a full timeline / lane view / round
+  chart), with ``--save`` to persist a replayable schedule;
+* ``replay`` — re-execute a saved schedule and print the outcome;
+* ``experiments`` — list the registered experiments;
+* ``experiment`` — run one experiment and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversary.base import Adversary, CrashAt
+from repro.adversary.crash import ScheduledCrashAdversary
+from repro.adversary.random_walk import RandomAdversary
+from repro.adversary.standard import (
+    LateMessageAdversary,
+    OnTimeAdversary,
+    SynchronousAdversary,
+)
+from repro.core.api import ProtocolOutcome, run_commit
+from repro.core.commit import CommitProgram
+from repro.inspect import (
+    render_lanes,
+    render_round_chart,
+    render_timeline,
+    summarize_run,
+)
+from repro.types import Decision
+
+#: Adversaries constructible from the command line, by name.
+ADVERSARY_CHOICES = ("synchronous", "ontime", "late", "random", "crash")
+
+
+def build_adversary(
+    name: str, K: int, seed: int, crashes: Sequence[int]
+) -> Adversary:
+    """Construct a CLI-selected adversary."""
+    if name == "synchronous":
+        return SynchronousAdversary(seed=seed)
+    if name == "ontime":
+        return OnTimeAdversary(K=K, seed=seed)
+    if name == "late":
+        return LateMessageAdversary(K=K, seed=seed, late_probability=0.3)
+    if name == "random":
+        return RandomAdversary(seed=seed)
+    if name == "crash":
+        plan = [
+            CrashAt(pid=pid, cycle=2 + index)
+            for index, pid in enumerate(crashes)
+        ]
+        return ScheduledCrashAdversary(crash_plan=plan, seed=seed)
+    raise ValueError(f"unknown adversary {name!r}")
+
+
+def _parse_votes(text: str) -> list[int]:
+    try:
+        votes = [int(v) for v in text.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"votes must be comma-separated bits, got {text!r}"
+        ) from None
+    if not votes or any(v not in (0, 1) for v in votes):
+        raise argparse.ArgumentTypeError(
+            f"votes must be comma-separated bits, got {text!r}"
+        )
+    return votes
+
+
+def _parse_pids(text: str) -> list[int]:
+    if not text:
+        return []
+    return [int(v) for v in text.split(",")]
+
+
+def _print_outcome(outcome: ProtocolOutcome, args) -> None:
+    run = outcome.run
+    print(summarize_run(run))
+    decision = outcome.unanimous_decision
+    print(f"decision: {decision.name if decision is not None else 'none'}")
+    if outcome.terminated:
+        print(f"asynchronous rounds: {outcome.decision_round}")
+        print(f"decision clock ticks: {outcome.decision_ticks}")
+    if args.timeline:
+        print()
+        print(render_timeline(run, limit=args.limit))
+    if args.lanes:
+        print()
+        print(render_lanes(run, limit=args.limit))
+    if args.rounds:
+        print()
+        print(render_round_chart(run))
+
+
+def cmd_run_commit(args) -> int:
+    adversary = build_adversary(
+        args.adversary, K=args.K, seed=args.seed, crashes=args.crashes
+    )
+    outcome = run_commit(
+        args.votes,
+        K=args.K,
+        adversary=adversary,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    _print_outcome(outcome, args)
+    if args.save:
+        from repro.lowerbound.serialize import save_run
+
+        path = save_run(
+            outcome.run,
+            args.save,
+            tape_seed=args.seed,
+            note=f"run-commit votes={args.votes} adversary={args.adversary}",
+        )
+        print(f"schedule saved to {path}")
+    return 0 if outcome.consistent else 1
+
+
+def cmd_replay(args) -> int:
+    from repro.lowerbound.replay import ScheduleReplayer
+    from repro.lowerbound.serialize import load_schedule
+
+    schedule, context = load_schedule(args.path)
+    n = context["n"]
+    t = context["t"]
+    votes = args.votes if args.votes is not None else [1] * n
+    if len(votes) != n:
+        print(
+            f"error: schedule was recorded with n={n}, got {len(votes)} votes",
+            file=sys.stderr,
+        )
+        return 2
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=context["K"],
+            allow_sub_resilience=True,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+    replayer = ScheduleReplayer(
+        programs,
+        K=context["K"],
+        t=t,
+        seed=context.get("tape_seed", 0),
+    )
+    replayer.apply(schedule)
+    run = replayer.simulation.build_run()
+    print(summarize_run(run))
+    for pid in range(n):
+        decision = run.decisions[pid]
+        label = Decision(decision).name if decision is not None else "undecided"
+        print(f"  p{pid}: {label}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    for experiment_id, info in EXPERIMENTS.items():
+        print(f"{experiment_id:>4}  {info.title}")
+        print(f"      claim: {info.claim}")
+        print(f"      expect: {info.expectation}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    if args.id not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.id!r}; "
+            f"try: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    table = run_experiment(args.id, trials=args.trials, quick=args.quick)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Transaction Commit in a Realistic Fault Model (PODC 1986) — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run-commit", help="run Protocol 2 once and inspect the run"
+    )
+    run_parser.add_argument(
+        "--votes",
+        type=_parse_votes,
+        default=[1, 1, 1, 1, 1],
+        help="comma-separated initial votes, e.g. 1,1,0,1,1",
+    )
+    run_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    run_parser.add_argument(
+        "--adversary",
+        choices=ADVERSARY_CHOICES,
+        default="synchronous",
+        help="scheduler to run under",
+    )
+    run_parser.add_argument(
+        "--crashes",
+        type=_parse_pids,
+        default=[],
+        help="pids to crash (with --adversary crash), e.g. 3,4",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--max-steps", type=int, default=50_000)
+    run_parser.add_argument(
+        "--timeline", action="store_true", help="print the event timeline"
+    )
+    run_parser.add_argument(
+        "--lanes", action="store_true", help="print the per-processor lanes"
+    )
+    run_parser.add_argument(
+        "--rounds", action="store_true", help="print the round chart"
+    )
+    run_parser.add_argument(
+        "--limit", type=int, default=None, help="cap rendered events"
+    )
+    run_parser.add_argument(
+        "--save", default=None, help="save a replayable schedule (JSON path)"
+    )
+    run_parser.set_defaults(fn=cmd_run_commit)
+
+    replay_parser = sub.add_parser(
+        "replay", help="replay a saved schedule against fresh processors"
+    )
+    replay_parser.add_argument("path", help="schedule JSON written by --save")
+    replay_parser.add_argument(
+        "--votes",
+        type=_parse_votes,
+        default=None,
+        help="override the initial votes (defaults to all-commit)",
+    )
+    replay_parser.set_defaults(fn=cmd_replay)
+
+    list_parser = sub.add_parser(
+        "experiments", help="list the registered experiments"
+    )
+    list_parser.set_defaults(fn=cmd_experiments)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="run one experiment and print its table"
+    )
+    experiment_parser.add_argument("id", help="experiment id, e.g. E2")
+    experiment_parser.add_argument(
+        "--trials", type=int, default=None, help="override the trial count"
+    )
+    experiment_parser.add_argument(
+        "--quick", action="store_true", help="benchmark-sized workload"
+    )
+    experiment_parser.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Coin providers: where the stage coin comes from when no S-message.
+
+The paper situates Protocol 1 among three coin-distribution designs:
+
+* Ben-Or [Be] — every processor flips a *local* coin (exponential
+  expected time against an adversary);
+* Rabin [R] — a *trusted dealer* pre-distributes identical coins (fast,
+  but "requires a stronger model with a reliable distributor");
+* Chor–Merritt–Shmoys [CMS] — a weak shared coin built from exchanged
+  shares (constant time at reduced fault tolerance, < n/6);
+* this paper — the *coordinator* flips the coins and ships them in the
+  GO message (fast, optimal t < n/2, no extra trust).
+
+The agreement script delegates lines 7-8 ("xp <- coins[s] if s <=
+|coins|, else flip(1)") to a :class:`CoinProvider`, so all four designs
+run on the identical stage machinery and can be compared head-to-head
+(experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coins import CoinList
+from repro.sim.message import Payload
+from repro.sim.process import Program
+
+
+class CoinProvider:
+    """Source of the stage-``s`` coin for one processor."""
+
+    #: Human-readable mechanism name for tables and telemetry.
+    name: str = "abstract"
+
+    def on_stage_start(self, program: Program, stage: int) -> None:
+        """Hook run when a stage begins (before the phase-1 broadcast).
+
+        Providers that need per-stage communication (share exchange)
+        broadcast here, so their payloads travel in the same envelopes as
+        the phase-1 messages.
+        """
+
+    def coin(self, program: Program, stage: int) -> tuple[int, bool]:
+        """The coin for ``stage``.
+
+        Returns:
+            ``(bit, shared)`` — the coin value and whether it came from a
+            shared mechanism (for the shared/private telemetry split).
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class SharedListProvider(CoinProvider):
+    """The paper's mechanism: a pre-agreed coin list, private fallback.
+
+    With an empty list this *is* Ben-Or (always the private fallback);
+    with the coordinator-flipped list of Protocol 2 it is Protocol 1;
+    with a dealer-distributed list it is Rabin's model.
+    """
+
+    coins: CoinList
+    name: str = "shared-list"
+
+    def coin(self, program: Program, stage: int) -> tuple[int, bool]:
+        shared = self.coins.get(stage)
+        if shared is not None:
+            return shared, True
+        return program.flip(1)[0], False
+
+
+class LocalCoinProvider(CoinProvider):
+    """Ben-Or's mechanism: always a private flip."""
+
+    name = "local"
+
+    def coin(self, program: Program, stage: int) -> tuple[int, bool]:
+        return program.flip(1)[0], False
+
+
+@dataclass(frozen=True)
+class CoinShare(Payload):
+    """One processor's coin share for a stage (CMS-style exchange)."""
+
+    stage: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.stage < 1:
+            raise ValueError(f"stages are 1-based, got {self.stage}")
+        if self.bit not in (0, 1):
+            raise ValueError(f"share bit must be 0 or 1, got {self.bit}")
+
+    def board_key(self) -> object:
+        return ("share", self.stage)
+
+
+class WeakSharedCoinProvider(CoinProvider):
+    """A CMS-inspired weak shared coin from exchanged shares.
+
+    Every processor broadcasts a random share at the start of each stage
+    (piggybacked on the phase-1 envelope); when a coin is needed, it uses
+    the share of the *lowest-id* processor it has heard from for that
+    stage.  When all processors see the same lowest-id share the coin is
+    common; adversarial delivery or a crash of the low-id processors can
+    split it, which is why this family needs a larger honest majority
+    (the real [CMS] protocol tolerates fewer than n/6 faults).
+
+    This is a simplified stand-in for [CMS] (documented in DESIGN.md):
+    it preserves the property the comparison needs — a shared-ish coin
+    built from online exchange rather than a pre-agreed list — without
+    the full machinery of the original protocol.
+    """
+
+    name = "weak-shared"
+
+    def on_stage_start(self, program: Program, stage: int) -> None:
+        share = program.flip(1)[0]
+        program.broadcast(CoinShare(stage=stage, bit=share))
+
+    def coin(self, program: Program, stage: int) -> tuple[int, bool]:
+        shares = program.board.by_key(("share", stage))
+        if not shares:
+            # Degenerate fallback: no share seen (cannot happen when the
+            # stage's phase-1 wait completed, since shares ride along).
+            return program.flip(1)[0], False
+        lowest = min(shares, key=lambda entry: entry.sender)
+        return lowest.payload.bit, True

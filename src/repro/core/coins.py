@@ -1,0 +1,70 @@
+"""The shared coin list distributed by the coordinator.
+
+The key idea of the paper's Protocol 1 is to supply *all* processors with
+*identical* coin flips: the coordinator flips ``m >= n`` coins before the
+protocol starts and ships them in the GO message.  At stage ``s`` a
+processor that saw no S-message takes ``coins[s]`` when ``s <= |coins|``
+and only falls back to a private ``flip(1)`` beyond the list.  Because the
+adversary cannot read message contents, it must commit to a stage's
+delivery pattern before learning the stage's coin — so each stage matches
+the hidden coin with probability 1/2, giving a constant expected number of
+stages (Lemma 8), and longer lists push the expected stage count toward 3
+(the paper's Remark 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+#: Shape of a processor's local flip procedure (``flip(i) -> i bits``).
+FlipFn = Callable[[int], list[int]]
+
+
+@dataclass(frozen=True)
+class CoinList:
+    """An immutable, 1-indexed-by-stage list of shared coin flips."""
+
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for bit in self.bits:
+            if bit not in (0, 1):
+                raise ValueError(f"coin flips are bits, got {bit!r}")
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "CoinList":
+        """Build a coin list from an iterable of bits."""
+        return cls(bits=tuple(bits))
+
+    @classmethod
+    def empty(cls) -> "CoinList":
+        """A coin list with no shared flips (degenerates to pure Ben-Or)."""
+        return cls(bits=())
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def get(self, stage: int) -> int | None:
+        """The shared coin for ``stage`` (1-based), or ``None`` beyond it.
+
+        ``None`` tells the caller to use its private coin, mirroring the
+        paper's "coins[s] if s <= |coins|, else flip(1)".
+        """
+        if stage < 1:
+            raise ValueError(f"stages are 1-based, got {stage}")
+        if stage <= len(self.bits):
+            return self.bits[stage - 1]
+        return None
+
+
+def flip_coin_list(flip: FlipFn, count: int) -> CoinList:
+    """Flip ``count`` coins with the given flip procedure.
+
+    This is what the coordinator runs at line 1 of Protocol 2 ("call
+    flip(n) and broadcast results in GO message"); ``flip`` is the
+    processor's local randomness (:meth:`repro.sim.process.Program.flip`).
+    """
+    if count < 0:
+        raise ValueError(f"coin count must be non-negative, got {count}")
+    return CoinList.from_bits(flip(count))

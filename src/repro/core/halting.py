@@ -1,0 +1,40 @@
+"""Halting modes for the agreement subroutine.
+
+The paper's Protocol 1 has a processor decide the first time it sees
+``n - t`` S-messages for one value and ``return`` the second time.  Taken
+literally, a processor that returns stops sending, and if decisions split
+across stages ``r`` and ``r + 1`` with more than ``t`` processors
+returning at ``r + 1``, the remaining processors can starve waiting for
+stage-``r + 2`` messages.  This is the familiar termination wrinkle of
+Ben-Or-family protocols; the paper does not dwell on it, so we make the
+resolution explicit and configurable (DESIGN.md §5 documents the choice):
+
+* ``DECIDE_BROADCAST`` (default) — on deciding, broadcast ``DECIDED(v)``
+  and return.  Any processor that receives ``DECIDED(v)`` decides ``v``,
+  re-broadcasts it, and returns.  Safe under crash faults (senders never
+  lie), and the standard practical patch.
+* ``ECHO`` — on returning, pre-send the stage messages the processor
+  would have sent for the next few stages anyway (its value is fixed
+  forever after a decision), so stragglers within Lemma 3's one-stage
+  window can finish without the returner taking further steps.
+* ``LITERAL`` — exactly the paper's code.  Correct for agreement/validity;
+  tests exhibit the rare starvation corner.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HaltingMode(enum.Enum):
+    """How a processor behaves between deciding and returning."""
+
+    DECIDE_BROADCAST = enum.auto()
+    ECHO = enum.auto()
+    LITERAL = enum.auto()
+
+
+#: Stages of messages pre-sent by a returning processor in ``ECHO`` mode.
+#: Lemma 3 bounds decision skew to one stage, so two stages of lookahead
+#: cover every straggler that can still need input from the returner.
+ECHO_LOOKAHEAD_STAGES = 2

@@ -1,0 +1,107 @@
+"""Protocol message payloads for Protocols 1 and 2.
+
+The vocabulary is exactly the paper's:
+
+* ``(1, s, v)`` and ``(2, s, v)`` stage messages of the agreement
+  subroutine, with ``v = None`` encoding the "I don't know" marker ⊥;
+* GO messages carrying the coordinator's coin flips;
+* vote messages carrying a processor's commit/abort wish;
+* DECIDED messages, used by the default halting mode (a documented
+  deviation — see DESIGN.md §5): safe to adopt under crash faults because
+  a processor only sends one after a legitimate decision.
+
+Payloads implement ``board_key`` so the bulletin board can index them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.message import Payload
+
+#: The "I don't know" marker of the paper's second-phase messages.
+BOTTOM = None
+
+
+@dataclass(frozen=True)
+class StageMessage(Payload):
+    """A stage message ``(phase, stage, value)`` of the agreement protocol.
+
+    ``phase`` is 1 or 2; ``value`` is 0, 1, or ``None`` for ⊥ (legal only
+    in phase 2).  A phase-2 message with a non-⊥ value is an *S-message*:
+    receiving one causes a processor to set its local value.
+    """
+
+    phase: int
+    stage: int
+    value: int | None
+
+    def __post_init__(self) -> None:
+        if self.phase not in (1, 2):
+            raise ValueError(f"phase must be 1 or 2, got {self.phase}")
+        if self.stage < 1:
+            raise ValueError(f"stages are 1-based, got {self.stage}")
+        if self.value not in (0, 1, BOTTOM):
+            raise ValueError(f"value must be 0, 1, or None, got {self.value}")
+        if self.phase == 1 and self.value is BOTTOM:
+            raise ValueError("phase-1 messages carry a proper value, not ⊥")
+
+    @property
+    def is_s_message(self) -> bool:
+        """Whether this is an S-message (phase 2, proper value)."""
+        return self.phase == 2 and self.value is not BOTTOM
+
+    def board_key(self) -> object:
+        return ("stage", self.phase, self.stage)
+
+
+@dataclass(frozen=True)
+class GoMessage(Payload):
+    """The coordinator's GO message: "start, here are the shared coins".
+
+    Relayed by every participant and piggybacked on every later message,
+    so any message receipt implies GO receipt.
+    """
+
+    coins: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for bit in self.coins:
+            if bit not in (0, 1):
+                raise ValueError(f"coins are bits, got {bit!r}")
+
+    def board_key(self) -> object:
+        return ("go",)
+
+
+@dataclass(frozen=True)
+class VoteMessage(Payload):
+    """A processor's vote: 1 to commit, 0 to abort."""
+
+    vote: int
+
+    def __post_init__(self) -> None:
+        if self.vote not in (0, 1):
+            raise ValueError(f"vote must be 0 or 1, got {self.vote}")
+
+    def board_key(self) -> object:
+        return ("vote",)
+
+
+@dataclass(frozen=True)
+class DecidedMessage(Payload):
+    """Announcement that the sender decided ``value`` in the agreement.
+
+    Part of the ``DECIDE_BROADCAST`` halting mode; adopting the value is
+    safe under crash faults because senders never lie and only send after
+    a decision backed by ``n - t`` S-messages.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"decided value must be 0 or 1, got {self.value}")
+
+    def board_key(self) -> object:
+        return ("decided",)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause.  The
+sub-hierarchy mirrors the architectural layers: simulation-kernel errors,
+model/admissibility violations, protocol misuse, and analysis errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An adversary issued a decision the model does not allow.
+
+    Examples: stepping a crashed processor, delivering a message that is not
+    in the target's buffer, or delivering the same message twice.
+    """
+
+
+class TapeExhaustedError(SimulationError):
+    """A processor requested randomness beyond the end of a finite tape."""
+
+
+class AdmissibilityError(SimulationError):
+    """A run violated the ``t``-admissibility conditions of the model.
+
+    Raised by the admissibility monitor when, e.g., more than ``t``
+    processors crash, or a guaranteed message to a nonfaulty processor is
+    provably never delivered.
+    """
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol-level errors (misuse of a state machine)."""
+
+
+class ProtocolViolation(ProtocolError):
+    """A protocol invariant was broken at runtime.
+
+    This should never fire for the shipped protocols; it exists so tests
+    and fault-injection harnesses can assert on internal invariants.
+    """
+
+
+class ConfigurationError(ProtocolError):
+    """A protocol or simulation was configured with invalid parameters.
+
+    Examples: ``n <= 2 * t`` for Protocol 1/2 (outside the proven envelope
+    unless explicitly overridden for lower-bound experiments), a
+    non-positive ``K``, or duplicate processor identifiers.
+    """
+
+
+class RuntimeTransportError(ReproError):
+    """Base class for asyncio-runtime transport failures."""
+
+
+class NodeCrashedError(RuntimeTransportError):
+    """An operation was attempted on a node that has been crashed."""
+
+
+class AnalysisError(ReproError):
+    """Base class for Monte-Carlo / statistics errors."""
+
+
+class InsufficientDataError(AnalysisError):
+    """A statistic was requested over too few samples to be meaningful."""

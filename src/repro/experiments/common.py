@@ -1,0 +1,91 @@
+"""Shared helpers for the experiment runners.
+
+Every experiment is a function ``run(trials, base_seed, quick) ->
+ResultTable``.  ``quick`` shrinks the workload to benchmark-friendly
+sizes; the full sizes regenerate the EXPERIMENTS.md numbers.  All trials
+derive their randomness from ``base_seed`` so tables are replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.analysis.metrics import RunMetrics, extract_metrics
+from repro.core.agreement import AgreementProgram
+from repro.core.api import ProtocolOutcome, shared_coins
+from repro.core.coins import CoinList
+from repro.core.halting import HaltingMode
+from repro.sim.process import Program
+from repro.sim.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry metadata for one experiment."""
+
+    id: str
+    title: str
+    claim: str
+    expectation: str
+    runner: Callable[..., object]
+
+
+def run_programs(
+    programs: Sequence[Program],
+    adversary: Adversary,
+    K: int,
+    t: int,
+    seed: int,
+    max_steps: int,
+) -> tuple[ProtocolOutcome, RunMetrics]:
+    """Run arbitrary programs under an adversary and extract metrics."""
+    simulation = Simulation(
+        programs=list(programs),
+        adversary=adversary,
+        K=K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    outcome = ProtocolOutcome(result=simulation.run())
+    return outcome, extract_metrics(outcome, programs=list(programs))
+
+
+def agreement_trial(
+    n: int,
+    t: int,
+    values: Sequence[int],
+    adversary: Adversary,
+    seed: int,
+    K: int = 4,
+    coins: CoinList | None = None,
+    halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+    max_steps: int = 100_000,
+) -> tuple[ProtocolOutcome, RunMetrics]:
+    """One standalone agreement run with the given adversary."""
+    if coins is None:
+        coins = shared_coins(n, seed=seed + 104729)
+    programs = [
+        AgreementProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_value=value,
+            coins=coins,
+            halting=halting,
+        )
+        for pid, value in enumerate(values)
+    ]
+    return run_programs(
+        programs, adversary, K=K, t=t, seed=seed, max_steps=max_steps
+    )
+
+
+def alternating_values(n: int) -> list[int]:
+    """The maximally-split input pattern 0, 1, 0, 1, ..."""
+    return [pid % 2 for pid in range(n)]

@@ -1,0 +1,113 @@
+"""E10 — shared coins turn Ben-Or's exponential time into a constant.
+
+Claim (introduction and Section 3): Ben-Or's asynchronous agreement
+takes exponential expected time against an adversary, and the paper's
+modification — identical coin flips distributed to all processors —
+lowers it to a small constant while tolerating the optimal ``t < n/2``.
+
+Workload: standalone agreement, split inputs, sweeping ``n``, under two
+adversaries: the content-reading balancer (the classic anti-Ben-Or
+attack, deliberately stronger than the paper's pattern-only model) and
+the pattern-only camp splitter.  Reported metric: stages until the last
+nonfaulty decision.  The shape to reproduce: Ben-Or's stages grow
+~2^(n-1) under the balancer while Protocol 1 stays flat — and Protocol 1
+stays flat even against the balancer, because a balanced stage makes
+every processor adopt the *same* shared coin.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.omniscient import OmniscientBalancer
+from repro.adversary.splitter import SplitVoteAdversary
+from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.tables import ResultTable
+from repro.core.agreement import AgreementProgram
+from repro.core.api import shared_coins
+from repro.experiments.common import alternating_values, run_programs
+from repro.protocols.benor import BenOrProgram
+
+_K = 4
+
+
+def _build(n: int, t: int, shared: bool, seed: int):
+    values = alternating_values(n)
+    if shared:
+        coins = shared_coins(n, seed=seed + 7_654_321)
+        return [
+            AgreementProgram(
+                pid=p, n=n, t=t, initial_value=values[p], coins=coins
+            )
+            for p in range(n)
+        ]
+    return [
+        BenOrProgram(pid=p, n=n, t=t, initial_value=values[p])
+        for p in range(n)
+    ]
+
+
+def run(
+    trials: int = 15, base_seed: int = 0, quick: bool = False
+) -> ResultTable:
+    """Run E10 and render its table."""
+    sizes = (4, 6) if quick else (4, 6, 8)
+    trials = min(trials, 5) if quick else trials
+    max_steps = 60_000 if quick else 300_000
+    adversaries = {
+        "balancer (content-aware)": lambda n, t, seed: OmniscientBalancer(
+            n=n, t=t, seed=seed
+        ),
+        "splitter (pattern-only)": lambda n, t, seed: SplitVoteAdversary(
+            n=n, seed=seed
+        ),
+    }
+    table = ResultTable(
+        title=(
+            "E10: Ben-Or (local coins) vs Protocol 1 (shared coins) -- "
+            "paper: exponential vs constant expected stages"
+        ),
+        columns=[
+            "n",
+            "adversary",
+            "protocol",
+            "trials",
+            "mean stages",
+            "max stages",
+            "terminated",
+        ],
+    )
+    for n in sizes:
+        t = (n - 1) // 2
+        for adversary_name, adversary_factory in adversaries.items():
+            for protocol_name, shared in (
+                ("Ben-Or", False),
+                ("Protocol 1", True),
+            ):
+                batch = TrialBatch()
+                for i in range(trials):
+                    seed = base_seed + i
+                    _, metrics = run_programs(
+                        _build(n, t, shared, seed),
+                        adversary_factory(n, t, seed),
+                        K=_K,
+                        t=t,
+                        seed=seed,
+                        max_steps=max_steps,
+                    )
+                    batch.add(metrics)
+                stages = batch.summary("stages")
+                table.add_row(
+                    n,
+                    adversary_name,
+                    protocol_name,
+                    len(batch),
+                    stages.mean,
+                    int(stages.maximum),
+                    f"{batch.termination_rate:.0%}",
+                )
+    table.add_note(
+        "the balancer reads message contents (outside the paper's model) "
+        "— the strongest classic attack on Ben-Or; the paper's pattern-"
+        "only adversary is strictly weaker.  Protocol 1 is flat under "
+        "both; expect ~2^(n-1) growth for Ben-Or under the balancer."
+    )
+    return table

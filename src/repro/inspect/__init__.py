@@ -1,0 +1,15 @@
+"""Run inspection: human-readable renderings of recorded runs."""
+
+from repro.inspect.timeline import (
+    render_lanes,
+    render_round_chart,
+    render_timeline,
+    summarize_run,
+)
+
+__all__ = [
+    "render_lanes",
+    "render_round_chart",
+    "render_timeline",
+    "summarize_run",
+]

@@ -1,0 +1,148 @@
+"""Replaying abstract schedules against fresh processors.
+
+The proofs of Lemmas 12 and 13 argue about applying a transformed
+schedule to a (possibly different) configuration.  :func:`replay_schedule`
+makes that executable: it applies an
+:class:`~repro.lowerbound.schedules.AbstractSchedule` to a fresh set of
+programs, resolving each provenance-named delivery to the concrete
+envelope the *new* run's sender produced in the same position.  An event
+whose deliveries cannot be resolved is *not applicable*, exactly the
+model's notion, and raises
+:class:`~repro.errors.SchedulingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SchedulingError
+from repro.lowerbound.schedules import (
+    AbstractSchedule,
+    EventKind,
+    Provenance,
+)
+from repro.sim.decisions import CrashDecision, StepDecision
+from repro.sim.message import MessageId
+from repro.sim.process import Program
+from repro.sim.scheduler import Simulation
+from repro.sim.tape import TapeCollection
+from repro.types import ProcessStatus
+
+
+@dataclass(frozen=True)
+class ObservableState:
+    """The comparable state of one processor after a (partial) replay.
+
+    Lemma 12's "state(p, C)" is the full local state; observationally we
+    compare everything the protocol can act on: clock, lifecycle status,
+    decision, program output, and the multiset of received payloads.
+    """
+
+    clock: int
+    status: ProcessStatus
+    decision: int | None
+    output: object
+    board: tuple[tuple[int, str], ...]
+
+
+def observable_state(simulation: Simulation, pid: int) -> ObservableState:
+    """Snapshot the observable state of ``pid`` in a simulation."""
+    process = simulation.processes[pid]
+    board = tuple(
+        sorted(
+            (entry.sender, repr(entry.payload))
+            for entry in process.board.entries()
+        )
+    )
+    return ObservableState(
+        clock=process.clock,
+        status=process.status,
+        decision=process.decision,
+        output=process.output,
+        board=board,
+    )
+
+
+class ScheduleReplayer:
+    """Applies an abstract schedule event by event to fresh programs."""
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        K: int,
+        t: int,
+        seed: int = 0,
+        tapes: TapeCollection | None = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        # The replayer drives the simulation directly; the adversary slot
+        # is never consulted, but the Simulation constructor requires one.
+        class _Unused:
+            def decide(self, view):  # pragma: no cover - never called
+                raise SchedulingError("replayer drives events directly")
+
+        self.simulation = Simulation(
+            programs=list(programs),
+            adversary=_Unused(),
+            K=K,
+            t=t,
+            seed=seed,
+            tapes=tapes,
+            max_steps=max_steps,
+        )
+
+    def _resolve(self, pid: int, provenance: Provenance) -> MessageId:
+        """Find the pending envelope matching a provenance descriptor."""
+        ordinal = -1
+        for envelope in sorted(
+            self.simulation._envelopes.values(), key=lambda e: e.send_event
+        ):
+            if envelope.sender != provenance.sender or envelope.recipient != pid:
+                continue
+            ordinal += 1
+            if ordinal == provenance.ordinal:
+                if envelope.delivered:
+                    raise SchedulingError(
+                        f"event not applicable: envelope "
+                        f"{envelope.message_id} already delivered"
+                    )
+                return envelope.message_id
+        raise SchedulingError(
+            f"event not applicable: sender {provenance.sender} has not "
+            f"addressed envelope #{provenance.ordinal} to {pid} in this run"
+        )
+
+    def apply(self, schedule: AbstractSchedule) -> "ScheduleReplayer":
+        """Apply every event of ``schedule`` in order.
+
+        Raises:
+            SchedulingError: at the first non-applicable event.
+        """
+        for event in schedule:
+            if event.kind is EventKind.FAIL:
+                process = self.simulation.processes[event.pid]
+                if process.status is not ProcessStatus.CRASHED:
+                    self.simulation.apply(CrashDecision(pid=event.pid))
+                else:
+                    # Repeated failure steps are no-ops in the lockstep
+                    # model (a failed processor keeps taking failure
+                    # steps); the kernel records the crash only once.
+                    pass
+                continue
+            deliver = tuple(
+                self._resolve(event.pid, provenance)
+                for provenance in sorted(
+                    event.receives, key=lambda p: (p.sender, p.ordinal)
+                )
+            )
+            self.simulation.apply(StepDecision(pid=event.pid, deliver=deliver))
+        return self
+
+    def state(self, pid: int) -> ObservableState:
+        """Observable state of ``pid`` after the events applied so far."""
+        return observable_state(self.simulation, pid)
+
+    def states(self, group: Sequence[int]) -> dict[int, ObservableState]:
+        """Observable states for a whole group."""
+        return {pid: self.state(pid) for pid in group}

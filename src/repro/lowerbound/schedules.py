@@ -1,0 +1,188 @@
+"""Abstract schedules and the lockstep model of Sections 4 and 5.
+
+The lower-bound proofs work in a *stronger* model than the protocol does:
+processors step in round-robin cycles (``p1`` through ``pn``), failures
+are explicit steps ``(p, ⊥, f)``, atomic broadcast is available, and all
+message delays are at least one cycle.  Proof manipulations act on
+*schedules* — sequences of events — via the operators ``σ|S`` (restrict),
+``kill(S, σ)``, and ``deafen(S, σ)``.
+
+This module gives those objects an executable form.  An
+:class:`AbstractEvent` names its deliveries by *provenance* —
+``(sender, k)`` meaning "the k-th envelope this run's sender ``q``
+addressed to the stepping processor" — rather than by concrete message id.
+Provenance survives the proofs' schedule surgery: when a transformed
+schedule is replayed against fresh processors, each delivery resolves to
+whatever envelope the new run's sender produced in the same position,
+exactly the correspondence Lemmas 12 and 13 trade on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.sim.trace import Run
+
+
+class EventKind(enum.Enum):
+    """The two event shapes of the lockstep model."""
+
+    STEP = enum.auto()
+    FAIL = enum.auto()
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Names one delivered envelope by its origin: sender and ordinal.
+
+    ``ordinal`` counts, within one run, the envelopes ``sender`` addressed
+    to the receiving processor (0-based, in send order).
+    """
+
+    sender: int
+    ordinal: int
+
+
+@dataclass(frozen=True)
+class AbstractEvent:
+    """One event ``(p, M, f)`` with deliveries named by provenance.
+
+    A ``FAIL`` event is the explicit failure step ``(p, ⊥, f)``; its
+    ``receives`` are empty.
+    """
+
+    pid: int
+    kind: EventKind = EventKind.STEP
+    receives: frozenset[Provenance] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.FAIL and self.receives:
+            raise ValueError("a failure step delivers no messages")
+
+
+@dataclass(frozen=True)
+class AbstractSchedule:
+    """A finite sequence of abstract events."""
+
+    events: tuple[AbstractEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __add__(self, other: "AbstractSchedule") -> "AbstractSchedule":
+        return AbstractSchedule(events=self.events + other.events)
+
+    def pids(self) -> set[int]:
+        """Processors appearing in the schedule."""
+        return {e.pid for e in self.events}
+
+    # -- the paper's schedule operators ------------------------------------
+
+    def restrict(self, group: Iterable[int]) -> "AbstractSchedule":
+        """``σ|S``: the subsequence of events involving processors in S."""
+        members = set(group)
+        return AbstractSchedule(
+            events=tuple(e for e in self.events if e.pid in members)
+        )
+
+    def kill(self, group: Iterable[int]) -> "AbstractSchedule":
+        """``kill(S, σ)``: replace S-events with explicit failure steps."""
+        members = set(group)
+        return AbstractSchedule(
+            events=tuple(
+                replace(e, kind=EventKind.FAIL, receives=frozenset())
+                if e.pid in members
+                else e
+                for e in self.events
+            )
+        )
+
+    def deafen(self, group: Iterable[int]) -> "AbstractSchedule":
+        """``deafen(S, σ)``: S-processors keep stepping but receive ∅."""
+        members = set(group)
+        return AbstractSchedule(
+            events=tuple(
+                replace(e, receives=frozenset()) if e.pid in members else e
+                for e in self.events
+            )
+        )
+
+    # -- lockstep structure --------------------------------------------------
+
+    def is_round_robin(self, n: int) -> bool:
+        """Whether events cycle ``p1 .. pn`` (the lockstep turn rule)."""
+        return all(
+            event.pid == index % n for index, event in enumerate(self.events)
+        )
+
+    def cycles(self, n: int) -> list["AbstractSchedule"]:
+        """Split a round-robin schedule into cycles of ``n`` events."""
+        if not self.is_round_robin(n):
+            raise ValueError("schedule is not round-robin; cannot cycle-split")
+        return [
+            AbstractSchedule(events=self.events[i : i + n])
+            for i in range(0, len(self.events), n)
+        ]
+
+    def semicycles(self, first_group: Sequence[int]) -> list["AbstractSchedule"]:
+        """Split into maximal runs of events inside/outside ``first_group``.
+
+        With ``first_group = A = {p1..pt}`` and a round-robin schedule this
+        yields the alternating A-semicycles and B-semicycles of the
+        Theorem 14 proof.
+        """
+        members = set(first_group)
+        chunks: list[list[AbstractEvent]] = []
+        current_side: bool | None = None
+        for event in self.events:
+            side = event.pid in members
+            if side != current_side:
+                chunks.append([])
+                current_side = side
+            chunks[-1].append(event)
+        return [AbstractSchedule(events=tuple(chunk)) for chunk in chunks]
+
+
+def round_robin_skeleton(n: int, cycles: int) -> AbstractSchedule:
+    """A round-robin schedule of empty-delivery steps (no receipts)."""
+    events = [
+        AbstractEvent(pid=pid)
+        for _ in range(cycles)
+        for pid in range(n)
+    ]
+    return AbstractSchedule(events=tuple(events))
+
+
+def schedule_from_run(run: Run) -> AbstractSchedule:
+    """Recover the abstract schedule of a concrete recorded run.
+
+    Deliveries are re-expressed as provenance: the k-th envelope the
+    sender addressed to this recipient.
+    """
+    # envelope id -> ordinal among (sender -> recipient) envelopes
+    ordinals: dict[int, int] = {}
+    counters: dict[tuple[int, int], int] = {}
+    for envelope in sorted(run.envelopes.values(), key=lambda e: e.send_event):
+        key = (envelope.sender, envelope.recipient)
+        ordinals[envelope.message_id] = counters.get(key, 0)
+        counters[key] = counters.get(key, 0) + 1
+    events = []
+    for event in run.events:
+        if event.kind == "crash":
+            events.append(
+                AbstractEvent(pid=event.actor, kind=EventKind.FAIL)
+            )
+            continue
+        receives = frozenset(
+            Provenance(
+                sender=run.envelopes[mid].sender, ordinal=ordinals[mid]
+            )
+            for mid in event.delivered
+        )
+        events.append(AbstractEvent(pid=event.actor, receives=receives))
+    return AbstractSchedule(events=tuple(events))

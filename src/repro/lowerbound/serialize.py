@@ -1,0 +1,125 @@
+"""Schedule (de)serialization: record a run, replay it anywhere.
+
+Since a run is a pure function of ``(adversary, initial configuration,
+tapes)``, persisting the *schedule* (with deliveries named by provenance)
+plus the tape seed is enough to reproduce it exactly — across processes,
+machines, or library versions that preserve protocol semantics.  The
+format is plain JSON, stable and diff-friendly, so interesting runs
+(counterexamples, regressions, proof constructions) can be checked into a
+repository and replayed in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AnalysisError
+from repro.lowerbound.schedules import (
+    AbstractEvent,
+    AbstractSchedule,
+    EventKind,
+    Provenance,
+    schedule_from_run,
+)
+from repro.sim.trace import Run
+
+#: Format version; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(
+    schedule: AbstractSchedule,
+    n: int,
+    t: int,
+    K: int,
+    tape_seed: int = 0,
+    note: str = "",
+) -> dict[str, Any]:
+    """Serialise a schedule plus the context needed to replay it."""
+    return {
+        "version": FORMAT_VERSION,
+        "n": n,
+        "t": t,
+        "K": K,
+        "tape_seed": tape_seed,
+        "note": note,
+        "events": [
+            {
+                "pid": event.pid,
+                "kind": event.kind.name.lower(),
+                "receives": sorted(
+                    [p.sender, p.ordinal] for p in event.receives
+                ),
+            }
+            for event in schedule
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> AbstractSchedule:
+    """Deserialise a schedule.
+
+    Raises:
+        AnalysisError: on version mismatch or malformed events.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported schedule format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    events = []
+    for index, raw in enumerate(data.get("events", [])):
+        try:
+            kind = EventKind[raw["kind"].upper()]
+            receives = frozenset(
+                Provenance(sender=sender, ordinal=ordinal)
+                for sender, ordinal in raw.get("receives", [])
+            )
+            events.append(
+                AbstractEvent(pid=raw["pid"], kind=kind, receives=receives)
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"malformed schedule event #{index}: {raw!r}"
+            ) from exc
+    return AbstractSchedule(events=tuple(events))
+
+
+def export_run(run: Run, tape_seed: int = 0, note: str = "") -> dict[str, Any]:
+    """Serialise a recorded run's schedule and replay context."""
+    return schedule_to_dict(
+        schedule_from_run(run),
+        n=run.n,
+        t=run.t,
+        K=run.K,
+        tape_seed=tape_seed,
+        note=note,
+    )
+
+
+def save_run(
+    run: Run, path: str | Path, tape_seed: int = 0, note: str = ""
+) -> Path:
+    """Write a run's replayable schedule to a JSON file."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(export_run(run, tape_seed=tape_seed, note=note), indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_schedule(path: str | Path) -> tuple[AbstractSchedule, dict[str, Any]]:
+    """Read a schedule file; returns (schedule, context metadata)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    schedule = schedule_from_dict(data)
+    context = {
+        key: data[key]
+        for key in ("n", "t", "K", "tape_seed", "note")
+        if key in data
+    }
+    return schedule, context

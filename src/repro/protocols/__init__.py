@@ -1,0 +1,50 @@
+"""Baseline protocols the paper compares against.
+
+* :class:`BenOrProgram` — Ben-Or's original randomized agreement (local
+  coins only): the exponential-expected-stages baseline for Protocol 1.
+* :class:`TwoPCProgram` — two-phase commit with synchronous-model timeout
+  actions: wrong answers under late messages (``PRESUME_ABORT``) or
+  blocking under coordinator crashes (``BLOCK``).
+* :class:`ThreePCProgram` — Skeen's three-phase commit with timeout
+  transitions: nonblocking under synchrony, inconsistent under lateness.
+* :class:`DealerCoinAgreementProgram` — Rabin-style trusted-dealer coins.
+* :class:`CMSStyleAgreementProgram` — a CMS-inspired weak shared coin
+  (constant time, reduced fault envelope ``n > 6t``).
+* :class:`DecentralizedCommitProgram` — Skeen's decentralized one-phase
+  commit: never blocks, wrong under a single late vote.
+"""
+
+from repro.protocols.benor import BenOrProgram
+from repro.protocols.cms import CMSStyleAgreementProgram
+from repro.protocols.decentralized import (
+    DecentralizedCommitProgram,
+    DecentralizedStats,
+)
+from repro.protocols.messages import (
+    DecisionAnnouncement,
+    ParticipantVote,
+    PreCommit,
+    PreCommitAck,
+    VoteRequest,
+)
+from repro.protocols.rabin import DealerCoinAgreementProgram
+from repro.protocols.threepc import ThreePCProgram, ThreePCStats
+from repro.protocols.twopc import TimeoutAction, TwoPCProgram, TwoPCStats
+
+__all__ = [
+    "BenOrProgram",
+    "CMSStyleAgreementProgram",
+    "DealerCoinAgreementProgram",
+    "DecentralizedCommitProgram",
+    "DecentralizedStats",
+    "DecisionAnnouncement",
+    "ParticipantVote",
+    "PreCommit",
+    "PreCommitAck",
+    "ThreePCProgram",
+    "ThreePCStats",
+    "TimeoutAction",
+    "TwoPCProgram",
+    "TwoPCStats",
+    "VoteRequest",
+]

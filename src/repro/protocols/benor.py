@@ -1,0 +1,50 @@
+"""Ben-Or's original randomized agreement protocol [Be], as a baseline.
+
+The paper's Protocol 1 *is* Ben-Or's protocol plus the shared coin list;
+running the same script with an empty coin list recovers the original:
+every coin-flip stage uses a private ``flip(1)``.  Against adversarial
+message scheduling the original needs all private flips to coincide to
+make progress, giving exponential expected stages, which is exactly the
+gap experiment E10 measures.
+
+The class is a thin specialisation of
+:class:`~repro.core.agreement.AgreementProgram` kept separate so that
+experiments, docs, and type signatures can say "Ben-Or" and mean it.
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import AgreementProgram
+from repro.core.coins import CoinList
+from repro.core.halting import HaltingMode
+
+
+class BenOrProgram(AgreementProgram):
+    """Ben-Or's protocol: stage structure of Protocol 1, local coins only.
+
+    Args:
+        pid: processor id.
+        n: number of processors.
+        t: fault tolerance (``n > 2t``).
+        initial_value: the input value (0 or 1).
+        halting: decide-to-return behaviour (shared with Protocol 1).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        initial_value: int,
+        halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+        allow_sub_resilience: bool = False,
+    ) -> None:
+        super().__init__(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_value=initial_value,
+            coins=CoinList.empty(),
+            halting=halting,
+            allow_sub_resilience=allow_sub_resilience,
+        )

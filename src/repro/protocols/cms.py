@@ -1,0 +1,84 @@
+"""A CMS-style weak-shared-coin agreement, as a comparison point.
+
+Chor, Merritt, and Shmoys [CMS] achieve constant expected time "in a
+model that is stronger than Ben-Or's but more realistic than Rabin's" —
+the shared coin is built *online* from exchanged shares instead of being
+pre-distributed — but "their asynchronous protocol tolerates less than
+one-sixth of the processors failing".
+
+This module supplies the executable face of that trade-off with a
+simplified stand-in (substitution documented in DESIGN.md): the stage
+machinery of Protocol 1 with the shared list replaced by the
+lowest-id-share rule of
+:class:`~repro.core.coin_providers.WeakSharedCoinProvider`.  The property
+the comparison needs survives the simplification — the coin usually
+agrees, but adversarial delivery around the low-id shares can split it,
+so the mechanism buys its constant time with a stricter fault bound,
+enforced here as ``n > 6t`` (override with ``allow_sub_resilience`` for
+boundary experiments).
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import AgreementStats, agreement_script
+from repro.core.coin_providers import WeakSharedCoinProvider
+from repro.core.coins import CoinList
+from repro.core.halting import HaltingMode
+from repro.errors import ConfigurationError
+from repro.sim.process import Program
+
+
+class CMSStyleAgreementProgram(Program):
+    """Agreement with an online weak shared coin (CMS-style).
+
+    Args:
+        pid: processor id.
+        n: number of processors.
+        t: fault tolerance; the CMS family needs ``n > 6t`` (the paper's
+            comparison point) unless ``allow_sub_resilience``.
+        initial_value: the input value (0 or 1).
+    """
+
+    #: Mechanism label used by comparison tables.
+    mechanism = "weak-shared"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        initial_value: int,
+        halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+        allow_sub_resilience: bool = False,
+    ) -> None:
+        super().__init__(pid, n)
+        if not 0 <= t < n:
+            raise ConfigurationError(
+                f"t must satisfy 0 <= t < n, got t={t}, n={n}"
+            )
+        if n <= 6 * t and not allow_sub_resilience:
+            raise ConfigurationError(
+                f"the CMS-style coin needs n > 6t (got n={n}, t={t}); "
+                f"that reduced tolerance is exactly the paper's point — "
+                f"pass allow_sub_resilience=True to run it outside its "
+                f"envelope for boundary experiments."
+            )
+        self.t = t
+        self.initial_value = initial_value
+        self.halting = halting
+        self.allow_sub_resilience = allow_sub_resilience
+        self.stats = AgreementStats()
+
+    def run(self):
+        value = yield from agreement_script(
+            self,
+            t=self.t,
+            initial_value=self.initial_value,
+            coins=CoinList.empty(),
+            halting=self.halting,
+            record_decision=True,
+            stats=self.stats,
+            allow_sub_resilience=True,  # n>2t enforced by our own check
+            coin_provider=WeakSharedCoinProvider(),
+        )
+        return value

@@ -1,0 +1,87 @@
+"""Decentralized one-phase commit (Skeen), as a baseline.
+
+Skeen's thesis [S] also studies *decentralized* commit: no coordinator —
+every participant broadcasts its vote to everyone and decides commit iff
+it hears ``n`` yes votes in time.  One message exchange, O(n^2)
+envelopes, no blocking state at all: a participant that times out simply
+aborts.
+
+Under the synchronous assumptions this is correct and fast; under a
+single late vote it is *wrong* — the processors that saw all ``n`` votes
+commit while the one whose copy ran late aborts.  It is the purest
+illustration of the paper's opening observation, and (sitting at the
+same O(n^2) message cost as Protocol 2) it shows in E14 that Protocol
+2's price buys safety, not mere decentralization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.protocols.messages import ParticipantVote
+from repro.sim.message import Payload
+from repro.sim.process import Program
+from repro.sim.waits import MessageCount, WithTimeout
+from repro.types import Decision, Vote
+
+
+@dataclass
+class DecentralizedStats:
+    """Telemetry for one decentralized-commit participant."""
+
+    timed_out: bool = False
+    votes_seen: int = 0
+    decision: Decision | None = None
+
+
+def _is_vote(payload: Payload) -> bool:
+    return isinstance(payload, ParticipantVote)
+
+
+class DecentralizedCommitProgram(Program):
+    """One participant of decentralized one-phase commit.
+
+    Args:
+        pid: processor id (all peers are symmetric; no coordinator).
+        n: number of processors.
+        initial_vote: this processor's vote.
+        K: timeout unit; the vote collection allows ``2K`` local ticks.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        initial_vote: Vote | int,
+        K: int,
+    ) -> None:
+        super().__init__(pid, n)
+        if K < 1:
+            raise ConfigurationError(f"K must be at least 1, got {K}")
+        self.initial_vote = Vote(int(initial_vote))
+        self.K = K
+        self.stats = DecentralizedStats()
+
+    def run(self):
+        # One exchange: broadcast the vote (self-post included), then
+        # wait for everyone else's or give up.
+        self.broadcast(ParticipantVote(vote=int(self.initial_vote)))
+        votes_wait = WithTimeout(
+            MessageCount(_is_vote, self.n, key=("participant_vote",)),
+            ticks=2 * self.K,
+        )
+        yield votes_wait
+        if votes_wait.timed_out(self.board, self.clock):
+            self.stats.timed_out = True
+        yes_voters = {
+            entry.sender
+            for entry in self.board.by_key(("participant_vote",))
+            if entry.payload.vote == 1
+        }
+        self.stats.votes_seen = self.board.count_for_key(("participant_vote",))
+        value = 1 if len(yes_voters) >= self.n else 0
+        decision = Decision.from_bit(value)
+        self.stats.decision = decision
+        self.decide(int(decision))
+        return decision

@@ -1,0 +1,59 @@
+"""Message payloads of the baseline commit protocols (2PC / 3PC)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.message import Payload
+
+
+@dataclass(frozen=True)
+class VoteRequest(Payload):
+    """The coordinator's request for votes (2PC/3PC phase 1)."""
+
+    def board_key(self) -> object:
+        return ("vote_req",)
+
+
+@dataclass(frozen=True)
+class ParticipantVote(Payload):
+    """A participant's yes/no vote sent back to the coordinator."""
+
+    vote: int
+
+    def __post_init__(self) -> None:
+        if self.vote not in (0, 1):
+            raise ValueError(f"vote must be 0 or 1, got {self.vote}")
+
+    def board_key(self) -> object:
+        return ("participant_vote",)
+
+
+@dataclass(frozen=True)
+class PreCommit(Payload):
+    """3PC's prepare-to-commit announcement."""
+
+    def board_key(self) -> object:
+        return ("precommit",)
+
+
+@dataclass(frozen=True)
+class PreCommitAck(Payload):
+    """A participant's acknowledgement of a PreCommit."""
+
+    def board_key(self) -> object:
+        return ("precommit_ack",)
+
+
+@dataclass(frozen=True)
+class DecisionAnnouncement(Payload):
+    """The coordinator's final COMMIT/ABORT fan-out."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"decision must be 0 or 1, got {self.value}")
+
+    def board_key(self) -> object:
+        return ("decision",)

@@ -1,0 +1,58 @@
+"""Rabin-style dealer-coin agreement [R], as a comparison point.
+
+Rabin's modification of Ben-Or also achieves constant expected time, but
+"requires a stronger model with a reliable distributor of coin flips": a
+trusted dealer hands every processor an identical coin list *before* the
+protocol starts, out of band.  Operationally the stage machinery is the
+same as Protocol 1's; the difference is entirely in the trust model —
+Protocol 2 distributes the list in-protocol (the coordinator's GO
+message), paying no extra trust assumption, whereas the dealer is an
+external reliability assumption the paper's model does not grant.
+
+:class:`DealerCoinAgreementProgram` makes that comparison executable:
+construct all processors with the same dealer list and the runs are
+Protocol 1 runs; the class exists so experiment tables can honestly
+label the mechanism ("dealer") and so the trust distinction is visible
+in code rather than buried in a parameter.
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import AgreementProgram
+from repro.core.coins import CoinList
+from repro.core.halting import HaltingMode
+
+
+class DealerCoinAgreementProgram(AgreementProgram):
+    """Agreement with a trusted-dealer coin list (Rabin's model).
+
+    Args:
+        dealer_coins: the list the trusted dealer distributed; every
+            processor of one execution must be constructed with the same
+            object (the dealer's reliability is an assumption, so the
+            harness enforces nothing — that is the point).
+    """
+
+    #: Mechanism label used by comparison tables.
+    mechanism = "dealer"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        initial_value: int,
+        dealer_coins: CoinList,
+        halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+        allow_sub_resilience: bool = False,
+    ) -> None:
+        super().__init__(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_value=initial_value,
+            coins=dealer_coins,
+            halting=halting,
+            allow_sub_resilience=allow_sub_resilience,
+        )
+        self.dealer_coins = dealer_coins

@@ -1,0 +1,167 @@
+"""Three-phase commit (Skeen) with timeout transitions, as a baseline.
+
+Skeen's nonblocking commit [S] adds a *prepared-to-commit* buffer state
+between voting and committing, so that a crashed coordinator no longer
+blocks the participants: a participant that times out in the wait state
+aborts, and one that times out after PRECOMMIT commits (every processor is
+known prepared by then).  Under the synchronous assumptions the protocol
+is nonblocking and consistent for any number of crash faults — the
+property the paper credits [S]/[DS] with.
+
+The same timeout transitions are exactly what goes wrong when messages
+can be late: a participant still in the wait state times out and aborts
+while a precommitted participant times out and commits, and the run ends
+with conflicting decisions.  This is the second concrete artefact behind
+the paper's "late messages can cause the protocols in [S] and [DS] to
+produce a wrong answer", measured in experiment E9.
+
+This is the flat (non-recovering) 3PC: no coordinator election or
+termination protocol — crashes of the coordinator exercise the timeout
+transitions directly, which is the behaviour the comparison needs.
+Simplifications are documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.protocols.messages import (
+    DecisionAnnouncement,
+    ParticipantVote,
+    PreCommit,
+    PreCommitAck,
+    VoteRequest,
+)
+from repro.sim.message import Payload
+from repro.sim.process import Program
+from repro.sim.waits import MessageCount, WithTimeout
+from repro.types import COORDINATOR_ID, Decision, Vote
+
+
+@dataclass
+class ThreePCStats:
+    """Telemetry for one 3PC processor."""
+
+    reached_precommit: bool = False
+    timeout_in_wait: bool = False
+    timeout_in_precommit: bool = False
+    decision: Decision | None = None
+
+
+def _is(cls):
+    def matcher(payload: Payload) -> bool:
+        return isinstance(payload, cls)
+
+    return matcher
+
+
+class ThreePCProgram(Program):
+    """One processor of centralized three-phase commit.
+
+    Args:
+        pid: processor id; ``pid == 0`` coordinates.
+        n: number of processors.
+        initial_vote: this processor's vote.
+        K: timeout unit; every wait allows ``2K`` local ticks.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        initial_vote: Vote | int,
+        K: int,
+    ) -> None:
+        super().__init__(pid, n)
+        if K < 1:
+            raise ConfigurationError(f"K must be at least 1, got {K}")
+        self.initial_vote = Vote(int(initial_vote))
+        self.K = K
+        self.stats = ThreePCStats()
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.pid == COORDINATOR_ID
+
+    def _finish(self, value: int) -> Decision:
+        decision = Decision.from_bit(value)
+        self.stats.decision = decision
+        self.decide(int(decision))
+        return decision
+
+    def run(self):
+        if self.is_coordinator:
+            return (yield from self._run_coordinator())
+        return (yield from self._run_participant())
+
+    def _run_coordinator(self):
+        # Phase 1: collect votes (own vote included via self-post).
+        self.broadcast(VoteRequest())
+        self.send(self.pid, ParticipantVote(vote=int(self.initial_vote)))
+        votes_wait = WithTimeout(
+            MessageCount(_is(ParticipantVote), self.n), ticks=2 * self.K
+        )
+        yield votes_wait
+        yes_voters = self.board.senders_matching(
+            lambda p: isinstance(p, ParticipantVote) and p.vote == 1
+        )
+        if len(yes_voters) < self.n:
+            self.broadcast(DecisionAnnouncement(value=0))
+            return self._finish(0)
+
+        # Phase 2: everyone voted yes — announce PRECOMMIT, await acks.
+        self.stats.reached_precommit = True
+        self.broadcast(PreCommit())
+        self.send(self.pid, PreCommitAck())
+        acks_wait = WithTimeout(
+            MessageCount(_is(PreCommitAck), self.n), ticks=2 * self.K
+        )
+        yield acks_wait
+        # Phase 3: commit point.  (Un-acked participants are presumed
+        # crashed under the synchronous assumptions; they would commit on
+        # recovery.  With *late* acks this is exactly where 3PC's timing
+        # reliance shows.)
+        self.broadcast(DecisionAnnouncement(value=1))
+        return self._finish(1)
+
+    def _run_participant(self):
+        request_wait = WithTimeout(
+            MessageCount(_is(VoteRequest), 1), ticks=2 * self.K
+        )
+        yield request_wait
+        if request_wait.timed_out(self.board, self.clock):
+            return self._finish(0)
+
+        self.send(COORDINATOR_ID, ParticipantVote(vote=int(self.initial_vote)))
+        if self.initial_vote is Vote.ABORT:
+            return self._finish(0)
+
+        # Wait state: expecting PRECOMMIT or ABORT.  Timing out here means
+        # "the coordinator must have aborted" under synchrony — abort.
+        wait_state = WithTimeout(
+            MessageCount(_is(PreCommit), 1)
+            | MessageCount(_is(DecisionAnnouncement), 1),
+            ticks=2 * self.K,
+        )
+        yield wait_state
+        decisions = self.board.matching(_is(DecisionAnnouncement))
+        if decisions:
+            return self._finish(decisions[0].payload.value)
+        if wait_state.timed_out(self.board, self.clock):
+            self.stats.timeout_in_wait = True
+            return self._finish(0)
+
+        # Prepared state: ack, then expect COMMIT.  Timing out here means
+        # "everyone is known prepared" under synchrony — commit.
+        self.stats.reached_precommit = True
+        self.send(COORDINATOR_ID, PreCommitAck())
+        commit_wait = WithTimeout(
+            MessageCount(_is(DecisionAnnouncement), 1), ticks=2 * self.K
+        )
+        yield commit_wait
+        decisions = self.board.matching(_is(DecisionAnnouncement))
+        if decisions:
+            return self._finish(decisions[0].payload.value)
+        self.stats.timeout_in_precommit = True
+        return self._finish(1)

@@ -1,0 +1,171 @@
+"""Two-phase commit with timeout actions — the synchronous-model baseline.
+
+The paper's introduction motivates the new model by observing that the
+elegant synchronous commit protocols ([S], [DS]) are unusable when a
+single timing violation occurs: "a single violation of the timing
+assumptions (i.e., a late message) can cause the protocol to produce the
+wrong answer."  This module supplies the concrete artefact behind that
+sentence.
+
+The protocol is the classic centralized 2PC with the timeout actions a
+synchronous system would use (timeouts of ``2K`` local clock ticks, the
+same allowance Protocol 2 uses):
+
+* coordinator: request votes; if all ``n`` arrive in time and are yes,
+  decide COMMIT, else decide ABORT; fan the decision out;
+* participant: vote; then wait for the decision.  On timeout, the
+  configured :class:`TimeoutAction` fires:
+
+  - ``PRESUME_ABORT``: unilaterally abort (the synchronous-model action —
+    correct when timing holds, *wrong* when the decision fan-out is late:
+    the coordinator may have committed);
+  - ``BLOCK``: wait forever (safe, but the protocol blocks on a crashed
+    coordinator — the blocking problem that motivated [S]/[DS]).
+
+Under failure-free on-time schedules both variants are correct.  Under
+late messages, ``PRESUME_ABORT`` produces *conflicting decisions*, and
+under coordinator crashes ``BLOCK`` fails to terminate — the two failure
+shapes experiment E9 measures against Protocol 2, which suffers neither.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.protocols.messages import (
+    DecisionAnnouncement,
+    ParticipantVote,
+    VoteRequest,
+)
+from repro.sim.message import Payload
+from repro.sim.process import Program
+from repro.sim.waits import MessageCount, WithTimeout
+from repro.types import COORDINATOR_ID, Decision, Vote
+
+
+class TimeoutAction(enum.Enum):
+    """What a participant does when the decision does not arrive in time."""
+
+    PRESUME_ABORT = enum.auto()
+    BLOCK = enum.auto()
+
+
+@dataclass
+class TwoPCStats:
+    """Telemetry for one 2PC participant."""
+
+    timed_out_waiting_votes: bool = False
+    timed_out_waiting_decision: bool = False
+    presumed_abort: bool = False
+    decision: Decision | None = None
+
+
+def _is_vote_request(payload: Payload) -> bool:
+    return isinstance(payload, VoteRequest)
+
+
+def _is_participant_vote(payload: Payload) -> bool:
+    return isinstance(payload, ParticipantVote)
+
+
+def _is_decision(payload: Payload) -> bool:
+    return isinstance(payload, DecisionAnnouncement)
+
+
+class TwoPCProgram(Program):
+    """One processor of centralized two-phase commit.
+
+    Args:
+        pid: processor id; ``pid == 0`` coordinates.
+        n: number of processors.
+        initial_vote: this processor's vote.
+        K: timeout unit; every wait allows ``2K`` local ticks.
+        timeout_action: participant behaviour on a missing decision.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        initial_vote: Vote | int,
+        K: int,
+        timeout_action: TimeoutAction = TimeoutAction.PRESUME_ABORT,
+    ) -> None:
+        super().__init__(pid, n)
+        if K < 1:
+            raise ConfigurationError(f"K must be at least 1, got {K}")
+        self.initial_vote = Vote(int(initial_vote))
+        self.K = K
+        self.timeout_action = timeout_action
+        self.stats = TwoPCStats()
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.pid == COORDINATOR_ID
+
+    def _finish(self, value: int) -> Decision:
+        decision = Decision.from_bit(value)
+        self.stats.decision = decision
+        self.decide(int(decision))
+        return decision
+
+    def run(self):
+        if self.is_coordinator:
+            return (yield from self._run_coordinator())
+        return (yield from self._run_participant())
+
+    def _run_coordinator(self):
+        # Phase 1: request and collect votes (own vote counts).
+        self.broadcast(VoteRequest())
+        self.queue_vote(self.initial_vote)
+        votes_wait = WithTimeout(
+            MessageCount(_is_participant_vote, self.n), ticks=2 * self.K
+        )
+        yield votes_wait
+        if votes_wait.timed_out(self.board, self.clock):
+            self.stats.timed_out_waiting_votes = True
+        yes_voters = self.board.senders_matching(
+            lambda p: _is_participant_vote(p) and p.vote == 1
+        )
+        value = 1 if len(yes_voters) >= self.n else 0
+        # Phase 2: fan the decision out and decide locally.
+        self.broadcast(DecisionAnnouncement(value=value))
+        return self._finish(value)
+
+    def queue_vote(self, vote: Vote) -> None:
+        """Register the coordinator's own vote on its board."""
+        self.send(self.pid, ParticipantVote(vote=int(vote)))
+
+    def _run_participant(self):
+        # Wait for the vote request; a silent coordinator means abort
+        # (this timeout action is safe — no one can have committed yet).
+        request_wait = WithTimeout(
+            MessageCount(_is_vote_request, 1), ticks=2 * self.K
+        )
+        yield request_wait
+        if request_wait.timed_out(self.board, self.clock):
+            return self._finish(0)
+
+        self.send(COORDINATOR_ID, ParticipantVote(vote=int(self.initial_vote)))
+        if self.initial_vote is Vote.ABORT:
+            # A no-voter can abort unilaterally; 2PC lets it.
+            return self._finish(0)
+
+        decision_wait = WithTimeout(
+            MessageCount(_is_decision, 1), ticks=2 * self.K
+        )
+        if self.timeout_action is TimeoutAction.BLOCK:
+            yield MessageCount(_is_decision, 1)
+        else:
+            yield decision_wait
+            if decision_wait.timed_out(self.board, self.clock):
+                # The synchronous-model action: presume abort.  Correct
+                # when timing assumptions hold; wrong when the decision
+                # was merely late.
+                self.stats.timed_out_waiting_decision = True
+                self.stats.presumed_abort = True
+                return self._finish(0)
+        announcement = self.board.matching(_is_decision)[0].payload
+        return self._finish(announcement.value)

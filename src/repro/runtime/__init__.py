@@ -1,0 +1,42 @@
+"""Asyncio deployment substrate.
+
+Runs the *same* protocol state machines as the deterministic simulator on
+real asyncio concurrency: an in-memory transport with configurable delay
+models, per-node step loops, crash injection, and cluster orchestration.
+This is the track the reproduction plan calls "asyncio simulation": it
+demonstrates the protocols working under genuine (non-adversarial)
+asynchrony and is what the example applications build on.
+"""
+
+from repro.runtime.cluster import (
+    Cluster,
+    ClusterResult,
+    CrashInjection,
+    run_commit_cluster,
+)
+from repro.runtime.delays import (
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+from repro.runtime.node import Node, NodeResult
+from repro.runtime.transport import AsyncTransport, TransportStats, WireMessage
+
+__all__ = [
+    "AsyncTransport",
+    "Cluster",
+    "ClusterResult",
+    "CrashInjection",
+    "DelayModel",
+    "ExponentialDelay",
+    "FixedDelay",
+    "Node",
+    "NodeResult",
+    "SpikeDelay",
+    "TransportStats",
+    "UniformDelay",
+    "WireMessage",
+    "run_commit_cluster",
+]

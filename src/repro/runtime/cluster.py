@@ -1,0 +1,176 @@
+"""Cluster orchestration: run a protocol over asyncio nodes.
+
+The cluster builds one :class:`~repro.runtime.node.Node` per program,
+wires them through one :class:`~repro.runtime.transport.AsyncTransport`,
+optionally schedules fault injections, runs everything concurrently, and
+collects the per-node results.  This is the "realistic deployment" track:
+true concurrency, wall-clock delays, no global scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.commit import CommitProgram
+from repro.core.halting import HaltingMode
+from repro.errors import ConfigurationError
+from repro.runtime.delays import DelayModel
+from repro.runtime.node import Node, NodeResult
+from repro.runtime.transport import AsyncTransport
+from repro.sim.process import Program
+from repro.types import Decision, ProcessStatus, Vote
+
+
+@dataclass(frozen=True)
+class CrashInjection:
+    """Fail-stop ``pid`` roughly ``after_seconds`` into the run."""
+
+    pid: int
+    after_seconds: float
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated results of one cluster run."""
+
+    nodes: list[NodeResult] = field(default_factory=list)
+
+    def decisions(self) -> dict[int, int | None]:
+        return {r.pid: r.decision for r in self.nodes}
+
+    def decision_values(self) -> set[int]:
+        return {r.decision for r in self.nodes if r.decision is not None}
+
+    @property
+    def consistent(self) -> bool:
+        """At most one decision value across the cluster."""
+        return len(self.decision_values()) <= 1
+
+    @property
+    def unanimous_decision(self) -> Decision | None:
+        values = self.decision_values()
+        if len(values) != 1:
+            return None
+        return Decision.from_bit(values.pop())
+
+    def nonfaulty_all_returned(self) -> bool:
+        """Whether every non-crashed node's program returned."""
+        return all(
+            r.status is ProcessStatus.RETURNED
+            for r in self.nodes
+            if r.status is not ProcessStatus.CRASHED
+        )
+
+
+class Cluster:
+    """A set of asyncio nodes running one protocol instance.
+
+    Args:
+        programs: one program per node, ordered by pid.
+        delay_model: transport latency distribution.
+        tick_interval: node step granularity in seconds.
+        seed: seeds the transport and derives per-node tape seeds.
+        crashes: fault injection schedule.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        delay_model: DelayModel | None = None,
+        tick_interval: float = 0.002,
+        seed: int = 0,
+        crashes: Sequence[CrashInjection] = (),
+    ) -> None:
+        n = len(programs)
+        if n == 0:
+            raise ConfigurationError("a cluster needs at least one node")
+        for pid, program in enumerate(programs):
+            if program.pid != pid:
+                raise ConfigurationError(
+                    f"programs must be ordered by pid: slot {pid} holds "
+                    f"pid {program.pid}"
+                )
+        self.programs = list(programs)
+        self.delay_model = delay_model
+        self.tick_interval = tick_interval
+        self.seed = seed
+        self.crashes = list(crashes)
+        for crash in self.crashes:
+            if not 0 <= crash.pid < n:
+                raise ConfigurationError(
+                    f"crash target {crash.pid} out of range for n={n}"
+                )
+
+    async def run(self, deadline: float = 10.0) -> ClusterResult:
+        """Run all nodes concurrently until they finish or ``deadline``."""
+        n = len(self.programs)
+        transport = AsyncTransport(
+            n=n, delay_model=self.delay_model, seed=self.seed
+        )
+        nodes = [
+            Node(
+                program=program,
+                transport=transport,
+                tick_interval=self.tick_interval,
+                tape_seed=self.seed * 7919 + pid,
+            )
+            for pid, program in enumerate(self.programs)
+        ]
+
+        async def inject(crash: CrashInjection) -> None:
+            await asyncio.sleep(crash.after_seconds)
+            nodes[crash.pid].request_crash()
+
+        injectors = [
+            asyncio.create_task(inject(crash)) for crash in self.crashes
+        ]
+        results = await asyncio.gather(
+            *(node.run(deadline=deadline) for node in nodes)
+        )
+        for task in injectors:
+            task.cancel()
+        return ClusterResult(nodes=list(results))
+
+
+def run_commit_cluster(
+    votes: Sequence[Vote | int],
+    t: int | None = None,
+    K: int = 8,
+    delay_model: DelayModel | None = None,
+    tick_interval: float = 0.002,
+    seed: int = 0,
+    crashes: Sequence[CrashInjection] = (),
+    deadline: float = 10.0,
+    coin_count: int | None = None,
+    halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+) -> ClusterResult:
+    """Run Protocol 2 on an asyncio cluster (blocking convenience wrapper).
+
+    Args mirror :func:`repro.core.api.run_commit`, plus the runtime knobs
+    (delay model, tick interval, crash injections, wall-clock deadline).
+    """
+    n = len(votes)
+    if t is None:
+        t = (n - 1) // 2
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=K,
+            coin_count=coin_count,
+            halting=halting,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+    cluster = Cluster(
+        programs=programs,
+        delay_model=delay_model,
+        tick_interval=tick_interval,
+        seed=seed,
+        crashes=crashes,
+    )
+    return asyncio.run(cluster.run(deadline=deadline))

@@ -1,0 +1,96 @@
+"""Delay models for the asyncio transport.
+
+A delay model turns the abstract "messages are usually on time, sometimes
+late" of the paper into wall-clock delivery latencies.  The on-time bound
+``K`` of the protocols corresponds to ``K * tick_interval`` seconds of a
+node's local stepping, so a model whose delays stay below that keeps runs
+effectively on time, and :class:`SpikeDelay` reproduces the occasional
+late message of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class DelayModel:
+    """Base class: sample a delivery delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``seconds``."""
+
+    seconds: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {self.seconds}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Delays uniform in ``[low, high]`` seconds."""
+
+    low: float = 0.0005
+    high: float = 0.003
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(
+                f"need 0 <= low <= high, got ({self.low}, {self.high})"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialDelay(DelayModel):
+    """Exponential delays with the given mean (heavy-ish tail)."""
+
+    mean: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class SpikeDelay(DelayModel):
+    """Mostly-prompt delivery with occasional long holds.
+
+    With probability ``late_probability`` a message takes ``late_seconds``
+    instead of ``base_seconds`` — the paper's "messages are usually
+    delivered within some known time bound but sometimes come late".
+    """
+
+    base_seconds: float = 0.001
+    late_seconds: float = 0.1
+    late_probability: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.late_probability <= 1:
+            raise ValueError(
+                f"probability out of range: {self.late_probability}"
+            )
+        if self.base_seconds < 0 or self.late_seconds < self.base_seconds:
+            raise ValueError(
+                f"need 0 <= base <= late, got "
+                f"({self.base_seconds}, {self.late_seconds})"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.late_probability:
+            return self.late_seconds
+        return self.base_seconds

@@ -1,0 +1,143 @@
+"""An asyncio node hosting the same protocol state machines as the DES.
+
+A node drives one :class:`~repro.sim.process.SimProcess` — the identical
+class the deterministic simulator drives — with a wall-clock step loop:
+the node takes a step whenever a message arrives or a tick interval
+elapses, whichever comes first.  The process's clock therefore counts
+steps exactly as in the formal model, and the protocol's ``2K``-tick
+timeouts become ``~2K * tick_interval`` seconds of silence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.errors import NodeCrashedError
+from repro.runtime.transport import AsyncTransport, WireMessage
+from repro.sim.message import MessageId, ReceivedPayload
+from repro.sim.process import Program, SimProcess
+from repro.sim.tape import RandomTape
+from repro.types import ProcessStatus
+
+
+@dataclass
+class NodeResult:
+    """What a node's run produced.
+
+    Attributes:
+        pid: node id.
+        status: final process status (RETURNED / CRASHED / RUNNING when
+            stopped by the deadline).
+        decision: decided value, if any.
+        output: the program's return value, if it returned.
+        steps: steps taken (= final clock).
+    """
+
+    pid: int
+    status: ProcessStatus
+    decision: int | None
+    output: object
+    steps: int
+
+
+class Node:
+    """Hosts one protocol program on the asyncio event loop.
+
+    Args:
+        program: the protocol program (same classes the simulator runs).
+        transport: the shared message fabric.
+        tick_interval: seconds between idle steps; the protocol's clock
+            granularity.
+        tape_seed: seed of the node's private random tape.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        transport: AsyncTransport,
+        tick_interval: float = 0.002,
+        tape_seed: int = 0,
+    ) -> None:
+        if tick_interval <= 0:
+            raise ValueError(
+                f"tick_interval must be positive, got {tick_interval}"
+            )
+        self.transport = transport
+        self.tick_interval = tick_interval
+        self.process = SimProcess(program, RandomTape(seed=tape_seed))
+        self._crash_requested = asyncio.Event()
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def request_crash(self) -> None:
+        """Fail-stop the node at its next scheduling opportunity."""
+        self._crash_requested.set()
+
+    async def run(self, deadline: float | None = None) -> NodeResult:
+        """Step the process until it returns, crashes, or hits ``deadline``.
+
+        Args:
+            deadline: optional wall-clock budget in seconds; a node still
+                running at the deadline stops stepping (its protocol is
+                considered blocked), mirroring the simulator's horizon.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        inbox = self.transport.inboxes[self.pid]
+        while self.process.status is ProcessStatus.RUNNING:
+            if self._crash_requested.is_set():
+                self.process.mark_crashed()
+                self.transport.crash(self.pid)
+                break
+            if deadline is not None and loop.time() - start > deadline:
+                break
+            batch = await self._collect_batch(inbox)
+            if self._crash_requested.is_set():
+                # Crash decisions beat the step that was about to happen.
+                continue
+            try:
+                outgoing = self.process.on_step(batch)
+            except NodeCrashedError:  # pragma: no cover - defensive
+                break
+            for recipient, payloads in outgoing:
+                self.transport.send(self.pid, recipient, payloads)
+        return NodeResult(
+            pid=self.pid,
+            status=self.process.status,
+            decision=self.process.decision,
+            output=self.process.output,
+            steps=self.process.clock,
+        )
+
+    async def _collect_batch(
+        self, inbox: asyncio.Queue[WireMessage]
+    ) -> list[ReceivedPayload]:
+        """Wait one tick (or a message), then drain everything queued."""
+        messages: list[WireMessage] = []
+        try:
+            first = await asyncio.wait_for(
+                inbox.get(), timeout=self.tick_interval
+            )
+            messages.append(first)
+        except asyncio.TimeoutError:
+            pass
+        while True:
+            try:
+                messages.append(inbox.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        received: list[ReceivedPayload] = []
+        for wire in messages:
+            for payload in wire.payloads:
+                received.append(
+                    ReceivedPayload(
+                        sender=wire.sender,
+                        payload=payload,
+                        receive_clock=self.process.clock + 1,
+                        message_id=MessageId(-1),
+                    )
+                )
+        return received

@@ -1,0 +1,115 @@
+"""In-memory asyncio transport with configurable delays and crashes.
+
+The transport is the runtime counterpart of the simulator's buffers plus
+adversary delivery choices: each node has an inbox queue, sends are
+delivered after a sampled delay, and a crashed node neither sends nor
+receives.  Unlike the simulator there is no global scheduler — real
+concurrency (the asyncio event loop) interleaves the nodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+from repro.errors import NodeCrashedError
+from repro.runtime.delays import DelayModel, FixedDelay
+from repro.sim.message import Payload
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One envelope on the wire: sender plus packed payloads."""
+
+    sender: int
+    payloads: tuple[Payload, ...]
+
+
+@dataclass
+class TransportStats:
+    """Counters the transport maintains for assertions and reports."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_to_crashed: int = 0
+    dropped_from_crashed: int = 0
+
+
+class AsyncTransport:
+    """Delay-injecting message fabric for ``n`` nodes.
+
+    Args:
+        n: number of nodes.
+        delay_model: delivery-latency distribution.
+        seed: seed of the transport's private randomness.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delay_model: DelayModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one node, got n={n}")
+        self.n = n
+        self.delay_model = delay_model if delay_model is not None else FixedDelay()
+        self.rng = random.Random(seed)
+        self.inboxes: list[asyncio.Queue[WireMessage]] = [
+            asyncio.Queue() for _ in range(n)
+        ]
+        self.crashed: set[int] = set()
+        self.stats = TransportStats()
+        self._pending_tasks: set[asyncio.Task] = set()
+
+    def crash(self, pid: int) -> None:
+        """Fail-stop a node: all its future traffic is dropped."""
+        self.crashed.add(pid)
+
+    def send(self, sender: int, recipient: int, payloads: tuple[Payload, ...]) -> None:
+        """Queue delivery of one envelope after a sampled delay.
+
+        Raises:
+            NodeCrashedError: when the sender has been crashed (its node
+                task should already have stopped; this guards bugs).
+        """
+        if sender in self.crashed:
+            raise NodeCrashedError(f"node {sender} is crashed and cannot send")
+        if not 0 <= recipient < self.n:
+            raise ValueError(f"recipient {recipient} out of range")
+        self.stats.sent += 1
+        delay = self.delay_model.sample(self.rng)
+        task = asyncio.get_running_loop().create_task(
+            self._deliver_later(sender, recipient, payloads, delay)
+        )
+        self._pending_tasks.add(task)
+        task.add_done_callback(self._pending_tasks.discard)
+
+    async def _deliver_later(
+        self,
+        sender: int,
+        recipient: int,
+        payloads: tuple[Payload, ...],
+        delay: float,
+    ) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if sender in self.crashed:
+            # The sender crashed while the message was in flight; in the
+            # fail-stop model in-flight messages may still arrive, but we
+            # also allow modelling crash-during-broadcast by dropping.
+            # Default behaviour: deliver (the message was already sent).
+            pass
+        if recipient in self.crashed:
+            self.stats.dropped_to_crashed += 1
+            return
+        self.stats.delivered += 1
+        await self.inboxes[recipient].put(
+            WireMessage(sender=sender, payloads=payloads)
+        )
+
+    async def drain(self) -> None:
+        """Wait for all in-flight deliveries to settle (test helper)."""
+        while self._pending_tasks:
+            await asyncio.gather(*list(self._pending_tasks), return_exceptions=True)

@@ -1,0 +1,71 @@
+"""Discrete-event simulation kernel implementing the paper's formal model.
+
+The kernel realises Section 2 of Coan & Lundelius (PODC 1986):
+
+* processors are state machines with message buffers and random tapes
+  (:mod:`repro.sim.process`, :mod:`repro.sim.tape`);
+* an *event* ``(p, M, f)`` delivers a set of buffered messages ``M`` and a
+  random number ``f`` to processor ``p`` (:mod:`repro.sim.message`,
+  :mod:`repro.sim.scheduler`);
+* the adversary chooses each event from the *message pattern* only — it
+  never observes message contents, local state, or coin flips
+  (:mod:`repro.sim.pattern`, :mod:`repro.adversary`);
+* lateness is defined against the constant ``K``: a message is late if any
+  processor takes more than ``K`` steps between its send and its receipt
+  (:mod:`repro.sim.trace`);
+* asynchronous rounds are computed post-hoc by the paper's inductive
+  definition (:mod:`repro.sim.rounds`);
+* ``t``-admissibility is monitored (:mod:`repro.sim.admissibility`).
+
+Everything is deterministic given the pair of seeds (adversary seed,
+tape seed), so every run in every experiment is exactly replayable.
+"""
+
+from repro.sim.admissibility import AdmissibilityMonitor, AdmissibilityReport
+from repro.sim.buffer import MessageBuffer
+from repro.sim.message import Envelope, MessageId, Payload
+from repro.sim.pattern import PatternEntry, PatternView
+from repro.sim.process import Program, SimProcess
+from repro.sim.rounds import RoundAnalyzer, RoundBoundaries
+from repro.sim.scheduler import Simulation, SimulationResult
+from repro.sim.tape import RandomTape, TapeCollection
+from repro.sim.trace import Run, TraceEvent
+from repro.sim.waits import (
+    ClockAtLeast,
+    MessageCount,
+    Never,
+    Predicate,
+    WaitAll,
+    WaitAny,
+    WaitCondition,
+    WithTimeout,
+)
+
+__all__ = [
+    "AdmissibilityMonitor",
+    "AdmissibilityReport",
+    "ClockAtLeast",
+    "Envelope",
+    "MessageBuffer",
+    "MessageCount",
+    "MessageId",
+    "Never",
+    "PatternEntry",
+    "PatternView",
+    "Payload",
+    "Predicate",
+    "Program",
+    "RandomTape",
+    "RoundAnalyzer",
+    "RoundBoundaries",
+    "Run",
+    "SimProcess",
+    "Simulation",
+    "SimulationResult",
+    "TapeCollection",
+    "TraceEvent",
+    "WaitAll",
+    "WaitAny",
+    "WaitCondition",
+    "WithTimeout",
+]

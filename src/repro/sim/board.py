@@ -1,0 +1,82 @@
+"""The internal bulletin board on which a processor posts received messages.
+
+The paper: "As a processor receives messages, it posts them on an internal
+bulletin board ... each time a processor takes a step it posts the messages
+received and then checks if the condition following the wait has been
+achieved, by looking at all the messages received so far."
+
+The board therefore only ever grows.  It offers matcher-based counting (the
+work-horse of Protocol 1's waits) plus a simple type index so protocols can
+retrieve, e.g., "all stage-(2, s) messages seen so far" without scanning
+the full history each step.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+from repro.sim.message import Payload, ReceivedPayload
+
+
+class BulletinBoard:
+    """Append-only store of everything one processor has received."""
+
+    def __init__(self) -> None:
+        self._entries: list[ReceivedPayload] = []
+        self._by_key: dict[object, list[ReceivedPayload]] = defaultdict(list)
+        self._senders_by_key: dict[object, set[int]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def post(self, entry: ReceivedPayload) -> None:
+        """Record one received payload."""
+        self._entries.append(entry)
+        key = getattr(entry.payload, "board_key", None)
+        if callable(key):
+            value = key()
+            self._by_key[value].append(entry)
+            self._senders_by_key[value].add(entry.sender)
+
+    def post_all(self, entries: Iterable[ReceivedPayload]) -> None:
+        """Record several received payloads in order."""
+        for entry in entries:
+            self.post(entry)
+
+    def entries(self) -> list[ReceivedPayload]:
+        """All entries, in receipt order (a copy)."""
+        return list(self._entries)
+
+    def by_key(self, key: object) -> list[ReceivedPayload]:
+        """Entries whose payload declared ``board_key() == key``."""
+        return list(self._by_key.get(key, ()))
+
+    def senders_for_key(self, key: object) -> set[int]:
+        """Distinct senders of entries under ``key`` (O(1) per post)."""
+        return self._senders_by_key.get(key, set())
+
+    def count_for_key(self, key: object) -> int:
+        """Number of distinct senders under ``key``."""
+        return len(self._senders_by_key.get(key, ()))
+
+    def matching(
+        self, matcher: Callable[[Payload], bool]
+    ) -> list[ReceivedPayload]:
+        """All entries whose payload satisfies ``matcher``."""
+        return [e for e in self._entries if matcher(e.payload)]
+
+    def count_matching(
+        self, matcher: Callable[[Payload], bool], distinct_senders: bool = True
+    ) -> int:
+        """Number of matching entries, optionally one per distinct sender."""
+        if not distinct_senders:
+            return sum(1 for e in self._entries if matcher(e.payload))
+        senders = {e.sender for e in self._entries if matcher(e.payload)}
+        return len(senders)
+
+    def senders_matching(
+        self, matcher: Callable[[Payload], bool]
+    ) -> set[int]:
+        """The set of senders whose payload satisfies ``matcher``."""
+        return {e.sender for e in self._entries if matcher(e.payload)}

@@ -1,0 +1,90 @@
+"""Per-processor message buffers.
+
+The model gives every processor a buffer holding messages that have been
+sent to it but not yet received; an event may deliver any subset of the
+buffer.  The buffer is a *set* in the paper; we keep insertion order for
+determinism (adversaries that say "deliver everything pending" must produce
+identical runs across invocations), but membership semantics are set-like:
+each envelope is delivered at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchedulingError
+from repro.sim.message import Envelope, MessageId
+
+
+class MessageBuffer:
+    """An ordered set of undelivered envelopes for one processor."""
+
+    def __init__(self) -> None:
+        self._pending: dict[MessageId, Envelope] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, message_id: MessageId) -> bool:
+        return message_id in self._pending
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(self._pending.values())
+
+    def add(self, envelope: Envelope) -> None:
+        """Insert a newly sent envelope.
+
+        Raises:
+            SchedulingError: if an envelope with the same id is already
+                pending (ids are run-unique, so this indicates a kernel bug
+                or a hand-built schedule error).
+        """
+        if envelope.message_id in self._pending:
+            raise SchedulingError(
+                f"duplicate envelope {envelope.message_id} added to buffer"
+            )
+        self._pending[envelope.message_id] = envelope
+
+    def take(self, message_ids: Iterable[MessageId]) -> list[Envelope]:
+        """Remove and return the envelopes with the given ids.
+
+        The order of the returned list follows buffer insertion order, not
+        the order of ``message_ids``, so delivery is deterministic no matter
+        how an adversary happened to enumerate ids.
+
+        Raises:
+            SchedulingError: if any id is not pending — the event would not
+                be *applicable* in the model's sense.
+        """
+        wanted = set(message_ids)
+        missing = wanted - self._pending.keys()
+        if missing:
+            raise SchedulingError(
+                f"event not applicable: envelopes {sorted(missing)} are not "
+                f"in the buffer"
+            )
+        taken = [env for mid, env in self._pending.items() if mid in wanted]
+        for envelope in taken:
+            del self._pending[envelope.message_id]
+        return taken
+
+    def peek_ids(self) -> list[MessageId]:
+        """Ids of all pending envelopes, oldest first."""
+        return list(self._pending.keys())
+
+    def pending_from(self, sender: int) -> list[Envelope]:
+        """All pending envelopes from ``sender``, oldest first."""
+        return [e for e in self._pending.values() if e.sender == sender]
+
+    def drop(self, message_id: MessageId) -> Envelope:
+        """Remove an envelope without delivering it.
+
+        Only legal for non-guaranteed envelopes (sent at a crashed sender's
+        final step); the scheduler enforces that restriction.
+        """
+        try:
+            return self._pending.pop(message_id)
+        except KeyError:
+            raise SchedulingError(
+                f"cannot drop envelope {message_id}: not pending"
+            ) from None

@@ -1,0 +1,58 @@
+"""Scheduling decisions an adversary can issue.
+
+The paper's adversary is a function from the message pattern to a pair
+``(p, E)``: the next processor to step and the set of pending messages it
+receives.  We add an explicit crash decision (the basic model expresses
+crashes implicitly as "scheduled only finitely often"; an explicit decision
+makes crash timing auditable and lets the kernel mark the sender's final
+messages as non-guaranteed, modelling a crash in the middle of a
+broadcast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.sim.message import MessageId
+from repro.sim.pattern import PatternView
+
+
+@dataclass(frozen=True)
+class StepDecision:
+    """Schedule one event ``(p, M, f)``.
+
+    Attributes:
+        pid: the processor to step.
+        deliver: ids of buffered envelopes to deliver at this event.  May
+            be empty — a step with no receipt is legal and is how timeouts
+            make progress.
+    """
+
+    pid: int
+    deliver: tuple[MessageId, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class CrashDecision:
+    """Fail-stop a processor.
+
+    After this decision the processor never takes another step; envelopes
+    it sent at its final step lose their delivery guarantee (the adversary
+    may deliver them or leave them undelivered forever).
+    """
+
+    pid: int
+
+
+#: Union of decisions an adversary may return.
+Decision = StepDecision | CrashDecision
+
+
+@runtime_checkable
+class AdversaryProtocol(Protocol):
+    """Structural interface the scheduler requires of adversaries."""
+
+    def decide(self, view: PatternView) -> Decision:
+        """Choose the next event given the message pattern so far."""
+        ...

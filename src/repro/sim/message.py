@@ -1,0 +1,116 @@
+"""Messages and envelopes.
+
+A *payload* is a typed protocol message (e.g. a stage message ``(1, s, v)``
+of Protocol 1 or a GO message of Protocol 2).  The model lets a processor
+send at most one message to each recipient per step, while one step of our
+generator-driven programs may emit several logical payloads; the kernel
+therefore packs all payloads addressed to one recipient in one step into a
+single :class:`Envelope`, which is the unit the adversary schedules.
+
+Envelopes carry only *pattern* metadata in the clear (sender, recipient,
+send event index); the adversary API never exposes ``payloads``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, NewType
+
+#: Globally unique identifier of an envelope within one run.  Doubles as
+#: the "integer indexing the event that sent the message" in the paper's
+#: message-pattern definition (we index by envelope rather than event; the
+#: send event index is carried alongside).
+MessageId = NewType("MessageId", int)
+
+
+class Payload:
+    """Base class for protocol message payloads.
+
+    Subclasses are small frozen dataclasses defined by each protocol.  The
+    base class exists so the kernel can type-annotate containers without
+    knowing any protocol's message vocabulary.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RawPayload(Payload):
+    """An untyped payload for tests and toy protocols."""
+
+    data: Any
+
+
+@dataclass
+class Envelope:
+    """One step's worth of payloads from one sender to one recipient.
+
+    Attributes:
+        message_id: unique within the run; allocated by the scheduler.
+        sender: sending processor id.
+        recipient: receiving processor id.
+        payloads: the protocol messages packed into this envelope.
+        send_event: global event index at which the envelope was sent.
+        send_clock: sender's clock reading when the envelope was sent.
+        receive_event: global event index of delivery, or ``None`` while
+            the envelope sits in the recipient's buffer.
+        guaranteed: false when the envelope was sent at what turned out to
+            be the sender's final step (the paper's non-guaranteed
+            messages, modelling a crash mid-broadcast).  Maintained by the
+            scheduler when a crash occurs.
+    """
+
+    message_id: MessageId
+    sender: int
+    recipient: int
+    payloads: tuple[Payload, ...]
+    send_event: int
+    send_clock: int
+    receive_event: int | None = None
+    guaranteed: bool = True
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the envelope has been received."""
+        return self.receive_event is not None
+
+
+class EnvelopeFactory:
+    """Allocates run-unique :class:`MessageId` values."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def build(
+        self,
+        sender: int,
+        recipient: int,
+        payloads: tuple[Payload, ...],
+        send_event: int,
+        send_clock: int,
+    ) -> Envelope:
+        """Create an envelope with the next free id."""
+        return Envelope(
+            message_id=MessageId(next(self._counter)),
+            sender=sender,
+            recipient=recipient,
+            payloads=payloads,
+            send_event=send_event,
+            send_clock=send_clock,
+        )
+
+
+@dataclass(frozen=True)
+class ReceivedPayload:
+    """A payload as seen on a processor's bulletin board.
+
+    Couples the payload with its sender and local receipt bookkeeping so
+    wait conditions can count distinct senders and protocols can reason
+    about when something arrived on their own clock.
+    """
+
+    sender: int
+    payload: Payload
+    receive_clock: int
+    message_id: MessageId = field(default=MessageId(-1))

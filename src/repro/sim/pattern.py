@@ -1,0 +1,130 @@
+"""The message pattern — everything the adversary is allowed to see.
+
+Section 2.3 of the paper defines the adversary as a function of the
+*message pattern*: the sequence of triples recording, for each event, which
+processor stepped, which earlier send-events' messages it received, and to
+whom it sent messages.  Contents of messages, local states, and coin flips
+are hidden "unless deducible from the pattern of communication".
+
+:class:`PatternView` is the read-only facade handed to adversaries.  It
+exposes pattern data and pattern-deducible derivatives (per-processor step
+counts, pending-message metadata, crash history) and nothing else.  The
+scheduler holds the full-information structures; adversaries only ever
+receive this view, so information hygiene is enforced by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sim.message import MessageId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Simulation
+
+
+@dataclass(frozen=True)
+class SentRecord:
+    """Pattern record of one envelope send: id and recipient only."""
+
+    message_id: MessageId
+    recipient: int
+
+
+@dataclass(frozen=True)
+class PatternEntry:
+    """One element of the message pattern.
+
+    ``kind`` is ``"step"`` for an ordinary event ``(p, M, f)`` and
+    ``"crash"`` for an explicit failure.  ``delivered`` lists the ids of
+    the envelopes received at this event; ``sent`` the envelopes emitted.
+    """
+
+    index: int
+    kind: str
+    actor: int
+    delivered: tuple[MessageId, ...]
+    sent: tuple[SentRecord, ...]
+
+
+@dataclass(frozen=True)
+class PendingMessage:
+    """Pattern-visible metadata of one undelivered envelope.
+
+    The adversary may see who sent it, at which event, and the sender's
+    clock at that event (all deducible from the pattern) — never the
+    payloads.
+    """
+
+    message_id: MessageId
+    sender: int
+    recipient: int
+    send_event: int
+    send_clock: int
+    guaranteed: bool
+
+
+class PatternView:
+    """Read-only, contents-free view of a simulation for adversaries."""
+
+    def __init__(self, simulation: "Simulation") -> None:
+        self._sim = simulation
+
+    # -- static parameters ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self._sim.n
+
+    @property
+    def t(self) -> int:
+        """The fault budget the adversary is expected to respect."""
+        return self._sim.t
+
+    @property
+    def K(self) -> int:
+        """The on-time delivery bound in clock ticks."""
+        return self._sim.K
+
+    # -- dynamic pattern data --------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        """Number of events applied so far."""
+        return self._sim.event_count
+
+    def clock(self, pid: int) -> int:
+        """Steps processor ``pid`` has taken (deducible from the pattern)."""
+        return self._sim.process_clock(pid)
+
+    def crashed(self) -> frozenset[int]:
+        """Processors the adversary has crashed so far."""
+        return frozenset(self._sim.crashed_pids())
+
+    def alive(self) -> list[int]:
+        """Processors still eligible to take steps, ascending by id."""
+        dead = self._sim.crashed_pids()
+        return [pid for pid in range(self._sim.n) if pid not in dead]
+
+    def pending(self, pid: int) -> list[PendingMessage]:
+        """Metadata of the envelopes sitting in ``pid``'s buffer."""
+        return self._sim.pending_metadata(pid)
+
+    def pending_ids(self, pid: int) -> list[MessageId]:
+        """Ids of the envelopes in ``pid``'s buffer, oldest first."""
+        return [m.message_id for m in self.pending(pid)]
+
+    def history(self) -> Sequence[PatternEntry]:
+        """The full message pattern so far."""
+        return self._sim.pattern_entries()
+
+    def steps_between(self, first_event: int, last_event: int) -> int:
+        """Largest per-processor step count within an event interval.
+
+        Used by delay-sensitive adversaries to keep (or break) the on-time
+        property: a message is late exactly when this exceeds ``K`` between
+        its send and receive events.
+        """
+        return self._sim.max_steps_between(first_event, last_event)

@@ -1,0 +1,195 @@
+"""Asynchronous rounds — the paper's time measure, computed post-hoc.
+
+Definition (Section 2.2 of the paper), inductive per processor ``p``:
+
+* round 1 begins when ``p`` first takes a step and ends when ``p``'s clock
+  reads ``K``;
+* round ``r > 1`` begins at the end of ``p``'s round ``r - 1`` and ends at
+  the *later* of (a) ``K`` clock ticks after the end of round ``r - 1`` and
+  (b) ``K`` clock ticks after ``p`` receives the last message sent by a
+  nonfaulty processor ``q`` in ``q``'s round ``r - 1``.
+
+Rounds are an analyst's measure: computing them requires knowing which
+processors are nonfaulty, so they are derived from a completed
+:class:`~repro.sim.trace.Run`, never inside a protocol.  The computation
+iterates round-by-round: once every processor's round-``(r-1)`` boundary is
+known, every message can be labelled with its sender's round at send time,
+which determines the round-``r`` boundaries.
+
+For finite recorded runs, messages that were sent but never delivered
+cannot extend a round (the definition speaks of messages ``p`` *receives*);
+this matches admissible infinite runs, where guaranteed messages to
+nonfaulty processors do arrive eventually and the analyzer would see them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.sim.trace import Run
+
+#: Upper bound on rounds the analyzer will compute before giving up; far
+#: above the paper's 14-expected-round bound, so hitting it signals a
+#: pathological run rather than a normal one.
+_MAX_ROUNDS = 10_000
+
+
+@dataclass
+class RoundBoundaries:
+    """Round-end clock readings for one processor.
+
+    ``ends[r]`` is the clock reading at which round ``r`` ends; ``ends[0]``
+    is 0 by convention (rounds are 1-based).
+    """
+
+    pid: int
+    ends: list[int] = field(default_factory=lambda: [0])
+
+    def round_at_clock(self, clock: int) -> int:
+        """The round containing the given clock reading.
+
+        Clock ``c`` lies in round ``r`` when ``ends[r-1] < c <= ends[r]``;
+        readings beyond the computed boundary list belong to later rounds
+        and raise, so callers never silently mis-bin.
+        """
+        if clock <= 0:
+            raise AnalysisError(f"clock readings are positive, got {clock}")
+        index = bisect.bisect_left(self.ends, clock)
+        if index >= len(self.ends):
+            raise AnalysisError(
+                f"clock {clock} beyond computed boundaries for "
+                f"processor {self.pid} (last end {self.ends[-1]})"
+            )
+        return index
+
+
+@dataclass(frozen=True)
+class _Receipt:
+    """One received message, reduced to what round analysis needs."""
+
+    sender: int
+    send_clock: int
+    receive_clock: int
+
+
+class RoundAnalyzer:
+    """Computes asynchronous rounds for a completed run."""
+
+    def __init__(self, run: Run) -> None:
+        self.run = run
+        self.K = run.K
+        self._nonfaulty = run.nonfaulty()
+        self._receipts = self._collect_receipts()
+        self._boundaries: dict[int, RoundBoundaries] = {
+            pid: RoundBoundaries(pid=pid) for pid in range(run.n)
+        }
+        self._computed_rounds = 0
+        self._compute_all()
+
+    def _collect_receipts(self) -> dict[int, list[_Receipt]]:
+        """Delivered messages from nonfaulty senders, per recipient."""
+        receipts: dict[int, list[_Receipt]] = {
+            pid: [] for pid in range(self.run.n)
+        }
+        for env in self.run.envelopes.values():
+            if env.receive_event is None or env.sender not in self._nonfaulty:
+                continue
+            receive_clock = self.run.events[env.receive_event].clock_after
+            receipts[env.recipient].append(
+                _Receipt(
+                    sender=env.sender,
+                    send_clock=env.send_clock,
+                    receive_clock=receive_clock,
+                )
+            )
+        return receipts
+
+    def _target_clock(self, pid: int) -> int:
+        """The largest clock reading round analysis must cover for ``pid``."""
+        decision_clock = self.run.decision_clocks.get(pid)
+        if decision_clock is not None:
+            return decision_clock
+        # Undecided processors: cover their whole recorded lifetime.
+        clocks = [
+            e.clock_after
+            for e in self.run.events
+            if e.actor == pid and e.kind == "step"
+        ]
+        return max(clocks, default=0)
+
+    def _compute_all(self) -> None:
+        """Iterate rounds until every target clock is within a boundary."""
+        targets = {pid: self._target_clock(pid) for pid in range(self.run.n)}
+        for round_number in range(1, _MAX_ROUNDS + 1):
+            all_covered = all(
+                self._boundaries[pid].ends[-1] >= targets[pid]
+                for pid in range(self.run.n)
+            )
+            if all_covered and round_number > 1:
+                break
+            self._extend_one_round(round_number)
+            self._computed_rounds = round_number
+        else:
+            raise AnalysisError(
+                f"round analysis did not converge within {_MAX_ROUNDS} rounds"
+            )
+
+    def _extend_one_round(self, round_number: int) -> None:
+        """Compute round ``round_number``'s end for every processor.
+
+        Uses only the boundaries of round ``round_number - 1``, which the
+        previous iteration fixed, so sender round labels are well-defined.
+        """
+        previous = round_number - 1
+        for pid in range(self.run.n):
+            ends = self._boundaries[pid].ends
+            end = ends[previous] + self.K
+            if previous >= 1:
+                for receipt in self._receipts[pid]:
+                    if self._send_round_is(receipt, previous):
+                        end = max(end, receipt.receive_clock + self.K)
+            ends.append(end)
+
+    def _send_round_is(self, receipt: _Receipt, round_number: int) -> bool:
+        """Whether the message was sent in the sender's given round."""
+        sender_ends = self._boundaries[receipt.sender].ends
+        if round_number >= len(sender_ends):
+            return False
+        low = sender_ends[round_number - 1]
+        high = sender_ends[round_number]
+        return low < receipt.send_clock <= high
+
+    # -- public queries ------------------------------------------------------
+
+    def boundaries(self, pid: int) -> RoundBoundaries:
+        """The computed round boundaries for one processor."""
+        return self._boundaries[pid]
+
+    def round_at_clock(self, pid: int, clock: int) -> int:
+        """The asynchronous round processor ``pid`` is in at ``clock``."""
+        return self._boundaries[pid].round_at_clock(clock)
+
+    def decision_rounds(self) -> dict[int, int | None]:
+        """The round in which each processor decided (None if undecided)."""
+        result: dict[int, int | None] = {}
+        for pid in range(self.run.n):
+            clock = self.run.decision_clocks.get(pid)
+            if clock is None:
+                result[pid] = None
+            else:
+                result[pid] = self.round_at_clock(pid, clock)
+        return result
+
+    def max_decision_round(self) -> int | None:
+        """Rounds until the last nonfaulty decision — the Theorem 10 metric.
+
+        ``None`` when no nonfaulty processor decided.
+        """
+        rounds = [
+            r
+            for pid, r in self.decision_rounds().items()
+            if r is not None and pid in self._nonfaulty
+        ]
+        return max(rounds) if rounds else None

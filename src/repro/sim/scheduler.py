@@ -1,0 +1,331 @@
+"""The simulation scheduler: applies adversary decisions to processes.
+
+This is the executable form of the paper's ``run(A, I, F)`` construction:
+a run is uniquely determined by an adversary ``A``, an initial
+configuration ``I`` (the protocol programs with their initial values), and
+a collection ``F`` of random tapes.  The scheduler repeatedly asks the
+adversary for a decision, applies the resulting event, and records the
+trace, until every nonfaulty processor's program has returned or a step
+horizon is reached (the finite-prefix stand-in for "runs forever").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.sim.admissibility import AdmissibilityMonitor, AdmissibilityReport
+from repro.sim.buffer import MessageBuffer
+from repro.sim.decisions import (
+    AdversaryProtocol,
+    CrashDecision,
+    Decision,
+    StepDecision,
+)
+from repro.sim.message import Envelope, EnvelopeFactory, MessageId, ReceivedPayload
+from repro.sim.pattern import PatternEntry, PatternView, PendingMessage, SentRecord
+from repro.sim.process import Program, SimProcess
+from repro.sim.tape import TapeCollection
+from repro.sim.trace import Run, TraceEvent
+from repro.types import ProcessStatus
+
+
+class Outcome(enum.Enum):
+    """Why a simulation stopped."""
+
+    #: Every nonfaulty processor's program returned.
+    TERMINATED = enum.auto()
+    #: The step horizon was reached with some nonfaulty program unfinished.
+    HORIZON = enum.auto()
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation produces.
+
+    Attributes:
+        outcome: whether the run terminated or hit the horizon.
+        run: the full-information trace.
+        admissibility: the monitor's report on the adversary's behaviour.
+    """
+
+    outcome: Outcome
+    run: Run
+    admissibility: AdmissibilityReport
+
+    @property
+    def terminated(self) -> bool:
+        return self.outcome is Outcome.TERMINATED
+
+    def decisions(self) -> dict[int, int | None]:
+        """Final decision per processor."""
+        return dict(self.run.decisions)
+
+
+class Simulation:
+    """Hosts ``n`` processes and drives them under one adversary.
+
+    Args:
+        programs: one :class:`~repro.sim.process.Program` per processor,
+            ordered by pid (``programs[i].pid`` must equal ``i``).
+        adversary: the scheduler of steps, deliveries, and crashes.
+        K: the on-time bound in clock ticks (the paper's constant ``K``,
+            assumed > 1 so the model does not degenerate to [FLP]).
+        t: the adversary's fault budget (used for admissibility checks and
+            exposed on the pattern view; protocols carry their own ``t``).
+        tapes: the random-tape collection ``F``; defaults to a fresh
+            collection seeded with ``seed``.
+        seed: master seed for the default tape collection.
+        max_steps: finite horizon standing in for an infinite run.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        adversary: AdversaryProtocol,
+        K: int,
+        t: int,
+        tapes: TapeCollection | None = None,
+        seed: int = 0,
+        max_steps: int = 100_000,
+    ) -> None:
+        n = len(programs)
+        if n == 0:
+            raise ConfigurationError("a simulation needs at least one processor")
+        for pid, program in enumerate(programs):
+            if program.pid != pid:
+                raise ConfigurationError(
+                    f"programs must be ordered by pid: slot {pid} holds "
+                    f"pid {program.pid}"
+                )
+        if K < 1:
+            raise ConfigurationError(f"K must be at least 1, got {K}")
+        if not 0 <= t < n:
+            raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+        if max_steps <= 0:
+            raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+
+        self.n = n
+        self.K = K
+        self.t = t
+        self.max_steps = max_steps
+        self.adversary = adversary
+        self.tapes = tapes if tapes is not None else TapeCollection(n, seed)
+        if len(self.tapes) != n:
+            raise ConfigurationError(
+                f"tape collection has {len(self.tapes)} tapes for n={n}"
+            )
+
+        self.processes = [
+            SimProcess(program, self.tapes.tape(pid))
+            for pid, program in enumerate(programs)
+        ]
+        self.buffers = [MessageBuffer() for _ in range(n)]
+        self.event_count = 0
+        self._factory = EnvelopeFactory()
+        self._pattern: list[PatternEntry] = []
+        self._envelopes: dict[MessageId, Envelope] = {}
+        self._crashed: set[int] = set()
+        self._last_send_event: dict[int, int] = {}
+        self._trace: list[TraceEvent] = []
+        # Per-processor cumulative step counts, indexed by event: entry i of
+        # self._cumulative_steps[pid] is how many steps pid had taken after
+        # event i.  Used for pattern-level lateness queries.
+        self._step_counts = [0] * n
+        self._cumulative: list[list[int]] = [[] for _ in range(n)]
+        self.monitor = AdmissibilityMonitor(n=n, t=t)
+        self.view = PatternView(self)
+
+    # -- queries used by PatternView -----------------------------------------
+
+    def process_clock(self, pid: int) -> int:
+        return self.processes[pid].clock
+
+    def crashed_pids(self) -> set[int]:
+        return set(self._crashed)
+
+    def pending_metadata(self, pid: int) -> list[PendingMessage]:
+        return [
+            PendingMessage(
+                message_id=env.message_id,
+                sender=env.sender,
+                recipient=env.recipient,
+                send_event=env.send_event,
+                send_clock=env.send_clock,
+                guaranteed=env.guaranteed,
+            )
+            for env in self.buffers[pid]
+        ]
+
+    def pattern_entries(self) -> list[PatternEntry]:
+        return list(self._pattern)
+
+    def max_steps_between(self, first_event: int, last_event: int) -> int:
+        """Max per-processor step count strictly inside an event interval."""
+        best = 0
+        for pid in range(self.n):
+            cum = self._cumulative[pid]
+            if not cum:
+                continue
+            at_first = cum[min(first_event, len(cum) - 1)] if first_event >= 0 else 0
+            at_last = cum[min(last_event - 1, len(cum) - 1)] if last_event > 0 else 0
+            best = max(best, at_last - at_first)
+        return best
+
+    # -- run loop ---------------------------------------------------------------
+
+    def running_pids(self) -> list[int]:
+        """Processors that are neither crashed nor returned."""
+        return [
+            pid
+            for pid, proc in enumerate(self.processes)
+            if proc.status is ProcessStatus.RUNNING
+        ]
+
+    def all_nonfaulty_done(self) -> bool:
+        """Whether every non-crashed processor's program has returned."""
+        return not self.running_pids()
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to termination or the step horizon."""
+        while not self.all_nonfaulty_done() and self.event_count < self.max_steps:
+            decision = self.adversary.decide(self.view)
+            self.apply(decision)
+        outcome = (
+            Outcome.TERMINATED if self.all_nonfaulty_done() else Outcome.HORIZON
+        )
+        return SimulationResult(
+            outcome=outcome,
+            run=self.build_run(),
+            admissibility=self.monitor.report(self),
+        )
+
+    def apply(self, decision: Decision) -> None:
+        """Apply one adversary decision."""
+        if isinstance(decision, CrashDecision):
+            self._apply_crash(decision)
+        elif isinstance(decision, StepDecision):
+            self._apply_step(decision)
+        else:  # pragma: no cover - defensive
+            raise SchedulingError(f"unknown decision type: {decision!r}")
+
+    # -- decision application ------------------------------------------------
+
+    def _apply_crash(self, decision: CrashDecision) -> None:
+        pid = decision.pid
+        if pid in self._crashed:
+            raise SchedulingError(f"processor {pid} is already crashed")
+        self._crashed.add(pid)
+        self.processes[pid].mark_crashed()
+        self.monitor.record_crash(pid)
+        # Messages sent at the crashed processor's final step lose their
+        # delivery guarantee (the paper's non-guaranteed messages).
+        last_send = self._last_send_event.get(pid)
+        if last_send is not None:
+            for buffer in self.buffers:
+                for env in buffer:
+                    if env.sender == pid and env.send_event == last_send:
+                        env.guaranteed = False
+        self._record_event(
+            kind="crash", actor=pid, delivered=(), sent=(), envelopes_sent=[]
+        )
+
+    def _apply_step(self, decision: StepDecision) -> None:
+        pid = decision.pid
+        if pid in self._crashed:
+            raise SchedulingError(f"cannot step crashed processor {pid}")
+        buffer = self.buffers[pid]
+        envelopes = buffer.take(decision.deliver)
+        received: list[ReceivedPayload] = []
+        for env in envelopes:
+            env.receive_event = self.event_count
+            for payload in env.payloads:
+                received.append(
+                    ReceivedPayload(
+                        sender=env.sender,
+                        payload=payload,
+                        receive_clock=self.processes[pid].clock + 1,
+                        message_id=env.message_id,
+                    )
+                )
+        outgoing = self.processes[pid].on_step(received)
+        sent_envelopes: list[Envelope] = []
+        for recipient, payloads in outgoing:
+            env = self._factory.build(
+                sender=pid,
+                recipient=recipient,
+                payloads=payloads,
+                send_event=self.event_count,
+                send_clock=self.processes[pid].clock,
+            )
+            self._envelopes[env.message_id] = env
+            self.buffers[recipient].add(env)
+            sent_envelopes.append(env)
+        if sent_envelopes:
+            self._last_send_event[pid] = self.event_count
+        self._step_counts[pid] += 1
+        self._record_event(
+            kind="step",
+            actor=pid,
+            delivered=tuple(env.message_id for env in envelopes),
+            sent=tuple(env.message_id for env in sent_envelopes),
+            envelopes_sent=sent_envelopes,
+        )
+
+    def _record_event(
+        self,
+        kind: str,
+        actor: int,
+        delivered: tuple[MessageId, ...],
+        sent: tuple[MessageId, ...],
+        envelopes_sent: list[Envelope],
+    ) -> None:
+        index = self.event_count
+        self.event_count += 1
+        proc = self.processes[actor]
+        self._pattern.append(
+            PatternEntry(
+                index=index,
+                kind=kind,
+                actor=actor,
+                delivered=delivered,
+                sent=tuple(
+                    SentRecord(message_id=e.message_id, recipient=e.recipient)
+                    for e in envelopes_sent
+                ),
+            )
+        )
+        self._trace.append(
+            TraceEvent(
+                index=index,
+                kind=kind,
+                actor=actor,
+                clock_after=proc.clock,
+                delivered=delivered,
+                sent=sent,
+                decision_after=proc.decision,
+                halted_after=proc.halted,
+            )
+        )
+        for pid in range(self.n):
+            self._cumulative[pid].append(self._step_counts[pid])
+
+    # -- result assembly ---------------------------------------------------------
+
+    def build_run(self) -> Run:
+        """Assemble the full-information :class:`~repro.sim.trace.Run`."""
+        return Run(
+            n=self.n,
+            t=self.t,
+            K=self.K,
+            events=list(self._trace),
+            envelopes=dict(self._envelopes),
+            statuses={pid: proc.status for pid, proc in enumerate(self.processes)},
+            decisions={pid: proc.decision for pid, proc in enumerate(self.processes)},
+            decision_clocks={
+                pid: proc.decision_clock for pid, proc in enumerate(self.processes)
+            },
+            outputs={pid: proc.output for pid, proc in enumerate(self.processes)},
+        )

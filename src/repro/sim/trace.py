@@ -1,0 +1,191 @@
+"""Run traces: the full-information record of a simulation.
+
+A :class:`Run` is the analyst's object — unlike the adversary's
+:class:`~repro.sim.pattern.PatternView` it records everything, including
+payloads, decisions, and per-step clock readings, so that lateness,
+asynchronous rounds, and correctness conditions can be checked post-hoc.
+
+The lateness predicate implements the paper's definition directly: message
+``m`` is *late* in run ``R`` if any processor takes more than ``K`` steps
+between the event where ``m`` is sent and the event where ``m`` is
+received; a run is *on-time* if it contains no late message.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.message import Envelope, MessageId
+from repro.types import ProcessStatus
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Full-information record of one applied event.
+
+    Attributes:
+        index: global event index (0-based).
+        kind: ``"step"`` or ``"crash"``.
+        actor: the processor involved.
+        clock_after: the actor's clock after the event.
+        delivered: envelope ids received at this event.
+        sent: envelope ids emitted at this event.
+        decision_after: the actor's decision after the event (None if
+            undecided), recorded so analyses can locate decide steps.
+        halted_after: whether the actor's program had returned after the
+            event.
+    """
+
+    index: int
+    kind: str
+    actor: int
+    clock_after: int
+    delivered: tuple[MessageId, ...]
+    sent: tuple[MessageId, ...]
+    decision_after: int | None
+    halted_after: bool
+
+
+@dataclass
+class Run:
+    """The complete record of one simulation run.
+
+    Attributes:
+        n: number of processors.
+        t: fault budget the adversary was configured with.
+        K: on-time bound in clock ticks.
+        events: chronological trace events.
+        envelopes: every envelope ever sent, by id.
+        statuses: final lifecycle status per processor.
+        decisions: final decision per processor (None if undecided).
+        decision_clocks: clock reading at each processor's decide step.
+        outputs: program return values per processor (None if not returned).
+    """
+
+    n: int
+    t: int
+    K: int
+    events: list[TraceEvent] = field(default_factory=list)
+    envelopes: dict[MessageId, Envelope] = field(default_factory=dict)
+    statuses: dict[int, ProcessStatus] = field(default_factory=dict)
+    decisions: dict[int, int | None] = field(default_factory=dict)
+    decision_clocks: dict[int, int | None] = field(default_factory=dict)
+    outputs: dict[int, object] = field(default_factory=dict)
+
+    # Cache: per-processor sorted list of event indices at which the
+    # processor took a step; built lazily for lateness queries.
+    _step_indices: dict[int, list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        """Number of events in the run."""
+        return len(self.events)
+
+    def faulty(self) -> set[int]:
+        """Processors that crashed in this run."""
+        return {
+            pid
+            for pid, status in self.statuses.items()
+            if status is ProcessStatus.CRASHED
+        }
+
+    def nonfaulty(self) -> set[int]:
+        """Processors that did not crash.
+
+        In the formal model "nonfaulty" means "takes infinitely many
+        steps"; for a finite recorded run we identify nonfaulty with
+        not-crashed, which is the standard reading for terminating runs.
+        """
+        return set(range(self.n)) - self.faulty()
+
+    def decision_values(self) -> set[int]:
+        """The set of values decided by any processor."""
+        return {d for d in self.decisions.values() if d is not None}
+
+    def is_deciding(self) -> bool:
+        """Whether every nonfaulty processor decided."""
+        return all(self.decisions.get(pid) is not None for pid in self.nonfaulty())
+
+    def agreement_holds(self) -> bool:
+        """The paper's agreement condition: at most one decision value."""
+        return len(self.decision_values()) <= 1
+
+    # -- lateness -------------------------------------------------------------
+
+    def _steps_of(self, pid: int) -> list[int]:
+        """Sorted event indices at which ``pid`` took a step."""
+        if self._step_indices is None:
+            indices: dict[int, list[int]] = {p: [] for p in range(self.n)}
+            for event in self.events:
+                if event.kind == "step":
+                    indices[event.actor].append(event.index)
+            self._step_indices = indices
+        return self._step_indices[pid]
+
+    def steps_in_interval(self, pid: int, first_event: int, last_event: int) -> int:
+        """How many steps ``pid`` took in the event interval (exclusive ends).
+
+        Counts step events with ``first_event < index < last_event``, which
+        matches "takes more than K steps *between* the send event and the
+        receive event".
+        """
+        steps = self._steps_of(pid)
+        lo = bisect.bisect_right(steps, first_event)
+        hi = bisect.bisect_left(steps, last_event)
+        return hi - lo
+
+    def is_late(self, envelope: Envelope) -> bool:
+        """The paper's lateness predicate for one delivered message.
+
+        An undelivered envelope is not (yet) late — lateness is defined via
+        the receive event.  Delivery-fairness violations are reported by the
+        admissibility monitor instead.
+        """
+        if envelope.receive_event is None:
+            return False
+        return any(
+            self.steps_in_interval(pid, envelope.send_event, envelope.receive_event)
+            > self.K
+            for pid in range(self.n)
+        )
+
+    def late_messages(self) -> list[Envelope]:
+        """Every late message in the run."""
+        return [env for env in self.envelopes.values() if self.is_late(env)]
+
+    def is_on_time(self) -> bool:
+        """Whether the run contains no late messages."""
+        return not self.late_messages()
+
+    # -- convenience ----------------------------------------------------------
+
+    def envelopes_from(self, sender: int) -> list[Envelope]:
+        """All envelopes sent by ``sender``, in send order."""
+        return sorted(
+            (e for e in self.envelopes.values() if e.sender == sender),
+            key=lambda e: e.send_event,
+        )
+
+    def delivered_envelopes(self) -> Iterable[Envelope]:
+        """All envelopes that were received."""
+        return (e for e in self.envelopes.values() if e.delivered)
+
+    def messages_sent(self) -> int:
+        """Total number of envelopes sent in the run."""
+        return len(self.envelopes)
+
+    def max_decision_clock(self) -> int | None:
+        """The largest clock reading at which any processor decided.
+
+        ``None`` when no processor decided.  This is the metric of the
+        paper's Remark 1 ("all the processors decide within at most 8K
+        clock ticks").
+        """
+        clocks = [c for c in self.decision_clocks.values() if c is not None]
+        return max(clocks) if clocks else None

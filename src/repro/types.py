@@ -1,0 +1,85 @@
+"""Shared primitive types used across the library.
+
+These are deliberately tiny: identifiers, the decision/vote value domain,
+and a handful of aliases that make signatures self-describing.  The model
+of the paper identifies *abort* with ``0`` and *commit* with ``1``; we keep
+that identification explicit via :class:`Decision` and :class:`Vote` while
+still allowing raw ``0``/``1`` at the simulation layer, where the agreement
+subroutine is value-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+#: A processor identifier.  The paper numbers processors with integers and
+#: designates processor ``0`` as the coordinator of Protocol 2.
+ProcessorId = NewType("ProcessorId", int)
+
+#: The coordinator's identifier in Protocol 2 ("the processor with id 0").
+COORDINATOR_ID = ProcessorId(0)
+
+#: Binary value domain of the agreement subroutine.
+BinaryValue = int
+
+
+class Vote(enum.IntEnum):
+    """A processor's initial (and current) wish for the transaction.
+
+    The paper identifies abort with 0 and commit with 1; making the enum an
+    ``IntEnum`` lets protocol code treat votes as the binary values fed to
+    the agreement subroutine without conversion.
+    """
+
+    ABORT = 0
+    COMMIT = 1
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "Vote":
+        """Return the vote corresponding to a binary value.
+
+        Raises:
+            ValueError: if ``bit`` is not 0 or 1.
+        """
+        if bit not in (0, 1):
+            raise ValueError(f"vote bit must be 0 or 1, got {bit!r}")
+        return cls(bit)
+
+
+class Decision(enum.IntEnum):
+    """The final, irrevocable outcome of the transaction at a processor.
+
+    Entering a decision state is permanent in the model (the decision sets
+    ``Y0``/``Y1`` are absorbing); the simulation kernel enforces this.
+    """
+
+    ABORT = 0
+    COMMIT = 1
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "Decision":
+        """Return the decision corresponding to a binary agreement value.
+
+        Raises:
+            ValueError: if ``bit`` is not 0 or 1.
+        """
+        if bit not in (0, 1):
+            raise ValueError(f"decision bit must be 0 or 1, got {bit!r}")
+        return cls(bit)
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a simulated processor.
+
+    ``RUNNING``  -- taking steps, protocol program not yet finished.
+    ``RETURNED`` -- the protocol program ran to completion (Protocol 1's
+                    ``return`` / Protocol 2's final decide); the processor
+                    may still be scheduled but its steps are no-ops apart
+                    from clock ticks.
+    ``CRASHED``  -- fail-stopped by the adversary; never scheduled again.
+    """
+
+    RUNNING = enum.auto()
+    RETURNED = enum.auto()
+    CRASHED = enum.auto()

@@ -1,0 +1,57 @@
+"""Tests for the chaos adversary (safety fuzzing)."""
+
+import pytest
+
+from repro.adversary.chaos import ChaosAdversary
+from tests.conftest import make_commit_simulation
+
+
+class TestChaosAdversary:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ChaosAdversary(n=0)
+        with pytest.raises(ValueError):
+            ChaosAdversary(n=3, max_crashes=3)
+        with pytest.raises(ValueError):
+            ChaosAdversary(n=3, crash_probability=2.0)
+
+    def test_safety_over_many_seeds(self):
+        for seed in range(12):
+            adversary = ChaosAdversary(
+                n=5, max_crashes=2, seed=seed, crash_probability=0.01
+            )
+            sim, _ = make_commit_simulation(
+                [1] * 5, adversary=adversary, seed=seed, max_steps=25_000
+            )
+            result = sim.run()
+            assert result.run.agreement_holds(), f"conflict at seed {seed}"
+            assert len(result.run.faulty()) <= 2
+
+    def test_abort_validity_under_chaos(self):
+        for seed in range(8):
+            adversary = ChaosAdversary(n=5, max_crashes=2, seed=seed)
+            sim, _ = make_commit_simulation(
+                [1, 0, 1, 1, 1], adversary=adversary, seed=seed, max_steps=25_000
+            )
+            result = sim.run()
+            assert 1 not in result.run.decision_values()
+
+    def test_crash_budget_respected(self):
+        adversary = ChaosAdversary(
+            n=5, max_crashes=1, seed=3, crash_probability=0.5
+        )
+        sim, _ = make_commit_simulation(
+            [1] * 5, adversary=adversary, seed=3, max_steps=5_000
+        )
+        result = sim.run()
+        assert len(result.run.faulty()) <= 1
+
+    def test_determinism_per_seed(self):
+        def run_once():
+            adversary = ChaosAdversary(n=4, max_crashes=1, seed=9)
+            sim, _ = make_commit_simulation(
+                [1] * 4, t=1, adversary=adversary, seed=9, max_steps=10_000
+            )
+            return sim.run().run.event_count
+
+        assert run_once() == run_once()

@@ -1,0 +1,90 @@
+"""Tests for crash-injecting adversaries."""
+
+import pytest
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import AdaptiveCrashAdversary, ScheduledCrashAdversary
+from repro.types import ProcessStatus
+from tests.conftest import make_commit_simulation
+
+
+class TestScheduledCrashAdversary:
+    def test_crashes_follow_the_plan(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=2, cycle=2), CrashAt(pid=3, cycle=4)]
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        assert result.run.faulty() == {2, 3}
+        crash_order = [
+            e.actor for e in result.run.events if e.kind == "crash"
+        ]
+        assert crash_order == [2, 3]
+
+    def test_crashed_processors_take_no_further_steps(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=1, cycle=2)]
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        crash_index = next(
+            e.index for e in result.run.events if e.kind == "crash"
+        )
+        later_steps = [
+            e
+            for e in result.run.events
+            if e.index > crash_index and e.actor == 1
+        ]
+        assert later_steps == []
+
+    def test_termination_with_t_crashes(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=3, cycle=2), CrashAt(pid=4, cycle=2)]
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        assert result.terminated
+        survivors_decisions = {
+            result.decisions()[pid] for pid in (0, 1, 2)
+        }
+        assert len(survivors_decisions) == 1
+
+
+class TestAdaptiveCrashAdversary:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveCrashAdversary(victims=[0], kill_after_sends=0)
+
+    def test_kills_after_first_send(self):
+        adversary = AdaptiveCrashAdversary(victims=[0], kill_after_sends=1)
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        assert 0 in result.run.faulty()
+        # The victim sent at least one envelope before dying (the kill is
+        # pattern-triggered by its send).
+        assert any(env.sender == 0 for env in result.run.envelopes.values())
+
+    def test_partial_broadcast_suppression(self):
+        adversary = AdaptiveCrashAdversary(
+            victims=[0], kill_after_sends=1, suppress_to={1, 2}
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        # The victims' non-guaranteed envelopes to 1 and 2 stay pending.
+        undelivered = [
+            env
+            for env in result.run.envelopes.values()
+            if env.sender == 0 and not env.guaranteed and not env.delivered
+        ]
+        assert {env.recipient for env in undelivered} <= {1, 2}
+        assert result.run.agreement_holds()
+
+    def test_safety_with_coordinator_killed(self):
+        for seed in range(4):
+            adversary = AdaptiveCrashAdversary(
+                victims=[0], kill_after_sends=2, seed=seed
+            )
+            sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+            result = sim.run()
+            assert result.run.agreement_holds()
+            assert result.terminated

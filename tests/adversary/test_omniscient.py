@@ -1,0 +1,75 @@
+"""Tests for the content-aware balancing adversary."""
+
+import pytest
+
+from repro.adversary.omniscient import OmniscientBalancer
+from repro.core.agreement import AgreementProgram
+from repro.core.api import shared_coins
+from repro.errors import SchedulingError
+from repro.protocols.benor import BenOrProgram
+from repro.sim.scheduler import Simulation
+
+
+def run_balanced(programs, n, t, seed=0, max_steps=120_000):
+    adversary = OmniscientBalancer(n=n, t=t, seed=seed)
+    sim = Simulation(
+        programs, adversary, K=4, t=t, seed=seed, max_steps=max_steps
+    )
+    adversary.attach(sim)
+    return sim.run(), programs
+
+
+class TestOmniscientBalancer:
+    def test_flagged_non_compliant(self):
+        assert OmniscientBalancer(n=4, t=1).model_compliant is False
+
+    def test_requires_attachment(self):
+        adversary = OmniscientBalancer(n=4, t=1)
+        programs = [BenOrProgram(p, 4, 1, p % 2) for p in range(4)]
+        sim = Simulation(programs, adversary, K=4, t=1)
+        with pytest.raises(SchedulingError, match="attach"):
+            sim.run()
+
+    def test_delays_benor_beyond_honest_schedules(self):
+        # Under the balancer, Ben-Or with split inputs needs several
+        # stages (expected ~2^(n-1)); honest schedules finish in ~2.
+        stage_counts = []
+        for seed in range(5):
+            programs = [BenOrProgram(p, 4, 1, p % 2) for p in range(4)]
+            result, programs = run_balanced(programs, n=4, t=1, seed=seed)
+            assert result.terminated
+            stage_counts.append(
+                max(p.stats.stages_started for p in programs)
+            )
+        assert max(stage_counts) >= 3
+
+    def test_benor_still_safe_under_balancer(self):
+        for seed in range(4):
+            programs = [BenOrProgram(p, 4, 1, p % 2) for p in range(4)]
+            result, _ = run_balanced(programs, n=4, t=1, seed=seed)
+            values = {
+                d for d in result.decisions().values() if d is not None
+            }
+            assert len(values) <= 1
+
+    def test_shared_coins_defeat_the_balancer(self):
+        # Protocol 1 under the same attack: a balanced stage lands every
+        # processor on the same shared coin -> decide within ~3 stages.
+        for seed in range(5):
+            coins = shared_coins(4, seed=seed + 77)
+            programs = [
+                AgreementProgram(p, 4, 1, p % 2, coins=coins)
+                for p in range(4)
+            ]
+            result, programs = run_balanced(programs, n=4, t=1, seed=seed)
+            assert result.terminated
+            assert max(p.stats.stages_started for p in programs) <= 3
+
+    def test_unanimous_inputs_cannot_be_balanced(self):
+        # With all inputs equal the balancer has nothing to balance:
+        # feasibility fails, messages are released, decision is fast.
+        programs = [BenOrProgram(p, 4, 1, 1) for p in range(4)]
+        result, programs = run_balanced(programs, n=4, t=1)
+        assert result.terminated
+        assert set(result.decisions().values()) == {1}
+        assert max(p.stats.stages_started for p in programs) <= 2

@@ -1,0 +1,50 @@
+"""Tests for scripted and function adversaries."""
+
+import pytest
+
+from repro.adversary.scripted import FunctionAdversary, ScriptedAdversary
+from repro.adversary.standard import SynchronousAdversary
+from repro.errors import SchedulingError
+from repro.sim.decisions import StepDecision
+from tests.conftest import make_commit_simulation
+
+
+class TestScriptedAdversary:
+    def test_replays_in_order(self):
+        script = [StepDecision(pid=2), StepDecision(pid=0)]
+        adversary = ScriptedAdversary(script)
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        sim.apply(adversary.decide(sim.view))
+        sim.apply(adversary.decide(sim.view))
+        actors = [e.actor for e in sim.pattern_entries()]
+        assert actors == [2, 0]
+
+    def test_exhaustion_raises_without_fallback(self):
+        adversary = ScriptedAdversary([StepDecision(pid=0)])
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        adversary.decide(sim.view)
+        assert adversary.exhausted
+        with pytest.raises(SchedulingError):
+            adversary.decide(sim.view)
+
+    def test_fallback_takes_over(self):
+        adversary = ScriptedAdversary(
+            [StepDecision(pid=1)], then=SynchronousAdversary()
+        )
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        result = sim.run()
+        assert result.terminated
+        assert result.run.events[0].actor == 1
+
+
+class TestFunctionAdversary:
+    def test_wraps_callable(self):
+        def always_zero(view):
+            return StepDecision(pid=0, deliver=tuple(view.pending_ids(0)))
+
+        adversary = FunctionAdversary(always_zero)
+        sim, _ = make_commit_simulation(
+            [1] * 3, t=1, adversary=adversary, max_steps=20
+        )
+        result = sim.run()
+        assert {e.actor for e in result.run.events} == {0}

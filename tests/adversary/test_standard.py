@@ -1,0 +1,100 @@
+"""Tests for the standard adversary roster."""
+
+import pytest
+
+from repro.adversary.base import CrashAt
+from repro.adversary.standard import (
+    LateMessageAdversary,
+    OnTimeAdversary,
+    SynchronousAdversary,
+)
+from repro.types import ProcessStatus
+from tests.conftest import make_commit_simulation
+
+
+class TestSynchronousAdversary:
+    def test_runs_are_failure_free_and_on_time(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        result = sim.run()
+        assert not result.run.faulty()
+        assert result.run.is_on_time()
+
+    def test_round_robin_step_order(self):
+        sim, _ = make_commit_simulation([1] * 3, t=1)
+        result = sim.run()
+        actors = [e.actor for e in result.run.events if e.kind == "step"]
+        assert actors[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_crash_plan_executes_at_cycle(self):
+        adversary = SynchronousAdversary(
+            crash_plan=[CrashAt(pid=4, cycle=3)]
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        assert result.run.statuses[4] is ProcessStatus.CRASHED
+        crash_events = [e for e in result.run.events if e.kind == "crash"]
+        assert len(crash_events) == 1
+        assert crash_events[0].actor == 4
+
+
+class TestOnTimeAdversary:
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            OnTimeAdversary(K=1)
+
+    def test_rejects_excessive_max_delay(self):
+        with pytest.raises(ValueError):
+            OnTimeAdversary(K=4, max_delay=4)
+
+    @pytest.mark.parametrize("K", [2, 4, 8])
+    def test_runs_stay_on_time(self, K):
+        for seed in range(3):
+            sim, _ = make_commit_simulation(
+                [1] * 5, K=K, adversary=OnTimeAdversary(K=K, seed=seed)
+            )
+            result = sim.run()
+            assert result.run.is_on_time(), f"late message with K={K} seed={seed}"
+
+    def test_commit_validity_preserved(self):
+        sim, _ = make_commit_simulation(
+            [1] * 5, adversary=OnTimeAdversary(K=4, seed=3)
+        )
+        result = sim.run()
+        assert set(result.decisions().values()) == {1}
+
+
+class TestLateMessageAdversary:
+    def test_rejects_small_lateness_factor(self):
+        with pytest.raises(ValueError):
+            LateMessageAdversary(K=4, lateness_factor=1)
+
+    def test_injects_late_messages(self):
+        adversary = LateMessageAdversary(
+            K=2, seed=1, late_probability=0.5, lateness_factor=3
+        )
+        sim, _ = make_commit_simulation([1] * 5, K=2, adversary=adversary)
+        result = sim.run()
+        if result.run.is_on_time():
+            pytest.skip("all held messages were undelivered in this seed")
+        assert result.run.late_messages()
+
+    def test_safety_despite_lateness(self):
+        for seed in range(6):
+            adversary = LateMessageAdversary(
+                K=4, seed=seed, late_probability=0.5
+            )
+            sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+            result = sim.run()
+            assert result.run.agreement_holds()
+
+    def test_target_senders_scopes_lateness(self):
+        adversary = LateMessageAdversary(
+            K=4,
+            seed=2,
+            late_probability=1.0,
+            target_senders={0},
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        late_senders = {env.sender for env in result.run.late_messages()}
+        assert late_senders <= {0}

@@ -1,0 +1,39 @@
+"""Tests for the ASCII histogram helper."""
+
+import pytest
+
+from repro.analysis.histogram import histogram
+
+
+class TestHistogram:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_single_value_collapses(self):
+        text = histogram([3.0, 3.0, 3.0])
+        assert "3" in text and "x3" in text
+
+    def test_counts_cover_all_samples(self):
+        samples = list(range(1, 101))
+        text = histogram(samples, bins=10)
+        counts = [
+            int(line.split("]")[1].split()[0]) for line in text.splitlines()
+        ]
+        assert sum(counts) == 100
+
+    def test_bars_scale_with_counts(self):
+        samples = [1.0] * 50 + [10.0] * 5
+        lines = histogram(samples, bins=2, width=20).splitlines()
+        first_bar = lines[0].count("#")
+        last_bar = lines[-1].count("#")
+        assert first_bar > last_bar
+
+    def test_log_bins_for_heavy_tails(self):
+        samples = [1, 2, 4, 8, 16, 32, 64, 128]
+        text = histogram(samples, bins=4, log_bins=True)
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,62 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import proportion, summarize
+from repro.errors import InsufficientDataError
+
+
+class TestSummarize:
+    def test_rejects_empty(self):
+        with pytest.raises(InsufficientDataError):
+            summarize([])
+
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.stdev == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_basic_statistics(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.mean == 3.0
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.count == 5
+
+    def test_ci_contains_mean(self):
+        summary = summarize([1, 2, 3, 4, 5, 6, 7, 8])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.ci_high > summary.mean  # nonzero spread
+
+    def test_ci_narrows_with_samples(self):
+        small = summarize([1, 2] * 5)
+        large = summarize([1, 2] * 500)
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_identical_samples_have_zero_width(self):
+        summary = summarize([7.0] * 20)
+        assert summary.ci_low == summary.ci_high == 7.0
+
+    def test_str_rendering(self):
+        text = str(summarize([1, 2, 3]))
+        assert "n=3" in text
+
+
+class TestProportion:
+    def test_basic(self):
+        assert proportion(3, 4) == 0.75
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            proportion(0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            proportion(5, 4)
+        with pytest.raises(ValueError):
+            proportion(-1, 4)

@@ -1,0 +1,65 @@
+"""Tests for result tables and parameter sweeps."""
+
+import pytest
+
+from repro.adversary.standard import SynchronousAdversary
+from repro.analysis.montecarlo import CommitTrialConfig, run_commit_batch
+from repro.analysis.sweep import grid, sweep
+from repro.analysis.tables import ResultTable
+
+
+class TestResultTable:
+    def make_table(self):
+        table = ResultTable(title="demo", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", None)
+        table.add_note("a note")
+        return table
+
+    def test_row_arity_checked(self):
+        table = ResultTable(title="t", columns=["only"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_render_contains_everything(self):
+        text = self.make_table().render()
+        assert "demo" in text
+        assert "2.50" in text  # float formatting
+        assert "-" in text  # None formatting
+        assert "* a note" in text
+
+    def test_render_alignment(self):
+        lines = self.make_table().render().splitlines()
+        header = next(line for line in lines if line.startswith("a"))
+        assert "b" in header
+
+    def test_markdown_rendering(self):
+        md = self.make_table().to_markdown()
+        assert md.startswith("**demo**")
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "*a note*" in md
+
+
+class TestSweep:
+    def test_grid_order(self):
+        points = list(grid(n=[1, 2], c=[0, 1]))
+        assert points == [
+            {"n": 1, "c": 0},
+            {"n": 1, "c": 1},
+            {"n": 2, "c": 0},
+            {"n": 2, "c": 1},
+        ]
+
+    def test_sweep_runs_every_point(self):
+        def run_point(params):
+            config = CommitTrialConfig(
+                votes=[1] * params["n"],
+                adversary_factory=lambda seed: SynchronousAdversary(seed=seed),
+            )
+            return run_commit_batch(config, trials=2)
+
+        points = sweep({"n": [3, 5]}, run_point)
+        assert len(points) == 2
+        assert points[0]["n"] == 3
+        assert all(len(point.batch) == 2 for point in points)

@@ -1,0 +1,66 @@
+"""Tests for the run-verification battery."""
+
+import pytest
+
+from repro.adversary.crash import AdaptiveCrashAdversary
+from repro.adversary.standard import LateMessageAdversary
+from repro.analysis.verify import verify_commit_run
+from repro.protocols.twopc import TwoPCProgram
+from repro.sim.scheduler import Simulation
+from tests.conftest import make_commit_simulation
+
+
+class TestVerifyCommitRun:
+    def test_happy_path_all_ok(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        report = verify_commit_run(sim.run().run, [1] * 5)
+        assert report.ok
+        assert report.violations() == []
+        text = report.render()
+        assert "agreement" in text and "FAIL" not in text
+
+    def test_vote_count_validated(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        with pytest.raises(ValueError):
+            verify_commit_run(sim.run().run, [1, 1])
+
+    def test_abort_path_ok(self):
+        sim, _ = make_commit_simulation([1, 0, 1, 1, 1])
+        report = verify_commit_run(sim.run().run, [1, 0, 1, 1, 1])
+        assert report.ok
+
+    def test_late_run_ok_but_commit_validity_not_applicable(self):
+        adversary = LateMessageAdversary(K=4, seed=2, late_probability=0.5)
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        run = sim.run().run
+        report = verify_commit_run(run, [1] * 5)
+        assert report.ok
+        commit_verdict = next(
+            v for v in report.verdicts if "commit validity" in v.condition
+        )
+        if not run.is_on_time():
+            assert not commit_verdict.applicable
+
+    def test_catches_real_violation(self):
+        # 2PC with presume-abort under a crash-mid-fanout really does
+        # produce conflicting decisions; the verifier must flag it.
+        n = 5
+        programs = [
+            TwoPCProgram(pid=p, n=n, initial_vote=1, K=4) for p in range(n)
+        ]
+        adversary = AdaptiveCrashAdversary(
+            victims=[0], kill_after_sends=2, suppress_to=set(range(1, n))
+        )
+        sim = Simulation(programs, adversary, K=4, t=2, max_steps=10_000)
+        run = sim.run().run
+        report = verify_commit_run(run, [1] * n)
+        assert not report.ok
+        assert any(
+            "agreement" in v.condition for v in report.violations()
+        )
+        assert "FAIL" in report.render()
+
+    def test_report_renders_na_rows(self):
+        sim, _ = make_commit_simulation([1, 0, 1, 1, 1])
+        report = verify_commit_run(sim.run().run, [1, 0, 1, 1, 1])
+        assert "[n/a " in report.render()  # commit validity not applicable

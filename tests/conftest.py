@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.standard import SynchronousAdversary
+from repro.core.agreement import AgreementProgram
+from repro.core.api import shared_coins
+from repro.core.commit import CommitProgram
+from repro.sim.scheduler import Simulation
+
+
+def make_commit_simulation(
+    votes,
+    t=None,
+    K=4,
+    adversary=None,
+    seed=0,
+    max_steps=50_000,
+    allow_sub_resilience=False,
+    **program_kwargs,
+):
+    """Build a ready-to-run commit simulation (returns sim and programs)."""
+    n = len(votes)
+    if t is None:
+        t = (n - 1) // 2
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=K,
+            allow_sub_resilience=allow_sub_resilience,
+            **program_kwargs,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    simulation = Simulation(
+        programs=programs,
+        adversary=adversary,
+        K=K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    return simulation, programs
+
+
+def make_agreement_simulation(
+    values,
+    t=None,
+    K=4,
+    adversary=None,
+    seed=0,
+    coins=None,
+    max_steps=50_000,
+    **program_kwargs,
+):
+    """Build a ready-to-run agreement simulation (returns sim and programs)."""
+    n = len(values)
+    if t is None:
+        t = (n - 1) // 2
+    if coins is None:
+        coins = shared_coins(n, seed=seed + 1000)
+    programs = [
+        AgreementProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_value=value,
+            coins=coins,
+            **program_kwargs,
+        )
+        for pid, value in enumerate(values)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    simulation = Simulation(
+        programs=programs,
+        adversary=adversary,
+        K=K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    return simulation, programs
+
+
+@pytest.fixture
+def commit_all_ones():
+    """A standard n=5 all-commit simulation under the synchronous adversary."""
+    return make_commit_simulation([1, 1, 1, 1, 1])

@@ -1,0 +1,93 @@
+"""Tests for the high-level API."""
+
+import pytest
+
+from repro.adversary.standard import LateMessageAdversary
+from repro.core.api import (
+    default_fault_tolerance,
+    run_agreement,
+    run_commit,
+    shared_coins,
+)
+from repro.errors import ConfigurationError
+from repro.types import Decision
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (9, 4)]
+    )
+    def test_default_fault_tolerance(self, n, expected):
+        assert default_fault_tolerance(n) == expected
+
+    def test_shared_coins_reproducible(self):
+        assert shared_coins(16, seed=5).bits == shared_coins(16, seed=5).bits
+
+    def test_shared_coins_seed_sensitivity(self):
+        assert shared_coins(32, seed=1).bits != shared_coins(32, seed=2).bits
+
+
+class TestRunCommit:
+    def test_requires_processors(self):
+        with pytest.raises(ConfigurationError):
+            run_commit([])
+
+    def test_default_run_commits(self):
+        outcome = run_commit([1] * 5)
+        assert outcome.terminated
+        assert outcome.unanimous_decision is Decision.COMMIT
+        assert outcome.consistent
+        assert outcome.on_time
+
+    def test_decision_round_and_ticks_populated(self):
+        outcome = run_commit([1] * 5, K=4)
+        assert outcome.decision_round is not None
+        assert outcome.decision_ticks is not None
+        assert outcome.decision_ticks <= 8 * 4  # Remark 1
+
+    def test_abort_path(self):
+        outcome = run_commit([1, 1, 0, 1, 1])
+        assert outcome.unanimous_decision is Decision.ABORT
+
+    def test_custom_adversary(self):
+        outcome = run_commit(
+            [1] * 5,
+            adversary=LateMessageAdversary(K=4, seed=1, late_probability=0.5),
+        )
+        assert outcome.consistent
+
+    def test_seed_determinism(self):
+        a = run_commit([1] * 5, seed=7)
+        b = run_commit([1] * 5, seed=7)
+        assert a.decisions == b.decisions
+        assert a.run.event_count == b.run.event_count
+
+    def test_unanimous_decision_none_when_undecided(self):
+        from repro.adversary.base import CrashAt
+        from repro.adversary.crash import ScheduledCrashAdversary
+
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=p, cycle=2) for p in (2, 3, 4)]
+        )
+        outcome = run_commit([1] * 5, adversary=adversary, max_steps=2_000)
+        assert outcome.unanimous_decision is None
+        assert not outcome.terminated
+
+
+class TestRunAgreement:
+    def test_requires_processors(self):
+        with pytest.raises(ConfigurationError):
+            run_agreement([])
+
+    def test_unanimous(self):
+        outcome = run_agreement([1, 1, 1])
+        assert outcome.unanimous_decision is Decision.COMMIT
+
+    def test_split(self):
+        outcome = run_agreement([0, 1, 0, 1, 1])
+        assert outcome.terminated
+        assert len(outcome.decision_values) == 1
+
+    def test_explicit_coins(self):
+        outcome = run_agreement([0, 1, 0], coins=shared_coins(3, seed=2))
+        assert outcome.terminated

@@ -1,0 +1,65 @@
+"""Edge-case tests for the coin providers."""
+
+from repro.core.coin_providers import CoinShare, WeakSharedCoinProvider
+from repro.sim.board import BulletinBoard
+from repro.sim.message import ReceivedPayload
+
+
+class FakeProgram:
+    """Minimal Program stand-in for provider unit tests."""
+
+    def __init__(self):
+        self.board = BulletinBoard()
+        self.broadcasts = []
+
+    def flip(self, count):
+        return [1] * count
+
+    def broadcast(self, payload):
+        self.broadcasts.append(payload)
+
+
+class TestWeakSharedCoinProvider:
+    def test_stage_start_broadcasts_a_share(self):
+        provider = WeakSharedCoinProvider()
+        program = FakeProgram()
+        provider.on_stage_start(program, stage=2)
+        assert len(program.broadcasts) == 1
+        share = program.broadcasts[0]
+        assert isinstance(share, CoinShare)
+        assert share.stage == 2
+        assert share.bit in (0, 1)
+
+    def test_coin_uses_lowest_id_share(self):
+        provider = WeakSharedCoinProvider()
+        program = FakeProgram()
+        for sender, bit in ((4, 0), (1, 1), (3, 0)):
+            program.board.post(
+                ReceivedPayload(
+                    sender=sender,
+                    payload=CoinShare(stage=1, bit=bit),
+                    receive_clock=1,
+                )
+            )
+        bit, shared = provider.coin(program, stage=1)
+        assert shared
+        assert bit == 1  # sender 1's share
+
+    def test_coin_ignores_other_stages(self):
+        provider = WeakSharedCoinProvider()
+        program = FakeProgram()
+        program.board.post(
+            ReceivedPayload(
+                sender=0, payload=CoinShare(stage=9, bit=0), receive_clock=1
+            )
+        )
+        bit, shared = provider.coin(program, stage=1)
+        # No stage-1 share: private fallback.
+        assert not shared
+        assert bit == 1  # FakeProgram.flip
+
+    def test_private_fallback_when_no_shares(self):
+        provider = WeakSharedCoinProvider()
+        program = FakeProgram()
+        bit, shared = provider.coin(program, stage=1)
+        assert not shared and bit == 1

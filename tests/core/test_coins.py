@@ -1,0 +1,59 @@
+"""Tests for the shared coin list."""
+
+import pytest
+
+from repro.core.coins import CoinList, flip_coin_list
+
+
+class TestCoinList:
+    def test_from_bits(self):
+        coins = CoinList.from_bits([0, 1, 1])
+        assert len(coins) == 3
+        assert coins.bits == (0, 1, 1)
+
+    def test_one_indexed_stage_lookup(self):
+        coins = CoinList.from_bits([0, 1])
+        assert coins.get(1) == 0
+        assert coins.get(2) == 1
+
+    def test_beyond_list_returns_none(self):
+        coins = CoinList.from_bits([1])
+        assert coins.get(2) is None
+
+    def test_stage_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CoinList.from_bits([1]).get(0)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            CoinList.from_bits([0, 7])
+
+    def test_empty(self):
+        empty = CoinList.empty()
+        assert len(empty) == 0
+        assert empty.get(1) is None
+
+    def test_immutable(self):
+        coins = CoinList.from_bits([1])
+        with pytest.raises(AttributeError):
+            coins.bits = (0,)
+
+
+class TestFlipCoinList:
+    def test_uses_flip_procedure(self):
+        calls = []
+
+        def fake_flip(count):
+            calls.append(count)
+            return [1] * count
+
+        coins = flip_coin_list(fake_flip, 5)
+        assert calls == [5]
+        assert coins.bits == (1, 1, 1, 1, 1)
+
+    def test_zero_coins(self):
+        assert len(flip_coin_list(lambda c: [], 0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flip_coin_list(lambda c: [], -1)

@@ -1,0 +1,211 @@
+"""Tests for Protocol 2 — the transaction commit correctness conditions."""
+
+import pytest
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import AdaptiveCrashAdversary, ScheduledCrashAdversary
+from repro.adversary.partition import PartitionAdversary
+from repro.adversary.random_walk import RandomAdversary
+from repro.adversary.standard import (
+    LateMessageAdversary,
+    OnTimeAdversary,
+    SynchronousAdversary,
+)
+from repro.core.commit import CommitProgram
+from repro.errors import ConfigurationError
+from repro.types import Decision, Vote
+from tests.conftest import make_commit_simulation
+
+
+class TestConfiguration:
+    def test_rejects_n_at_most_2t(self):
+        with pytest.raises(ConfigurationError, match="n > 2t"):
+            CommitProgram(pid=0, n=4, t=2, initial_vote=1, K=4)
+
+    def test_rejects_bad_K(self):
+        with pytest.raises(ConfigurationError):
+            CommitProgram(pid=0, n=5, t=2, initial_vote=1, K=0)
+
+    def test_rejects_negative_coin_count(self):
+        with pytest.raises(ConfigurationError):
+            CommitProgram(pid=0, n=5, t=2, initial_vote=1, K=4, coin_count=-1)
+
+    def test_coordinator_is_processor_zero(self):
+        assert CommitProgram(pid=0, n=5, t=2, initial_vote=1, K=4).is_coordinator
+        assert not CommitProgram(
+            pid=1, n=5, t=2, initial_vote=1, K=4
+        ).is_coordinator
+
+
+class TestCommitValidity:
+    """All-1 votes + failure-free + on-time => commit."""
+
+    def test_synchronous_all_commit(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        result = sim.run()
+        run = result.run
+        assert run.is_on_time() and not run.faulty()
+        assert set(result.decisions().values()) == {int(Decision.COMMIT)}
+
+    @pytest.mark.parametrize("n", [1, 3, 5, 9])
+    def test_commit_validity_across_sizes(self, n):
+        sim, _ = make_commit_simulation([1] * n)
+        result = sim.run()
+        assert set(result.decisions().values()) == {1}
+
+    def test_on_time_jitter_still_commits(self):
+        for seed in range(5):
+            sim, _ = make_commit_simulation(
+                [1] * 5, adversary=OnTimeAdversary(K=4, seed=seed), seed=seed
+            )
+            result = sim.run()
+            run = result.run
+            assert run.is_on_time()
+            assert set(result.decisions().values()) == {1}
+
+
+class TestAbortValidity:
+    """Any initial 0 => abort, no matter what the timing does."""
+
+    @pytest.mark.parametrize("abort_pid", [0, 2, 4])
+    def test_single_no_vote_aborts(self, abort_pid):
+        votes = [1] * 5
+        votes[abort_pid] = 0
+        sim, _ = make_commit_simulation(votes)
+        result = sim.run()
+        assert set(result.decisions().values()) == {int(Decision.ABORT)}
+
+    def test_abort_under_every_adversary(self):
+        adversaries = [
+            SynchronousAdversary(seed=1),
+            OnTimeAdversary(K=4, seed=2),
+            LateMessageAdversary(K=4, seed=3, late_probability=0.3),
+            RandomAdversary(seed=4),
+        ]
+        for adversary in adversaries:
+            sim, _ = make_commit_simulation([1, 0, 1, 1, 1], adversary=adversary)
+            result = sim.run()
+            decided = {d for d in result.decisions().values() if d is not None}
+            assert decided <= {0}
+
+    def test_all_zero_votes_abort(self):
+        sim, _ = make_commit_simulation([0] * 5)
+        result = sim.run()
+        assert set(result.decisions().values()) == {0}
+
+
+class TestAgreementCondition:
+    def test_no_conflicts_under_late_messages(self):
+        for seed in range(10):
+            adversary = LateMessageAdversary(
+                K=4, seed=seed, late_probability=0.4
+            )
+            sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+            result = sim.run()
+            assert result.run.agreement_holds()
+
+    def test_no_conflicts_under_partitions(self):
+        adversary = PartitionAdversary(
+            groups=[{0, 1, 2}, {3, 4}], start_cycle=1, heal_cycle=40
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        assert result.run.agreement_holds()
+
+    def test_no_conflicts_with_coordinator_crash_mid_fanout(self):
+        for seed in range(5):
+            adversary = AdaptiveCrashAdversary(
+                victims=[0],
+                kill_after_sends=1,
+                suppress_to={1, 2},
+                seed=seed,
+            )
+            sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+            result = sim.run()
+            assert result.run.agreement_holds()
+
+
+class TestGracefulDegradation:
+    """Theorem 11: more than t failures never yields conflicting decisions."""
+
+    def test_beyond_budget_blocks_but_stays_consistent(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=p, cycle=2) for p in (2, 3, 4)]
+        )
+        sim, _ = make_commit_simulation(
+            [1] * 5, adversary=adversary, max_steps=4_000
+        )
+        result = sim.run()
+        assert not result.terminated
+        assert result.run.agreement_holds()
+
+    def test_everyone_but_coordinator_crashes(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=p, cycle=2) for p in (1, 2, 3, 4)]
+        )
+        sim, _ = make_commit_simulation(
+            [1] * 5, adversary=adversary, max_steps=4_000
+        )
+        result = sim.run()
+        assert result.run.agreement_holds()
+
+
+class TestStats:
+    def test_timeout_telemetry_on_partition(self):
+        adversary = PartitionAdversary(
+            groups=[{0, 1, 2}, {3, 4}], start_cycle=1, heal_cycle=40
+        )
+        sim, programs = make_commit_simulation([1] * 5, adversary=adversary)
+        sim.run()
+        assert any(p.stats.go_timed_out for p in programs)
+        assert all(p.stats.decision is Decision.ABORT for p in programs)
+
+    def test_happy_path_telemetry(self):
+        sim, programs = make_commit_simulation([1] * 5)
+        sim.run()
+        for program in programs:
+            stats = program.stats
+            assert not stats.go_timed_out
+            assert not stats.vote_timed_out
+            assert stats.vote_broadcast == 1
+            assert stats.agreement_input == 1
+            assert stats.abort_known_clock is None
+            assert stats.decision is Decision.COMMIT
+            assert stats.agreement is not None
+
+    def test_abort_known_clock_set_for_no_voters(self):
+        sim, programs = make_commit_simulation([1, 0, 1, 1, 1])
+        sim.run()
+        assert programs[1].stats.abort_known_clock is not None
+
+    def test_vote_enum_accepted(self):
+        sim, _ = make_commit_simulation([Vote.COMMIT] * 3)
+        result = sim.run()
+        assert set(result.decisions().values()) == {1}
+
+
+class TestCoinDistribution:
+    def test_coordinator_flips_requested_coin_count(self):
+        sim, programs = make_commit_simulation([1] * 5, coin_count=12)
+        sim.run()
+        from repro.core.messages import GoMessage
+
+        go_messages = [
+            entry.payload
+            for entry in sim.processes[3].board.entries()
+            if isinstance(entry.payload, GoMessage)
+        ]
+        assert go_messages
+        assert all(len(go.coins) == 12 for go in go_messages)
+
+    def test_all_processors_see_identical_coins(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        sim.run()
+        from repro.core.messages import GoMessage
+
+        coin_sets = set()
+        for process in sim.processes:
+            for entry in process.board.entries():
+                if isinstance(entry.payload, GoMessage):
+                    coin_sets.add(entry.payload.coins)
+        assert len(coin_sets) == 1

@@ -1,0 +1,56 @@
+"""Tests for the unilateral early-abort option (Protocol 2, line 7)."""
+
+from repro.adversary.partition import PartitionAdversary
+from repro.adversary.random_walk import RandomAdversary
+from repro.adversary.standard import SynchronousAdversary
+from tests.conftest import make_commit_simulation
+
+
+class TestEarlyAbort:
+    def test_no_voter_decides_before_agreement(self):
+        sim_plain, programs_plain = make_commit_simulation(
+            [1, 0, 1, 1, 1], early_abort=False
+        )
+        plain = sim_plain.run()
+        sim_early, programs_early = make_commit_simulation(
+            [1, 0, 1, 1, 1], early_abort=True
+        )
+        early = sim_early.run()
+        assert plain.run.decision_clocks[1] > early.run.decision_clocks[1]
+        assert programs_early[1].stats.early_abort_decided
+        assert not programs_plain[1].stats.early_abort_decided
+
+    def test_decisions_identical_with_and_without(self):
+        for votes in ([1, 0, 1, 1, 1], [0] * 5, [1, 1, 0, 0, 1]):
+            sim_a, _ = make_commit_simulation(list(votes), early_abort=False)
+            sim_b, _ = make_commit_simulation(list(votes), early_abort=True)
+            assert sim_a.run().decisions() == sim_b.run().decisions()
+
+    def test_commit_path_unaffected(self):
+        sim, programs = make_commit_simulation([1] * 5, early_abort=True)
+        result = sim.run()
+        assert set(result.decisions().values()) == {1}
+        assert not any(p.stats.early_abort_decided for p in programs)
+
+    def test_timeout_abort_also_fires_early(self):
+        adversary = PartitionAdversary(
+            groups=[{0, 1, 2}, {3, 4}], start_cycle=1, heal_cycle=30
+        )
+        sim, programs = make_commit_simulation(
+            [1] * 5, adversary=adversary, early_abort=True
+        )
+        result = sim.run()
+        assert set(result.decisions().values()) == {0}
+        assert any(p.stats.early_abort_decided for p in programs)
+
+    def test_safety_under_random_schedules(self):
+        for seed in range(6):
+            sim, _ = make_commit_simulation(
+                [1, 0, 1, 1, 1],
+                early_abort=True,
+                adversary=RandomAdversary(seed=seed),
+                seed=seed,
+            )
+            result = sim.run()
+            assert result.run.agreement_holds()
+            assert result.run.decision_values() == {0}

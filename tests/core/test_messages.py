@@ -1,0 +1,76 @@
+"""Tests for the protocol message payloads."""
+
+import pytest
+
+from repro.core.messages import (
+    BOTTOM,
+    DecidedMessage,
+    GoMessage,
+    StageMessage,
+    VoteMessage,
+)
+
+
+class TestStageMessage:
+    def test_valid_phase_one(self):
+        message = StageMessage(phase=1, stage=3, value=1)
+        assert not message.is_s_message
+        assert message.board_key() == ("stage", 1, 3)
+
+    def test_s_message_detection(self):
+        assert StageMessage(phase=2, stage=1, value=0).is_s_message
+        assert not StageMessage(phase=2, stage=1, value=BOTTOM).is_s_message
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            StageMessage(phase=3, stage=1, value=0)
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            StageMessage(phase=1, stage=0, value=0)
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            StageMessage(phase=1, stage=1, value=2)
+
+    def test_phase_one_cannot_carry_bottom(self):
+        with pytest.raises(ValueError):
+            StageMessage(phase=1, stage=1, value=BOTTOM)
+
+    def test_frozen(self):
+        message = StageMessage(phase=1, stage=1, value=0)
+        with pytest.raises(AttributeError):
+            message.value = 1
+
+
+class TestGoMessage:
+    def test_carries_coin_bits(self):
+        go = GoMessage(coins=(0, 1, 1))
+        assert go.coins == (0, 1, 1)
+        assert go.board_key() == ("go",)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            GoMessage(coins=(0, 2))
+
+    def test_empty_coin_list_allowed(self):
+        assert GoMessage(coins=()).coins == ()
+
+
+class TestVoteMessage:
+    def test_valid_votes(self):
+        assert VoteMessage(vote=0).board_key() == ("vote",)
+        assert VoteMessage(vote=1).vote == 1
+
+    def test_invalid_vote(self):
+        with pytest.raises(ValueError):
+            VoteMessage(vote=2)
+
+
+class TestDecidedMessage:
+    def test_valid(self):
+        assert DecidedMessage(value=1).board_key() == ("decided",)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DecidedMessage(value=5)

@@ -1,0 +1,66 @@
+"""Quick-mode checks for the ablation experiments E12 and E13."""
+
+from repro.experiments.registry import run_experiment
+
+
+class TestE12:
+    def test_local_explodes_shared_flat(self):
+        table = run_experiment("E12", quick=True)
+        mechanism_column = table.columns.index("mechanism")
+        stages_column = table.columns.index("mean stages")
+        local = [
+            row[stages_column]
+            for row in table.rows
+            if row[mechanism_column] == "local (Ben-Or)"
+        ]
+        shared = [
+            row[stages_column]
+            for row in table.rows
+            if row[mechanism_column] != "local (Ben-Or)"
+        ]
+        assert min(local) > 2 * max(shared)
+
+    def test_dealer_matches_coordinator(self):
+        table = run_experiment("E12", quick=True)
+        mechanism_column = table.columns.index("mechanism")
+        environment_column = table.columns.index("environment")
+        stages_column = table.columns.index("mean stages")
+        rows = {
+            (row[mechanism_column], row[environment_column]): row[stages_column]
+            for row in table.rows
+        }
+        for environment in ("balancer", "balancer + low-id crash"):
+            assert (
+                rows[("dealer (Rabin)", environment)]
+                == rows[("coordinator list (this paper)", environment)]
+            )
+
+    def test_fault_envelope_column(self):
+        table = run_experiment("E12", quick=True)
+        mechanism_column = table.columns.index("mechanism")
+        envelope_column = 1  # "max t @ n=6"
+        for row in table.rows:
+            if row[mechanism_column] == "weak-shared (CMS-style)":
+                assert row[envelope_column] == 0  # (6-1)//6
+            else:
+                assert row[envelope_column] == 2  # (6-1)//2
+
+
+class TestE13:
+    def test_early_abort_strictly_earlier(self):
+        table = run_experiment("E13", quick=True)
+        scenario_column = table.columns.index("scenario")
+        early_column = table.columns.index("early abort")
+        first_column = table.columns.index("mean first-abort ticks")
+        by_key = {
+            (row[scenario_column], row[early_column]): row[first_column]
+            for row in table.rows
+        }
+        scenarios = {row[scenario_column] for row in table.rows}
+        for scenario in scenarios:
+            assert by_key[(scenario, "yes")] < by_key[(scenario, "no")]
+
+    def test_always_consistent(self):
+        table = run_experiment("E13", quick=True)
+        consistent_column = table.columns.index("consistent")
+        assert all(row[consistent_column] == "100%" for row in table.rows)

@@ -1,0 +1,109 @@
+"""Tests for the experiment registry and quick experiment runs."""
+
+import pytest
+
+from repro.analysis.tables import ResultTable
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+
+    def test_metadata_complete(self):
+        for info in EXPERIMENTS.values():
+            assert info.title
+            assert info.claim
+            assert info.expectation
+            assert callable(info.runner)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+class TestQuickRuns:
+    """Every experiment must run in quick mode and honour its claim."""
+
+    def test_e1_stages_below_four(self):
+        table = run_experiment("E1", quick=True)
+        assert isinstance(table, ResultTable)
+        mean_column = table.columns.index("mean stages")
+        for row in table.rows:
+            assert row[mean_column] < 4
+
+    def test_e2_rounds_below_fourteen(self):
+        table = run_experiment("E2", quick=True)
+        mean_column = table.columns.index("mean rounds")
+        for row in table.rows:
+            assert row[mean_column] <= 14
+
+    def test_e3_bound_holds(self):
+        table = run_experiment("E3", quick=True)
+        held_column = table.columns.index("bound held")
+        assert all(row[held_column] == "yes" for row in table.rows)
+
+    def test_e4_termination_complete(self):
+        table = run_experiment("E4", quick=True)
+        termination_column = table.columns.index("terminated")
+        assert all(row[termination_column] == "100%" for row in table.rows)
+
+    def test_e5_zero_coins_explode(self):
+        table = run_experiment("E5", quick=True)
+        coins_column = table.columns.index("|coins|")
+        stages_column = table.columns.index("mean stages")
+        by_coins = {row[coins_column]: row[stages_column] for row in table.rows}
+        assert by_coins[0] > 2 * by_coins[1]
+
+    def test_e6_never_conflicts(self):
+        table = run_experiment("E6", quick=True)
+        conflict_column = table.columns.index("conflict rate")
+        assert all(row[conflict_column] == "0%" for row in table.rows)
+
+    def test_e7_sharp_threshold(self):
+        table = run_experiment("E7", quick=True)
+        relation_column = table.columns.index("relation")
+        terminated_column = table.columns.index("terminated")
+        for row in table.rows:
+            trials = row[table.columns.index("trials")]
+            if row[relation_column] == "n = 2t":
+                assert row[terminated_column] == f"0/{trials}"
+            else:
+                assert row[terminated_column] == f"{trials}/{trials}"
+
+    def test_e8_ticks_grow_rounds_flat(self):
+        table = run_experiment("E8", quick=True)
+        ticks_column = table.columns.index("mean ticks")
+        rounds_column = table.columns.index("max rounds")
+        ticks = [row[ticks_column] for row in table.rows]
+        assert ticks == sorted(ticks) and ticks[-1] > 2 * ticks[0]
+        assert all(row[rounds_column] <= 14 for row in table.rows)
+
+    def test_e9_protocol2_never_wrong(self):
+        table = run_experiment("E9", quick=True)
+        protocol_column = table.columns.index("protocol")
+        wrong_column = table.columns.index("wrong answers")
+        for row in table.rows:
+            if row[protocol_column] == "Protocol 2":
+                assert row[wrong_column] == 0
+
+    def test_e10_benor_slower_than_p1_under_balancer(self):
+        table = run_experiment("E10", quick=True)
+        rows = {
+            (row[1], row[2]): row[table.columns.index("mean stages")]
+            for row in table.rows
+            if row[0] == 6  # n = 6
+        }
+        balancer = "balancer (content-aware)"
+        assert rows[(balancer, "Ben-Or")] > rows[(balancer, "Protocol 1")]
+
+    def test_e11_threshold_at_t(self):
+        table = run_experiment("E11", quick=True)
+        crash_column = table.columns.index("crashes")
+        termination_column = table.columns.index("termination rate")
+        t_column = table.columns.index("t")
+        for row in table.rows:
+            if row[crash_column] <= row[t_column]:
+                assert row[termination_column] == "100%"
+            else:
+                assert row[termination_column] == "0%"

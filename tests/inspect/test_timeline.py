@@ -1,0 +1,90 @@
+"""Tests for the run inspection helpers."""
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import ScheduledCrashAdversary
+from repro.inspect import (
+    render_lanes,
+    render_round_chart,
+    render_timeline,
+    summarize_run,
+)
+from tests.conftest import make_commit_simulation
+
+
+def recorded_run(**kwargs):
+    sim, _ = make_commit_simulation([1] * 3, t=1, **kwargs)
+    return sim.run().run
+
+
+class TestRenderTimeline:
+    def test_contains_header_and_events(self):
+        run = recorded_run()
+        text = render_timeline(run)
+        assert "n=3 t=1 K=4" in text
+        assert "p0" in text and "p1" in text and "p2" in text
+
+    def test_marks_decisions(self):
+        text = render_timeline(recorded_run())
+        assert "DECIDES 1" in text
+
+    def test_limit_truncates(self):
+        run = recorded_run()
+        text = render_timeline(run, limit=3)
+        assert "more events" in text
+        assert text.count("\n") < run.event_count
+
+    def test_marks_crashes(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=2, cycle=2)]
+        )
+        run = recorded_run(adversary=adversary)
+        assert "CRASH" in render_timeline(run)
+
+    def test_payload_kinds_visible(self):
+        text = render_timeline(recorded_run())
+        assert "GoMessage" in text
+        assert "VoteMessage" in text
+
+
+class TestRenderLanes:
+    def test_one_column_per_processor(self):
+        run = recorded_run()
+        lines = render_lanes(run).splitlines()
+        assert lines[0].split() == ["event", "p0", "p1", "p2"]
+        assert len(lines) == run.event_count + 1
+
+    def test_decision_symbol_appears(self):
+        assert "D" in render_lanes(recorded_run())
+
+    def test_crash_symbol(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=1, cycle=2)]
+        )
+        assert "X" in render_lanes(recorded_run(adversary=adversary))
+
+
+class TestRenderRoundChart:
+    def test_boundaries_and_decisions(self):
+        text = render_round_chart(recorded_run())
+        assert "p0: ends at clocks" in text
+        assert "decided in round" in text
+        assert "last nonfaulty decision" in text
+
+
+class TestSummarizeRun:
+    def test_happy_path(self):
+        text = summarize_run(recorded_run())
+        assert "all deciders chose 1" in text
+        assert "crashed=none" in text
+        assert "3/3 programs returned" in text
+
+    def test_crash_reported(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=2, cycle=2)]
+        )
+        text = summarize_run(recorded_run(adversary=adversary))
+        assert "crashed=[2]" in text
+
+    def test_undecided_run(self):
+        run = recorded_run(max_steps=5)
+        assert "no processor decided" in summarize_run(run)

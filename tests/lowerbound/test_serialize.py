@@ -1,0 +1,88 @@
+"""Tests for schedule serialization and cross-process replay."""
+
+import json
+
+import pytest
+
+from repro.core.commit import CommitProgram
+from repro.errors import AnalysisError
+from repro.lowerbound.replay import ScheduleReplayer
+from repro.lowerbound.serialize import (
+    export_run,
+    load_schedule,
+    save_run,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.lowerbound.schedules import schedule_from_run
+from tests.conftest import make_commit_simulation
+
+
+def recorded(seed=3, votes=(1, 1, 1, 1)):
+    sim, _ = make_commit_simulation(list(votes), t=1, seed=seed)
+    return sim.run().run
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        run = recorded()
+        schedule = schedule_from_run(run)
+        data = schedule_to_dict(schedule, n=run.n, t=run.t, K=run.K)
+        restored = schedule_from_dict(data)
+        assert restored == schedule
+
+    def test_json_serialisable(self):
+        run = recorded()
+        text = json.dumps(export_run(run, tape_seed=3))
+        assert '"events"' in text
+
+    def test_file_round_trip_and_replay(self, tmp_path):
+        run = recorded(seed=7)
+        path = save_run(run, tmp_path / "run.json", tape_seed=7, note="test")
+        schedule, context = load_schedule(path)
+        assert context["n"] == 4
+        assert context["note"] == "test"
+        programs = [
+            CommitProgram(pid=p, n=4, t=1, initial_vote=1, K=context["K"])
+            for p in range(4)
+        ]
+        replayer = ScheduleReplayer(
+            programs, K=context["K"], t=context["t"], seed=context["tape_seed"]
+        )
+        replayer.apply(schedule)
+        for pid in range(4):
+            assert (
+                replayer.simulation.processes[pid].decision
+                == run.decisions[pid]
+            )
+
+
+class TestValidation:
+    def test_version_checked(self):
+        with pytest.raises(AnalysisError, match="version"):
+            schedule_from_dict({"version": 99, "events": []})
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(AnalysisError, match="malformed"):
+            schedule_from_dict(
+                {"version": 1, "events": [{"pid": 0, "kind": "bogus"}]}
+            )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(AnalysisError):
+            schedule_from_dict({"version": 1, "events": [{}]})
+
+    def test_crash_events_survive(self):
+        from repro.adversary.base import CrashAt
+        from repro.adversary.crash import ScheduledCrashAdversary
+
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=3, cycle=2)]
+        )
+        sim, _ = make_commit_simulation([1] * 4, t=1, adversary=adversary)
+        run = sim.run().run
+        restored = schedule_from_dict(export_run(run))
+        from repro.lowerbound.schedules import EventKind
+
+        fails = [e for e in restored if e.kind is EventKind.FAIL]
+        assert len(fails) == 1 and fails[0].pid == 3

@@ -1,0 +1,68 @@
+"""Tests for the Theorem 14 and Theorem 17 demonstrations."""
+
+import pytest
+
+from repro.lowerbound.theorem14 import (
+    demonstrate_boundary,
+    kill_half_adversary,
+    run_boundary_case,
+)
+from repro.lowerbound.theorem17 import (
+    measure_delay_scaling,
+    run_delay_point,
+    uniform_delay_adversary,
+)
+
+
+class TestTheorem14:
+    def test_kill_half_validation(self):
+        with pytest.raises(ValueError):
+            kill_half_adversary(n=3, t=3)
+
+    def test_blocks_at_the_bound(self):
+        result = run_boundary_case(n=4, t=2, max_steps=4_000)
+        assert not result.terminated
+        assert result.consistent
+        assert result.decided_values == frozenset()
+
+    def test_decides_above_the_bound(self):
+        result = run_boundary_case(n=5, t=2, max_steps=15_000)
+        assert result.terminated
+        assert result.consistent
+        # Survivors' GO collection times out -> abort.
+        assert result.decided_values == frozenset({0})
+
+    def test_sharp_threshold_pair(self):
+        at_bound, above_bound = demonstrate_boundary(t=1, max_steps=4_000)
+        assert not at_bound.terminated
+        assert above_bound.terminated
+        assert at_bound.consistent and above_bound.consistent
+
+
+class TestTheorem17:
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            uniform_delay_adversary(0)
+
+    def test_single_point(self):
+        point = run_delay_point(n=5, delay_cycles=2)
+        assert point.terminated
+        assert point.decision_ticks is not None
+        assert point.decision_rounds is not None
+
+    def test_ticks_grow_with_delay(self):
+        points = measure_delay_scaling(n=5, delays=(1, 8, 32))
+        ticks = [p.decision_ticks for p in points]
+        assert ticks[0] < ticks[1] < ticks[2]
+        # Roughly linear: quadrupling the delay should at least double
+        # the decision time.
+        assert ticks[2] > 2 * ticks[1]
+
+    def test_rounds_stay_bounded(self):
+        points = measure_delay_scaling(n=5, delays=(1, 8, 32))
+        rounds = [p.decision_rounds for p in points]
+        assert max(rounds) <= 14  # the Theorem 10 budget, delay-independent
+
+    def test_large_delays_make_runs_late(self):
+        point = run_delay_point(n=5, delay_cycles=16, K=4)
+        assert not point.on_time

@@ -1,0 +1,36 @@
+"""Tests for the bivalence witness (Lemma 15, executably)."""
+
+from repro.lowerbound.valency import bivalence_witness
+from repro.types import Decision
+
+
+class TestBivalenceWitness:
+    def test_witness_is_bivalent(self):
+        witness = bivalence_witness(n=5, K=4, tape_seed=1)
+        assert witness.is_bivalent
+        assert witness.fast.unanimous_decision is Decision.COMMIT
+        assert witness.slow.unanimous_decision is Decision.ABORT
+
+    def test_same_tapes_different_outcomes(self):
+        # The whole point: identical F, identical initial configuration,
+        # only the timing differs.
+        witness = bivalence_witness(n=5, K=4, tape_seed=2)
+        assert witness.tape_seed == 2
+        assert witness.fast.terminated and witness.slow.terminated
+        assert (
+            witness.fast.unanimous_decision
+            != witness.slow.unanimous_decision
+        )
+
+    def test_fast_run_is_on_time_slow_is_not(self):
+        witness = bivalence_witness(n=5, K=4, tape_seed=3)
+        assert witness.fast.on_time
+        assert not witness.slow.on_time
+
+    def test_holds_across_seeds(self):
+        for seed in range(5):
+            assert bivalence_witness(n=5, K=4, tape_seed=seed).is_bivalent
+
+    def test_holds_for_other_sizes(self):
+        for n in (3, 7):
+            assert bivalence_witness(n=n, K=4, tape_seed=0).is_bivalent

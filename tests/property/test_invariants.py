@@ -1,0 +1,145 @@
+"""Hypothesis property tests on the paper's core invariants.
+
+These drive Protocol 1 and Protocol 2 over randomized vote patterns,
+fault budgets, crash schedules, and scheduling seeds, asserting the
+correctness conditions that must hold in *every* run:
+
+* agreement — at most one decision value;
+* abort validity — any initial 0 forces abort (when deciding);
+* commit validity — all-1 + failure-free + on-time forces commit;
+* decisions equal program outputs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import ScheduledCrashAdversary
+from repro.adversary.random_walk import RandomAdversary
+from repro.adversary.standard import LateMessageAdversary, OnTimeAdversary
+from tests.conftest import make_agreement_simulation, make_commit_simulation
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+votes_strategy = st.lists(st.integers(0, 1), min_size=3, max_size=7)
+seed_strategy = st.integers(0, 10_000)
+
+
+@st.composite
+def adversaries(draw):
+    seed = draw(seed_strategy)
+    kind = draw(st.sampled_from(["random", "ontime", "late"]))
+    if kind == "random":
+        return RandomAdversary(
+            seed=seed,
+            deliver_probability=draw(
+                st.floats(0.2, 1.0, allow_nan=False)
+            ),
+        )
+    if kind == "ontime":
+        return OnTimeAdversary(K=4, seed=seed)
+    return LateMessageAdversary(
+        K=4,
+        seed=seed,
+        late_probability=draw(st.floats(0.0, 0.6, allow_nan=False)),
+    )
+
+
+class TestCommitInvariants:
+    @SLOW
+    @given(votes=votes_strategy, adversary=adversaries(), seed=seed_strategy)
+    def test_agreement_and_abort_validity(self, votes, adversary, seed):
+        sim, _ = make_commit_simulation(
+            votes, adversary=adversary, seed=seed, max_steps=40_000
+        )
+        result = sim.run()
+        run = result.run
+        # Agreement condition, unconditionally.
+        assert run.agreement_holds()
+        # Abort validity: any initial 0 means nobody decides commit.
+        if 0 in votes:
+            assert 1 not in run.decision_values()
+        # Output/decision coherence.
+        for pid, process in enumerate(sim.processes):
+            if run.decisions[pid] is not None and process.halted:
+                assert int(process.output) == run.decisions[pid]
+
+    @SLOW
+    @given(seed=seed_strategy, n=st.integers(3, 7))
+    def test_commit_validity_on_well_behaved_runs(self, seed, n):
+        sim, _ = make_commit_simulation(
+            [1] * n, adversary=OnTimeAdversary(K=4, seed=seed), seed=seed
+        )
+        result = sim.run()
+        run = result.run
+        assert run.is_on_time() and not run.faulty()
+        assert set(result.decisions().values()) == {1}
+
+    @SLOW
+    @given(
+        seed=seed_strategy,
+        n=st.integers(4, 7),
+        crash_data=st.data(),
+    )
+    def test_safety_under_crashes(self, seed, n, crash_data):
+        t = (n - 1) // 2
+        crash_count = crash_data.draw(st.integers(0, n - 1))
+        victims = crash_data.draw(
+            st.permutations(list(range(n))).map(lambda p: p[:crash_count])
+        )
+        plan = [
+            CrashAt(pid=pid, cycle=2 + index)
+            for index, pid in enumerate(victims)
+        ]
+        adversary = ScheduledCrashAdversary(crash_plan=plan, seed=seed)
+        sim, _ = make_commit_simulation(
+            [1] * n, adversary=adversary, seed=seed, max_steps=6_000
+        )
+        result = sim.run()
+        assert result.run.agreement_holds()
+        if crash_count <= t:
+            assert result.terminated
+
+
+class TestAgreementInvariants:
+    @SLOW
+    @given(
+        values=st.lists(st.integers(0, 1), min_size=3, max_size=7),
+        seed=seed_strategy,
+    )
+    def test_agreement_validity_and_consistency(self, values, seed):
+        sim, _ = make_agreement_simulation(
+            values,
+            adversary=RandomAdversary(seed=seed),
+            seed=seed,
+            max_steps=40_000,
+        )
+        result = sim.run()
+        decided = {d for d in result.decisions().values() if d is not None}
+        assert len(decided) <= 1
+        if len(set(values)) == 1 and decided:
+            assert decided == set(values)
+
+    @SLOW
+    @given(seed=seed_strategy)
+    def test_decision_stages_within_one(self, seed):
+        # Lemma 3 speaks about decisions reached at line 14; ECHO halting
+        # keeps every decision a line-14 decision (DECIDE_BROADCAST's
+        # adoption path records the adopter's current stage instead, so
+        # the skew bound does not apply to it).
+        from repro.core.halting import HaltingMode
+
+        sim, programs = make_agreement_simulation(
+            [0, 1, 0, 1, 1],
+            adversary=RandomAdversary(seed=seed),
+            seed=seed,
+            halting=HaltingMode.ECHO,
+        )
+        result = sim.run()
+        if result.terminated:
+            stages = [p.stats.decision_stage for p in programs]
+            assert max(stages) - min(stages) <= 1

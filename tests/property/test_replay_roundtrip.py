@@ -1,0 +1,64 @@
+"""Property: any recorded run replays to identical observable states.
+
+This is determinism of ``run(A, I, F)`` made into a round-trip law:
+record a run under an arbitrary adversary, recover its abstract schedule
+(deliveries named by provenance), serialise it through JSON, replay it
+against fresh programs with the same tapes — and every processor's
+decisions, outputs, and clock match the original.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.chaos import ChaosAdversary
+from repro.adversary.random_walk import RandomAdversary
+from repro.core.commit import CommitProgram
+from repro.lowerbound.replay import ScheduleReplayer
+from repro.lowerbound.serialize import export_run, schedule_from_dict
+from tests.conftest import make_commit_simulation
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def fresh_programs(votes, t):
+    return [
+        CommitProgram(pid=pid, n=len(votes), t=t, initial_vote=vote, K=4)
+        for pid, vote in enumerate(votes)
+    ]
+
+
+class TestReplayRoundTrip:
+    @SLOW
+    @given(
+        seed=st.integers(0, 5_000),
+        votes=st.lists(st.integers(0, 1), min_size=3, max_size=6),
+        chaotic=st.booleans(),
+    )
+    def test_schedule_json_replay_matches(self, seed, votes, chaotic):
+        n = len(votes)
+        t = (n - 1) // 2
+        if chaotic:
+            adversary = ChaosAdversary(n=n, max_crashes=t, seed=seed)
+        else:
+            adversary = RandomAdversary(seed=seed)
+        sim, _ = make_commit_simulation(
+            votes, adversary=adversary, seed=seed, max_steps=15_000
+        )
+        original = sim.run().run
+
+        schedule = schedule_from_dict(export_run(original, tape_seed=seed))
+        replayer = ScheduleReplayer(
+            fresh_programs(votes, t), K=4, t=t, seed=seed
+        )
+        replayer.apply(schedule)
+        replayed = replayer.simulation
+
+        for pid in range(n):
+            assert replayed.processes[pid].decision == original.decisions[pid]
+            assert replayed.processes[pid].output == original.outputs[pid]
+            assert replayed.processes[pid].status == original.statuses[pid]
+        assert replayed.event_count == original.event_count

@@ -1,0 +1,71 @@
+"""Tests for the Ben-Or baseline."""
+
+import pytest
+
+from repro.adversary.random_walk import RandomAdversary
+from repro.adversary.standard import SynchronousAdversary
+from repro.core.coins import CoinList
+from repro.errors import ConfigurationError
+from repro.protocols.benor import BenOrProgram
+from repro.sim.scheduler import Simulation
+
+
+def run_benor(values, t=None, adversary=None, seed=0, max_steps=50_000):
+    n = len(values)
+    if t is None:
+        t = (n - 1) // 2
+    programs = [
+        BenOrProgram(pid=p, n=n, t=t, initial_value=v)
+        for p, v in enumerate(values)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    sim = Simulation(
+        programs, adversary, K=4, t=t, seed=seed, max_steps=max_steps
+    )
+    return sim.run(), programs
+
+
+class TestBenOr:
+    def test_has_no_shared_coins(self):
+        program = BenOrProgram(pid=0, n=3, t=1, initial_value=1)
+        assert program.coins == CoinList.empty()
+
+    def test_resilience_validation_inherited(self):
+        with pytest.raises(ConfigurationError):
+            BenOrProgram(pid=0, n=2, t=1, initial_value=0)
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity(self, value):
+        result, _ = run_benor([value] * 5)
+        assert set(result.decisions().values()) == {value}
+
+    def test_agreement_with_split_inputs(self):
+        for seed in range(6):
+            result, _ = run_benor(
+                [0, 1, 0, 1, 1],
+                adversary=RandomAdversary(seed=seed),
+                seed=seed,
+            )
+            assert result.terminated
+            values = set(result.decisions().values())
+            assert len(values) == 1
+
+    def test_private_coins_used_when_needed(self):
+        # Under the splitter with split inputs, some stage usually ends
+        # all-bottom, forcing a private flip (no shared list to consult).
+        from repro.adversary.splitter import SplitVoteAdversary
+
+        flipped_somewhere = False
+        for seed in range(10):
+            result, programs = run_benor(
+                [0, 1, 0, 1],
+                t=1,
+                adversary=SplitVoteAdversary(n=4, seed=seed, hold_cycles=3),
+                seed=seed,
+            )
+            flipped_somewhere |= any(
+                p.stats.private_coin_stages > 0 for p in programs
+            )
+            assert all(p.stats.shared_coin_stages == 0 for p in programs)
+        assert flipped_somewhere

@@ -1,0 +1,84 @@
+"""Tests for Skeen's decentralized one-phase commit baseline."""
+
+import pytest
+
+from repro.adversary.standard import (
+    LateMessageAdversary,
+    OnTimeAdversary,
+    SynchronousAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.protocols.decentralized import DecentralizedCommitProgram
+from repro.sim.scheduler import Simulation
+from repro.types import Decision
+
+
+def run_decentralized(votes, adversary=None, seed=0, max_steps=20_000, K=4):
+    n = len(votes)
+    programs = [
+        DecentralizedCommitProgram(pid=p, n=n, initial_vote=v, K=K)
+        for p, v in enumerate(votes)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    sim = Simulation(
+        programs,
+        adversary,
+        K=K,
+        t=(n - 1) // 2,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return sim.run(), programs
+
+
+class TestHappyPath:
+    def test_all_yes_commits(self):
+        result, programs = run_decentralized([1] * 5)
+        assert result.terminated
+        assert set(result.decisions().values()) == {int(Decision.COMMIT)}
+        assert all(p.stats.votes_seen == 5 for p in programs)
+
+    def test_single_no_aborts_everywhere(self):
+        result, _ = run_decentralized([1, 1, 0, 1, 1])
+        assert set(result.decisions().values()) == {int(Decision.ABORT)}
+
+    def test_never_blocks(self):
+        # Even with all votes late, everyone times out and decides.
+        adversary = LateMessageAdversary(
+            K=4, seed=1, late_probability=1.0, lateness_factor=5
+        )
+        result, programs = run_decentralized([1] * 5, adversary=adversary)
+        assert result.terminated
+        assert all(p.stats.timed_out for p in programs)
+        assert set(result.decisions().values()) == {0}
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecentralizedCommitProgram(pid=0, n=3, initial_vote=1, K=0)
+
+    def test_on_time_jitter_consistent(self):
+        for seed in range(5):
+            result, _ = run_decentralized(
+                [1] * 5, adversary=OnTimeAdversary(K=4, seed=seed), seed=seed
+            )
+            assert result.run.agreement_holds()
+            assert set(result.decisions().values()) == {1}
+
+
+class TestTimingFragility:
+    def test_single_late_vote_splits_decisions(self):
+        # The purest form of the paper's opening observation: one late
+        # vote copy and the system splits.
+        conflicting = 0
+        for seed in range(40):
+            adversary = LateMessageAdversary(
+                K=4,
+                seed=seed,
+                late_probability=0.15,
+                lateness_factor=4,
+            )
+            result, _ = run_decentralized([1] * 5, adversary=adversary, seed=seed)
+            if not result.run.agreement_holds():
+                conflicting += 1
+        assert conflicting > 0

@@ -1,0 +1,88 @@
+"""Tests for the 3PC baseline: nonblocking under synchrony, inconsistent
+under bad timing."""
+
+import pytest
+
+from repro.adversary.crash import AdaptiveCrashAdversary
+from repro.adversary.standard import LateMessageAdversary, SynchronousAdversary
+from repro.errors import ConfigurationError
+from repro.protocols.threepc import ThreePCProgram
+from repro.sim.scheduler import Simulation
+from repro.types import Decision
+
+
+def run_threepc(votes, adversary=None, seed=0, max_steps=20_000, K=4):
+    n = len(votes)
+    programs = [
+        ThreePCProgram(pid=p, n=n, initial_vote=v, K=K)
+        for p, v in enumerate(votes)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    sim = Simulation(
+        programs,
+        adversary,
+        K=K,
+        t=(n - 1) // 2,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return sim.run(), programs
+
+
+class TestHappyPath:
+    def test_all_yes_commits(self):
+        result, programs = run_threepc([1] * 5)
+        assert set(result.decisions().values()) == {int(Decision.COMMIT)}
+        assert all(p.stats.reached_precommit for p in programs)
+
+    def test_single_no_aborts(self):
+        result, programs = run_threepc([1, 0, 1, 1, 1])
+        assert set(result.decisions().values()) == {0}
+        assert not any(p.stats.reached_precommit for p in programs)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThreePCProgram(pid=0, n=3, initial_vote=1, K=0)
+
+
+class TestNonblockingUnderCrashes:
+    def test_coordinator_crash_mid_fanout_does_not_block(self):
+        # This is 3PC's raison d'etre: the timeout transitions terminate
+        # the survivors even when the coordinator dies silently.
+        adversary = AdaptiveCrashAdversary(
+            victims=[0],
+            kill_after_sends=2,
+            suppress_to={1, 2, 3, 4},
+        )
+        result, _ = run_threepc([1] * 5, adversary=adversary)
+        assert result.terminated
+
+
+class TestLateMessages:
+    def test_lateness_can_produce_conflicting_decisions(self):
+        # A participant still in the wait state aborts on timeout while a
+        # precommitted one commits on timeout.
+        conflicting = 0
+        for seed in range(60):
+            adversary = LateMessageAdversary(
+                K=4,
+                seed=seed,
+                late_probability=0.4,
+                lateness_factor=4,
+                target_senders={0},
+            )
+            result, _ = run_threepc([1] * 5, adversary=adversary, seed=seed)
+            if not result.run.agreement_holds():
+                conflicting += 1
+        assert conflicting > 0
+
+    def test_consistent_when_on_time(self):
+        from repro.adversary.standard import OnTimeAdversary
+
+        for seed in range(8):
+            result, _ = run_threepc(
+                [1] * 5, adversary=OnTimeAdversary(K=4, seed=seed), seed=seed
+            )
+            assert result.run.agreement_holds()
+            assert result.terminated

@@ -1,0 +1,124 @@
+"""Tests for the 2PC baseline: correct under synchrony, wrong under late
+messages, blocking under coordinator crashes."""
+
+import pytest
+
+from repro.adversary.crash import AdaptiveCrashAdversary
+from repro.adversary.standard import LateMessageAdversary, SynchronousAdversary
+from repro.errors import ConfigurationError
+from repro.protocols.twopc import TimeoutAction, TwoPCProgram
+from repro.sim.scheduler import Simulation
+from repro.types import Decision
+
+
+def run_twopc(
+    votes,
+    adversary=None,
+    timeout_action=TimeoutAction.PRESUME_ABORT,
+    seed=0,
+    max_steps=20_000,
+    K=4,
+):
+    n = len(votes)
+    programs = [
+        TwoPCProgram(
+            pid=p, n=n, initial_vote=v, K=K, timeout_action=timeout_action
+        )
+        for p, v in enumerate(votes)
+    ]
+    if adversary is None:
+        adversary = SynchronousAdversary(seed=seed)
+    sim = Simulation(
+        programs,
+        adversary,
+        K=K,
+        t=(n - 1) // 2,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return sim.run(), programs
+
+
+class TestHappyPath:
+    def test_all_yes_commits(self):
+        result, programs = run_twopc([1] * 5)
+        assert result.terminated
+        assert set(result.decisions().values()) == {int(Decision.COMMIT)}
+
+    def test_single_no_aborts(self):
+        result, _ = run_twopc([1, 1, 0, 1, 1])
+        assert set(result.decisions().values()) == {int(Decision.ABORT)}
+
+    def test_coordinator_no_vote_aborts(self):
+        result, _ = run_twopc([0, 1, 1, 1, 1])
+        assert set(result.decisions().values()) == {0}
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPCProgram(pid=0, n=3, initial_vote=1, K=0)
+
+
+class TestLateMessages:
+    def test_presume_abort_can_produce_wrong_answer(self):
+        # The coordinator's fan-out is late; some participant presumes
+        # abort after the coordinator committed.  This is the paper's
+        # "a single violation of the timing assumptions can cause the
+        # protocol to produce the wrong answer".
+        conflicting = 0
+        for seed in range(40):
+            adversary = LateMessageAdversary(
+                K=4,
+                seed=seed,
+                late_probability=0.35,
+                lateness_factor=4,
+                target_senders={0},
+            )
+            result, _ = run_twopc([1] * 5, adversary=adversary, seed=seed)
+            if not result.run.agreement_holds():
+                conflicting += 1
+        assert conflicting > 0
+
+    def test_blocking_variant_never_conflicts_under_lateness(self):
+        for seed in range(15):
+            adversary = LateMessageAdversary(
+                K=4, seed=seed, late_probability=0.35, target_senders={0}
+            )
+            result, _ = run_twopc(
+                [1] * 5,
+                adversary=adversary,
+                timeout_action=TimeoutAction.BLOCK,
+                seed=seed,
+            )
+            assert result.run.agreement_holds()
+
+
+class TestCoordinatorCrash:
+    def crash_mid_fanout(self, seed=0):
+        return AdaptiveCrashAdversary(
+            victims=[0],
+            kill_after_sends=2,
+            suppress_to={1, 2, 3, 4},
+            seed=seed,
+        )
+
+    def test_presume_abort_conflicts_when_commit_fanout_dies(self):
+        result, programs = run_twopc([1] * 5, adversary=self.crash_mid_fanout())
+        # The coordinator decided commit then crashed mid-fan-out; the
+        # others presumed abort: a genuine wrong answer.
+        assert not result.run.agreement_holds()
+        assert result.decisions()[0] == 1
+        assert set(result.decisions()[p] for p in range(1, 5)) == {0}
+
+    def test_blocking_variant_blocks_instead(self):
+        result, _ = run_twopc(
+            [1] * 5,
+            adversary=self.crash_mid_fanout(),
+            timeout_action=TimeoutAction.BLOCK,
+            max_steps=4_000,
+        )
+        assert result.run.agreement_holds()
+        assert not result.terminated  # the blocking problem of 2PC
+
+    def test_stats_record_presumption(self):
+        result, programs = run_twopc([1] * 5, adversary=self.crash_mid_fanout())
+        assert any(p.stats.presumed_abort for p in programs[1:])

@@ -1,0 +1,50 @@
+"""The asyncio runtime hosts *any* Program — agreement included."""
+
+import asyncio
+
+from repro.core.agreement import AgreementProgram
+from repro.core.api import shared_coins
+from repro.protocols.benor import BenOrProgram
+from repro.runtime.cluster import Cluster
+from repro.runtime.delays import UniformDelay
+
+
+def run_cluster(programs, seed=0, deadline=10.0):
+    cluster = Cluster(
+        programs=programs,
+        delay_model=UniformDelay(low=0.0005, high=0.002),
+        tick_interval=0.002,
+        seed=seed,
+    )
+    return asyncio.run(cluster.run(deadline=deadline))
+
+
+class TestAgreementOnAsyncio:
+    def test_protocol_one_agrees(self):
+        coins = shared_coins(5, seed=11)
+        programs = [
+            AgreementProgram(pid=p, n=5, t=2, initial_value=p % 2, coins=coins)
+            for p in range(5)
+        ]
+        result = run_cluster(programs, seed=11)
+        assert result.nonfaulty_all_returned()
+        assert result.consistent
+        assert len(result.decision_values()) == 1
+
+    def test_unanimous_validity(self):
+        coins = shared_coins(3, seed=4)
+        programs = [
+            AgreementProgram(pid=p, n=3, t=1, initial_value=1, coins=coins)
+            for p in range(3)
+        ]
+        result = run_cluster(programs, seed=4)
+        assert result.decision_values() == {1}
+
+    def test_benor_agrees_on_asyncio(self):
+        programs = [
+            BenOrProgram(pid=p, n=5, t=2, initial_value=p % 2)
+            for p in range(5)
+        ]
+        result = run_cluster(programs, seed=7)
+        assert result.nonfaulty_all_returned()
+        assert len(result.decision_values()) == 1

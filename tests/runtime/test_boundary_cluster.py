@@ -1,0 +1,54 @@
+"""Cross-track check: the Theorem 14 boundary also shows on asyncio.
+
+The deterministic track demonstrates blocking at ``n = 2t`` (E7); the
+asyncio runtime must agree: kill ``t`` of ``2t`` nodes and the survivors
+hang until the deadline; kill ``t`` of ``2t + 1`` and they decide.
+"""
+
+import asyncio
+
+from repro.core.commit import CommitProgram
+from repro.runtime.cluster import Cluster, CrashInjection
+from repro.runtime.delays import FixedDelay
+from repro.types import ProcessStatus
+
+
+def run_boundary(n: int, t: int, deadline: float):
+    programs = [
+        CommitProgram(
+            pid=p, n=n, t=t, initial_vote=1, K=6, allow_sub_resilience=True
+        )
+        for p in range(n)
+    ]
+    crashes = [
+        CrashInjection(pid=pid, after_seconds=0.002)
+        for pid in range(1, t + 1)
+    ]
+    cluster = Cluster(
+        programs=programs,
+        delay_model=FixedDelay(0.001),
+        tick_interval=0.002,
+        crashes=crashes,
+        seed=5,
+    )
+    return asyncio.run(cluster.run(deadline=deadline))
+
+
+class TestBoundaryOnAsyncio:
+    def test_blocks_at_n_equals_2t(self):
+        result = run_boundary(n=4, t=2, deadline=1.5)
+        survivors = [
+            r for r in result.nodes if r.status is not ProcessStatus.CRASHED
+        ]
+        assert survivors
+        assert all(r.status is ProcessStatus.RUNNING for r in survivors)
+        assert result.consistent  # blocked, never wrong
+
+    def test_decides_at_n_equals_2t_plus_1(self):
+        result = run_boundary(n=5, t=2, deadline=8.0)
+        survivors = [
+            r for r in result.nodes if r.status is not ProcessStatus.CRASHED
+        ]
+        assert all(r.status is ProcessStatus.RETURNED for r in survivors)
+        assert result.consistent
+        assert result.decision_values() <= {0}

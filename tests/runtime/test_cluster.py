@@ -1,0 +1,86 @@
+"""Integration tests for the asyncio cluster runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.core.commit import CommitProgram
+from repro.errors import ConfigurationError
+from repro.runtime.cluster import Cluster, CrashInjection, run_commit_cluster
+from repro.runtime.delays import FixedDelay, SpikeDelay, UniformDelay
+from repro.types import Decision, ProcessStatus
+
+
+class TestClusterValidation:
+    def test_requires_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(programs=[])
+
+    def test_requires_ordered_pids(self):
+        programs = [
+            CommitProgram(pid=1, n=2, t=0, initial_vote=1, K=4),
+            CommitProgram(pid=0, n=2, t=0, initial_vote=1, K=4),
+        ]
+        with pytest.raises(ConfigurationError):
+            Cluster(programs=programs)
+
+    def test_crash_target_in_range(self):
+        programs = [CommitProgram(pid=0, n=1, t=0, initial_vote=1, K=4)]
+        with pytest.raises(ConfigurationError):
+            Cluster(programs=programs, crashes=[CrashInjection(5, 0.1)])
+
+
+class TestCommitCluster:
+    def test_all_commit(self):
+        result = run_commit_cluster(
+            [1] * 5, delay_model=UniformDelay(), seed=1, deadline=8.0
+        )
+        assert result.nonfaulty_all_returned()
+        assert result.unanimous_decision is Decision.COMMIT
+
+    def test_abort_on_no_vote(self):
+        result = run_commit_cluster(
+            [1, 1, 0, 1, 1], delay_model=FixedDelay(0.001), seed=2, deadline=8.0
+        )
+        assert result.unanimous_decision is Decision.ABORT
+
+    def test_spiky_network_stays_consistent(self):
+        result = run_commit_cluster(
+            [1] * 5,
+            delay_model=SpikeDelay(late_probability=0.2),
+            seed=3,
+            deadline=8.0,
+        )
+        assert result.consistent
+
+    def test_crash_injection_tolerated(self):
+        result = run_commit_cluster(
+            [1] * 5,
+            delay_model=FixedDelay(0.001),
+            seed=4,
+            crashes=[CrashInjection(pid=4, after_seconds=0.003)],
+            deadline=8.0,
+        )
+        assert result.consistent
+        statuses = {r.pid: r.status for r in result.nodes}
+        assert statuses[4] is ProcessStatus.CRASHED
+        assert result.nonfaulty_all_returned()
+
+    def test_decisions_map_complete(self):
+        result = run_commit_cluster(
+            [1] * 3, delay_model=FixedDelay(0.001), seed=5, deadline=8.0
+        )
+        assert set(result.decisions()) == {0, 1, 2}
+
+    def test_same_programs_as_simulator(self):
+        # The cluster hosts CommitProgram directly — no separate protocol
+        # implementation exists for the runtime track.
+        cluster = Cluster(
+            programs=[
+                CommitProgram(pid=p, n=3, t=1, initial_vote=1, K=8)
+                for p in range(3)
+            ],
+            delay_model=FixedDelay(0.001),
+        )
+        result = asyncio.run(cluster.run(deadline=8.0))
+        assert result.unanimous_decision is Decision.COMMIT

@@ -1,0 +1,87 @@
+"""Unit tests for the asyncio node driver."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.delays import FixedDelay
+from repro.runtime.node import Node
+from repro.runtime.transport import AsyncTransport
+from repro.sim.message import RawPayload
+from repro.sim.process import Program
+from repro.sim.waits import ClockAtLeast, MessageCount
+from repro.types import ProcessStatus
+
+
+class EchoOnce(Program):
+    def run(self):
+        yield MessageCount(lambda p: True, 1)
+        data = self.board.entries()[0].payload.data
+        self.broadcast(RawPayload(("echo", data)))
+        return data
+
+
+class TickCounter(Program):
+    def run(self):
+        yield ClockAtLeast(5)
+        return self.clock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestNode:
+    def test_tick_interval_validation(self):
+        async def build():
+            transport = AsyncTransport(n=1)
+            return Node(TickCounter(0, 1), transport, tick_interval=0)
+
+        with pytest.raises(ValueError):
+            run(build())
+
+    def test_idle_ticks_advance_clock(self):
+        async def scenario():
+            transport = AsyncTransport(n=1, delay_model=FixedDelay(0.0))
+            node = Node(TickCounter(0, 1), transport, tick_interval=0.001)
+            return await node.run(deadline=5.0)
+
+        result = run(scenario())
+        assert result.status is ProcessStatus.RETURNED
+        assert result.output >= 5
+        assert result.steps >= 5
+
+    def test_message_driven_progress(self):
+        async def scenario():
+            transport = AsyncTransport(n=2, delay_model=FixedDelay(0.0))
+            node = Node(EchoOnce(0, 2), transport, tick_interval=0.001)
+            transport.send(1, 0, (RawPayload("ping"),))
+            return await node.run(deadline=5.0)
+
+        result = run(scenario())
+        assert result.status is ProcessStatus.RETURNED
+        assert result.output == "ping"
+
+    def test_deadline_stops_blocked_node(self):
+        class Forever(Program):
+            def run(self):
+                yield ClockAtLeast(10**12)
+
+        async def scenario():
+            transport = AsyncTransport(n=1)
+            node = Node(Forever(0, 1), transport, tick_interval=0.001)
+            return await node.run(deadline=0.05)
+
+        result = run(scenario())
+        assert result.status is ProcessStatus.RUNNING
+        assert result.decision is None
+
+    def test_crash_request_marks_node(self):
+        async def scenario():
+            transport = AsyncTransport(n=1)
+            node = Node(TickCounter(0, 1), transport, tick_interval=0.001)
+            node.request_crash()
+            return await node.run(deadline=5.0)
+
+        result = run(scenario())
+        assert result.status is ProcessStatus.CRASHED

@@ -1,0 +1,76 @@
+"""Tests for the asyncio transport."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NodeCrashedError
+from repro.runtime.delays import FixedDelay
+from repro.runtime.transport import AsyncTransport
+from repro.sim.message import RawPayload
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncTransport:
+    def test_requires_nodes(self):
+        async def build():
+            return AsyncTransport(n=0)
+
+        with pytest.raises(ValueError):
+            run(build())
+
+    def test_delivery(self):
+        async def scenario():
+            transport = AsyncTransport(n=2, delay_model=FixedDelay(0.0))
+            transport.send(0, 1, (RawPayload("hello"),))
+            await transport.drain()
+            wire = transport.inboxes[1].get_nowait()
+            return wire
+
+        wire = run(scenario())
+        assert wire.sender == 0
+        assert wire.payloads[0].data == "hello"
+
+    def test_crashed_sender_rejected(self):
+        async def scenario():
+            transport = AsyncTransport(n=2)
+            transport.crash(0)
+            transport.send(0, 1, (RawPayload("x"),))
+
+        with pytest.raises(NodeCrashedError):
+            run(scenario())
+
+    def test_delivery_to_crashed_recipient_dropped(self):
+        async def scenario():
+            transport = AsyncTransport(n=2, delay_model=FixedDelay(0.0))
+            transport.crash(1)
+            transport.send(0, 1, (RawPayload("x"),))
+            await transport.drain()
+            return transport
+
+        transport = run(scenario())
+        assert transport.stats.dropped_to_crashed == 1
+        assert transport.inboxes[1].empty()
+
+    def test_out_of_range_recipient(self):
+        async def scenario():
+            transport = AsyncTransport(n=2)
+            transport.send(0, 5, (RawPayload("x"),))
+
+        with pytest.raises(ValueError):
+            run(scenario())
+
+    def test_stats_counts(self):
+        async def scenario():
+            transport = AsyncTransport(n=3, delay_model=FixedDelay(0.0))
+            for recipient in (1, 2):
+                transport.send(0, recipient, (RawPayload("y"),))
+            await transport.drain()
+            return transport.stats
+
+        stats = run(scenario())
+        assert stats.sent == 2
+        assert stats.delivered == 2

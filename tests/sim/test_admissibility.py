@@ -1,0 +1,53 @@
+"""Tests for the t-admissibility monitor."""
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import ScheduledCrashAdversary
+from repro.adversary.standard import SynchronousAdversary
+from tests.conftest import make_commit_simulation
+
+
+class TestAdmissibilityReport:
+    def test_clean_run_is_admissible(self):
+        sim, _ = make_commit_simulation([1] * 5)
+        result = sim.run()
+        report = result.admissibility
+        assert report.within_fault_budget
+        assert report.crashes == ()
+        assert report.admissible_so_far
+        assert report.some_nonfaulty_received
+
+    def test_crashes_within_budget(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=3, cycle=2), CrashAt(pid=4, cycle=3)]
+        )
+        sim, _ = make_commit_simulation([1] * 5, adversary=adversary)
+        result = sim.run()
+        report = result.admissibility
+        assert report.crashes == (3, 4)
+        assert report.within_fault_budget
+
+    def test_crashes_beyond_budget_flagged(self):
+        adversary = ScheduledCrashAdversary(
+            crash_plan=[CrashAt(pid=p, cycle=2) for p in (2, 3, 4)]
+        )
+        sim, _ = make_commit_simulation(
+            [1] * 5, adversary=adversary, max_steps=2_000
+        )
+        result = sim.run()
+        report = result.admissibility
+        assert len(report.crashes) == 3
+        assert not report.within_fault_budget
+        assert not report.admissible_so_far
+
+    def test_terminated_run_may_leave_undelivered_messages(self):
+        # Processors return as soon as their program completes; leftover
+        # guaranteed envelopes are delivery debt but not a violation.
+        sim, _ = make_commit_simulation([1] * 5)
+        result = sim.run()
+        assert result.terminated
+        assert result.admissibility.undelivered_guaranteed >= 0
+
+    def test_report_t_matches_configuration(self):
+        sim, _ = make_commit_simulation([1] * 5, t=1)
+        result = sim.run()
+        assert result.admissibility.t == 1

@@ -1,0 +1,85 @@
+"""Tests for the bulletin board."""
+
+from repro.core.messages import GoMessage, StageMessage, VoteMessage
+from repro.sim.board import BulletinBoard
+from repro.sim.message import RawPayload, ReceivedPayload
+
+
+def entry(sender: int, payload) -> ReceivedPayload:
+    return ReceivedPayload(sender=sender, payload=payload, receive_clock=1)
+
+
+class TestBulletinBoard:
+    def test_starts_empty(self):
+        assert len(BulletinBoard()) == 0
+
+    def test_post_appends(self):
+        board = BulletinBoard()
+        board.post(entry(0, RawPayload("a")))
+        assert len(board) == 1
+
+    def test_entries_returns_copy_in_order(self):
+        board = BulletinBoard()
+        board.post(entry(0, RawPayload("a")))
+        board.post(entry(1, RawPayload("b")))
+        entries = board.entries()
+        assert [e.payload.data for e in entries] == ["a", "b"]
+        entries.clear()
+        assert len(board) == 2
+
+    def test_post_all(self):
+        board = BulletinBoard()
+        board.post_all([entry(0, RawPayload(i)) for i in range(3)])
+        assert len(board) == 3
+
+    def test_matching_filters_by_payload(self):
+        board = BulletinBoard()
+        board.post(entry(0, VoteMessage(vote=1)))
+        board.post(entry(1, GoMessage(coins=(0, 1))))
+        votes = board.matching(lambda p: isinstance(p, VoteMessage))
+        assert len(votes) == 1
+        assert votes[0].sender == 0
+
+    def test_count_matching_distinct_senders(self):
+        board = BulletinBoard()
+        board.post(entry(0, VoteMessage(vote=1)))
+        board.post(entry(0, VoteMessage(vote=1)))  # duplicate sender
+        board.post(entry(1, VoteMessage(vote=0)))
+        is_vote = lambda p: isinstance(p, VoteMessage)
+        assert board.count_matching(is_vote, distinct_senders=True) == 2
+        assert board.count_matching(is_vote, distinct_senders=False) == 3
+
+    def test_senders_matching(self):
+        board = BulletinBoard()
+        board.post(entry(2, VoteMessage(vote=1)))
+        board.post(entry(4, VoteMessage(vote=1)))
+        assert board.senders_matching(
+            lambda p: isinstance(p, VoteMessage) and p.vote == 1
+        ) == {2, 4}
+
+    def test_by_key_buckets_payloads(self):
+        board = BulletinBoard()
+        board.post(entry(0, StageMessage(phase=1, stage=1, value=0)))
+        board.post(entry(1, StageMessage(phase=1, stage=1, value=1)))
+        board.post(entry(2, StageMessage(phase=2, stage=1, value=None)))
+        bucket = board.by_key(("stage", 1, 1))
+        assert len(bucket) == 2
+        assert board.by_key(("stage", 2, 1))[0].sender == 2
+        assert board.by_key(("stage", 1, 99)) == []
+
+    def test_senders_for_key_counts_distinct(self):
+        board = BulletinBoard()
+        board.post(entry(0, GoMessage(coins=(1,))))
+        board.post(entry(0, GoMessage(coins=(1,))))
+        board.post(entry(3, GoMessage(coins=(1,))))
+        assert board.senders_for_key(("go",)) == {0, 3}
+        assert board.count_for_key(("go",)) == 2
+
+    def test_count_for_key_missing_key(self):
+        assert BulletinBoard().count_for_key(("nope",)) == 0
+
+    def test_raw_payloads_have_no_key(self):
+        board = BulletinBoard()
+        board.post(entry(0, RawPayload("x")))
+        # RawPayload declares no board_key; only matching() can find it.
+        assert board.count_matching(lambda p: True) == 1

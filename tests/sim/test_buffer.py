@@ -1,0 +1,91 @@
+"""Tests for per-processor message buffers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.buffer import MessageBuffer
+from repro.sim.message import Envelope, MessageId, RawPayload
+
+
+def envelope(mid: int, sender: int = 0, recipient: int = 1) -> Envelope:
+    return Envelope(
+        message_id=MessageId(mid),
+        sender=sender,
+        recipient=recipient,
+        payloads=(RawPayload(data=mid),),
+        send_event=mid,
+        send_clock=1,
+    )
+
+
+class TestMessageBuffer:
+    def test_starts_empty(self):
+        assert len(MessageBuffer()) == 0
+
+    def test_add_and_contains(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1))
+        assert MessageId(1) in buffer
+        assert len(buffer) == 1
+
+    def test_duplicate_add_rejected(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1))
+        with pytest.raises(SchedulingError):
+            buffer.add(envelope(1))
+
+    def test_take_removes_and_returns(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1))
+        buffer.add(envelope(2))
+        taken = buffer.take([MessageId(1)])
+        assert [e.message_id for e in taken] == [1]
+        assert MessageId(1) not in buffer
+        assert MessageId(2) in buffer
+
+    def test_take_missing_raises(self):
+        buffer = MessageBuffer()
+        with pytest.raises(SchedulingError, match="not applicable"):
+            buffer.take([MessageId(7)])
+
+    def test_take_preserves_insertion_order(self):
+        buffer = MessageBuffer()
+        for mid in (3, 1, 2):
+            buffer.add(envelope(mid))
+        taken = buffer.take([MessageId(2), MessageId(3)])
+        assert [e.message_id for e in taken] == [3, 2]
+
+    def test_take_empty_is_noop(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1))
+        assert buffer.take([]) == []
+        assert len(buffer) == 1
+
+    def test_peek_ids_oldest_first(self):
+        buffer = MessageBuffer()
+        for mid in (5, 2, 9):
+            buffer.add(envelope(mid))
+        assert buffer.peek_ids() == [5, 2, 9]
+
+    def test_pending_from_filters_by_sender(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1, sender=0))
+        buffer.add(envelope(2, sender=3))
+        buffer.add(envelope(3, sender=0))
+        assert [e.message_id for e in buffer.pending_from(0)] == [1, 3]
+
+    def test_drop_removes_without_delivery(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(1))
+        dropped = buffer.drop(MessageId(1))
+        assert dropped.message_id == 1
+        assert len(buffer) == 0
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchedulingError):
+            MessageBuffer().drop(MessageId(0))
+
+    def test_iteration_yields_envelopes(self):
+        buffer = MessageBuffer()
+        buffer.add(envelope(4))
+        assert [e.message_id for e in buffer] == [4]

@@ -1,0 +1,74 @@
+"""Tests for envelopes and payload primitives."""
+
+from repro.sim.message import (
+    Envelope,
+    EnvelopeFactory,
+    MessageId,
+    RawPayload,
+    ReceivedPayload,
+)
+
+
+class TestEnvelope:
+    def make(self, **overrides):
+        defaults = dict(
+            message_id=MessageId(1),
+            sender=0,
+            recipient=1,
+            payloads=(RawPayload("x"),),
+            send_event=5,
+            send_clock=2,
+        )
+        defaults.update(overrides)
+        return Envelope(**defaults)
+
+    def test_undelivered_by_default(self):
+        envelope = self.make()
+        assert not envelope.delivered
+        assert envelope.guaranteed
+
+    def test_delivered_once_receive_event_set(self):
+        envelope = self.make()
+        envelope.receive_event = 9
+        assert envelope.delivered
+
+    def test_payload_packing(self):
+        envelope = self.make(payloads=(RawPayload("a"), RawPayload("b")))
+        assert [p.data for p in envelope.payloads] == ["a", "b"]
+
+
+class TestEnvelopeFactory:
+    def test_ids_are_unique_and_increasing(self):
+        factory = EnvelopeFactory()
+        ids = [
+            factory.build(
+                sender=0,
+                recipient=1,
+                payloads=(),
+                send_event=i,
+                send_clock=1,
+            ).message_id
+            for i in range(5)
+        ]
+        assert ids == sorted(set(ids))
+
+    def test_metadata_threaded_through(self):
+        factory = EnvelopeFactory()
+        envelope = factory.build(
+            sender=3,
+            recipient=4,
+            payloads=(RawPayload(1),),
+            send_event=7,
+            send_clock=2,
+        )
+        assert (envelope.sender, envelope.recipient) == (3, 4)
+        assert (envelope.send_event, envelope.send_clock) == (7, 2)
+
+
+class TestReceivedPayload:
+    def test_defaults(self):
+        entry = ReceivedPayload(
+            sender=2, payload=RawPayload("y"), receive_clock=4
+        )
+        assert entry.message_id == MessageId(-1)
+        assert entry.sender == 2

@@ -1,0 +1,55 @@
+"""Tests for the adversary's pattern view."""
+
+from repro.adversary.standard import SynchronousAdversary
+from repro.sim.decisions import CrashDecision, StepDecision
+from tests.conftest import make_commit_simulation
+
+
+class TestPatternView:
+    def make(self):
+        sim, _ = make_commit_simulation([1] * 3, t=1)
+        return sim
+
+    def test_static_parameters(self):
+        sim = self.make()
+        view = sim.view
+        assert view.n == 3
+        assert view.t == 1
+        assert view.K == 4
+
+    def test_event_count_tracks_events(self):
+        sim = self.make()
+        assert sim.view.event_count == 0
+        sim.apply(StepDecision(pid=0))
+        assert sim.view.event_count == 1
+
+    def test_alive_and_crashed(self):
+        sim = self.make()
+        assert sim.view.alive() == [0, 1, 2]
+        sim.apply(CrashDecision(pid=1))
+        assert sim.view.alive() == [0, 2]
+        assert sim.view.crashed() == frozenset({1})
+
+    def test_pending_ids_oldest_first(self):
+        sim = self.make()
+        sim.apply(StepDecision(pid=0))  # coordinator fans out GO
+        ids = sim.view.pending_ids(1)
+        assert ids == sorted(ids)
+
+    def test_steps_between_counts_max_processor_steps(self):
+        sim = self.make()
+        for _ in range(2):
+            for pid in range(3):
+                sim.apply(StepDecision(pid=pid))
+        # Between event 0 and event 5 (exclusive bounds semantics of the
+        # underlying cumulative counts): each processor stepped at most
+        # twice in the window.
+        assert sim.max_steps_between(0, 6) <= 2
+
+    def test_view_is_contents_free(self):
+        sim = self.make()
+        sim.apply(StepDecision(pid=0))
+        for pending in sim.view.pending(1):
+            assert not hasattr(pending, "payloads")
+        for entry in sim.view.history():
+            assert not hasattr(entry, "payloads")

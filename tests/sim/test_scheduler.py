@@ -1,0 +1,179 @@
+"""Tests for the simulation scheduler."""
+
+import pytest
+
+from repro.adversary.scripted import FunctionAdversary, ScriptedAdversary
+from repro.adversary.standard import SynchronousAdversary
+from repro.errors import ConfigurationError, SchedulingError
+from repro.sim.decisions import CrashDecision, StepDecision
+from repro.sim.message import RawPayload
+from repro.sim.process import Program
+from repro.sim.scheduler import Outcome, Simulation
+from repro.sim.waits import ClockAtLeast, MessageCount
+from repro.types import ProcessStatus
+
+
+class Chatter(Program):
+    """Broadcasts a greeting, waits to hear from everyone, returns."""
+
+    def run(self):
+        self.broadcast(RawPayload(("hi", self.pid)))
+        yield MessageCount(lambda p: True, self.n)
+        return "done"
+
+
+class Sleeper(Program):
+    """Never finishes."""
+
+    def run(self):
+        yield ClockAtLeast(10**12)
+
+
+def chatters(n: int) -> list[Chatter]:
+    return [Chatter(pid, n) for pid in range(n)]
+
+
+class TestSimulationConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Simulation([], SynchronousAdversary(), K=4, t=0)
+
+    def test_rejects_misordered_pids(self):
+        programs = [Chatter(1, 2), Chatter(0, 2)]
+        with pytest.raises(ConfigurationError):
+            Simulation(programs, SynchronousAdversary(), K=4, t=0)
+
+    def test_rejects_bad_K(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(chatters(2), SynchronousAdversary(), K=0, t=0)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(chatters(2), SynchronousAdversary(), K=4, t=2)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(chatters(2), SynchronousAdversary(), K=4, t=0, max_steps=0)
+
+
+class TestRunLoop:
+    def test_terminates_when_all_return(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        result = sim.run()
+        assert result.outcome is Outcome.TERMINATED
+        assert all(
+            status is ProcessStatus.RETURNED
+            for status in result.run.statuses.values()
+        )
+        assert all(out == "done" for out in result.run.outputs.values())
+
+    def test_horizon_reached_for_blocked_programs(self):
+        programs = [Sleeper(pid, 2) for pid in range(2)]
+        sim = Simulation(
+            programs, SynchronousAdversary(), K=4, t=0, max_steps=50
+        )
+        result = sim.run()
+        assert result.outcome is Outcome.HORIZON
+        assert result.run.event_count == 50
+
+    def test_deterministic_given_seeds(self):
+        def run_once():
+            sim = Simulation(
+                chatters(3), SynchronousAdversary(seed=5), K=4, t=1, seed=9
+            )
+            result = sim.run()
+            return [
+                (e.index, e.kind, e.actor, e.delivered, e.sent)
+                for e in result.run.events
+            ]
+
+        assert run_once() == run_once()
+
+    def test_crash_decision_marks_processor(self):
+        script = [CrashDecision(pid=1)]
+        adversary = ScriptedAdversary(script, then=SynchronousAdversary())
+        sim = Simulation(chatters(3), adversary, K=4, t=1, max_steps=200)
+        result = sim.run()
+        assert result.run.statuses[1] is ProcessStatus.CRASHED
+        assert 1 in result.run.faulty()
+
+    def test_crashing_twice_rejected(self):
+        adversary = ScriptedAdversary(
+            [CrashDecision(pid=1), CrashDecision(pid=1)]
+        )
+        sim = Simulation(chatters(3), adversary, K=4, t=1)
+        sim.apply(adversary.decide(sim.view))
+        with pytest.raises(SchedulingError):
+            sim.apply(adversary.decide(sim.view))
+
+    def test_stepping_crashed_processor_rejected(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(CrashDecision(pid=0))
+        with pytest.raises(SchedulingError):
+            sim.apply(StepDecision(pid=0))
+
+    def test_delivering_unknown_message_rejected(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        with pytest.raises(SchedulingError):
+            sim.apply(StepDecision(pid=0, deliver=(999,)))
+
+    def test_guaranteed_flag_cleared_on_crash_after_final_send(self):
+        # Step processor 0 (it broadcasts), then crash it: the envelopes
+        # from its final (only) step lose their guarantee.
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(StepDecision(pid=0))
+        sim.apply(CrashDecision(pid=0))
+        pending = [env for buffer in sim.buffers for env in buffer]
+        from_zero = [env for env in pending if env.sender == 0]
+        assert from_zero and all(not env.guaranteed for env in from_zero)
+
+    def test_envelope_packing_one_per_recipient_per_step(self):
+        class DoubleSender(Program):
+            def run(self):
+                self.send(1, RawPayload("a"))
+                self.send(1, RawPayload("b"))
+                yield ClockAtLeast(10**12)
+
+        programs = [DoubleSender(0, 2), Sleeper(1, 2)]
+        sim = Simulation(programs, SynchronousAdversary(), K=4, t=0)
+        sim.apply(StepDecision(pid=0))
+        envelopes = list(sim.buffers[1])
+        assert len(envelopes) == 1
+        assert [p.data for p in envelopes[0].payloads] == ["a", "b"]
+
+    def test_function_adversary_drives_simulation(self):
+        order = []
+
+        def pick(view):
+            pid = view.alive()[view.event_count % 3]
+            order.append(pid)
+            return StepDecision(pid=pid, deliver=tuple(view.pending_ids(pid)))
+
+        sim = Simulation(chatters(3), FunctionAdversary(pick), K=4, t=1)
+        result = sim.run()
+        assert result.terminated
+        assert order[:3] == [0, 1, 2]
+
+
+class TestPatternQueries:
+    def test_clock_visible_through_view(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(StepDecision(pid=2))
+        assert sim.view.clock(2) == 1
+        assert sim.view.clock(0) == 0
+
+    def test_pending_metadata_hides_payloads(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(StepDecision(pid=0))
+        pending = sim.view.pending(1)
+        assert pending
+        assert not hasattr(pending[0], "payloads")
+        assert pending[0].sender == 0
+
+    def test_history_records_pattern_only(self):
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(StepDecision(pid=0))
+        entry = sim.view.history()[0]
+        assert entry.actor == 0
+        assert entry.kind == "step"
+        assert {record.recipient for record in entry.sent} == {1, 2}

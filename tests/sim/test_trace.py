@@ -1,0 +1,93 @@
+"""Tests for run traces, including the paper's lateness predicate."""
+
+from repro.adversary.base import CycleAdversary, DelayCycles
+from repro.adversary.standard import SynchronousAdversary
+from repro.sim.message import RawPayload
+from repro.sim.process import Program
+from repro.sim.scheduler import Simulation
+from repro.sim.waits import ClockAtLeast, MessageCount
+
+
+class PingAll(Program):
+    def run(self):
+        self.broadcast(RawPayload(self.pid))
+        yield MessageCount(lambda p: True, self.n)
+        return True
+
+
+def run_with(adversary, n=3, K=2, max_steps=5000):
+    programs = [PingAll(pid, n) for pid in range(n)]
+    sim = Simulation(programs, adversary, K=K, t=(n - 1) // 2, max_steps=max_steps)
+    return sim.run()
+
+
+class TestLateness:
+    def test_prompt_delivery_is_on_time(self):
+        result = run_with(SynchronousAdversary())
+        assert result.run.is_on_time()
+        assert result.run.late_messages() == []
+
+    def test_delayed_delivery_is_late(self):
+        slow = CycleAdversary(delivery=DelayCycles(min_cycles=5, max_cycles=5))
+        result = run_with(slow, K=2)
+        late = result.run.late_messages()
+        assert late
+        for envelope in late:
+            assert result.run.is_late(envelope)
+
+    def test_delay_below_K_is_on_time(self):
+        mild = CycleAdversary(delivery=DelayCycles(min_cycles=2, max_cycles=2))
+        result = run_with(mild, K=3)
+        assert result.run.is_on_time()
+
+    def test_undelivered_envelopes_are_not_late(self):
+        class Mute(Program):
+            def run(self):
+                self.broadcast(RawPayload("x"))
+                yield ClockAtLeast(3)
+                return True
+
+        hold = CycleAdversary(
+            delivery=DelayCycles(min_cycles=10**6, max_cycles=10**6)
+        )
+        programs = [Mute(pid, 2) for pid in range(2)]
+        sim = Simulation(programs, hold, K=1, t=0, max_steps=100)
+        result = sim.run()
+        assert result.run.is_on_time()  # nothing delivered, nothing late
+
+
+class TestRunQueries:
+    def test_decisions_and_values(self):
+        result = run_with(SynchronousAdversary())
+        run = result.run
+        assert run.decision_values() == set()  # PingAll never decides
+        assert run.agreement_holds()
+
+    def test_nonfaulty_and_faulty_partition(self):
+        result = run_with(SynchronousAdversary())
+        run = result.run
+        assert run.nonfaulty() == {0, 1, 2}
+        assert run.faulty() == set()
+
+    def test_steps_in_interval_counts_strictly_between(self):
+        result = run_with(SynchronousAdversary())
+        run = result.run
+        total_steps = sum(1 for e in run.events if e.actor == 0 and e.kind == "step")
+        assert run.steps_in_interval(0, -1, run.event_count) == total_steps
+        assert run.steps_in_interval(0, 0, 1) == 0
+
+    def test_envelopes_from_in_send_order(self):
+        result = run_with(SynchronousAdversary())
+        envelopes = result.run.envelopes_from(0)
+        events = [e.send_event for e in envelopes]
+        assert events == sorted(events)
+
+    def test_messages_sent_counts_envelopes(self):
+        result = run_with(SynchronousAdversary())
+        # each of 3 processors broadcasts once to 2 peers
+        assert result.run.messages_sent() == 6
+
+    def test_is_deciding_false_without_decisions(self):
+        result = run_with(SynchronousAdversary())
+        assert not result.run.is_deciding()
+        assert result.run.max_decision_clock() is None

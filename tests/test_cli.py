@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_adversary, main
+
+
+class TestRunCommit:
+    def test_happy_path(self, capsys):
+        code = main(["run-commit", "--votes", "1,1,1", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decision: COMMIT" in out
+        assert "asynchronous rounds" in out
+
+    def test_abort_vote(self, capsys):
+        code = main(["run-commit", "--votes", "1,0,1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decision: ABORT" in out
+
+    def test_timeline_and_lanes_and_rounds(self, capsys):
+        code = main(
+            [
+                "run-commit",
+                "--votes",
+                "1,1,1",
+                "--timeline",
+                "--lanes",
+                "--rounds",
+                "--limit",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recv[" in out  # timeline
+        assert "event  p0 p1 p2" in out  # lanes
+        assert "asynchronous rounds (clock" in out  # round chart
+
+    def test_crash_adversary(self, capsys):
+        code = main(
+            [
+                "run-commit",
+                "--votes",
+                "1,1,1,1,1",
+                "--adversary",
+                "crash",
+                "--crashes",
+                "3,4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashed=[3, 4]" in out
+
+    def test_invalid_votes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-commit", "--votes", "1,2,banana"])
+
+
+class TestSaveAndReplay:
+    def test_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "schedule.json"
+        assert main(["run-commit", "--votes", "1,1,1", "--save", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "p0: COMMIT" in out
+
+    def test_replay_vote_count_checked(self, tmp_path, capsys):
+        path = tmp_path / "schedule.json"
+        main(["run-commit", "--votes", "1,1,1", "--save", str(path)])
+        capsys.readouterr()
+        code = main(["replay", str(path), "--votes", "1,1,1,1,1"])
+        assert code == 2
+        assert "recorded with n=3" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("E1", "E7", "E13"):
+            assert experiment_id in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quick_experiment_runs(self, capsys):
+        assert main(["experiment", "E3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "bound held" in out
+
+
+class TestBuildAdversary:
+    @pytest.mark.parametrize(
+        "name", ["synchronous", "ontime", "late", "random", "crash"]
+    )
+    def test_all_choices_constructible(self, name):
+        adversary = build_adversary(name, K=4, seed=0, crashes=[1])
+        assert adversary is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_adversary("nope", K=4, seed=0, crashes=[])
