@@ -3,14 +3,18 @@
 Each benchmark runs one experiment (quick mode by default — set
 ``REPRO_BENCH_FULL=1`` for the full EXPERIMENTS.md workloads), times it
 via pytest-benchmark, validates the claim's headline property, and writes
-the rendered table under ``benchmarks/results/`` so the numbers that back
-EXPERIMENTS.md are regenerated on every run.
+the rendered table under ``benchmarks/results/`` — both the human
+``<id>.txt`` and a machine-readable ``<id>.json`` (table rows plus
+timing) — so the numbers that back EXPERIMENTS.md are regenerated on
+every run.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
@@ -30,14 +34,30 @@ def experiment_runner(benchmark):
         from repro.experiments.registry import run_experiment
 
         quick = not full_mode()
-        table = benchmark.pedantic(
-            lambda: run_experiment(experiment_id, quick=quick),
-            rounds=1,
-            iterations=1,
-        )
+        timing: dict[str, float] = {}
+
+        def timed() -> object:
+            start = time.perf_counter()
+            result = run_experiment(experiment_id, quick=quick)
+            timing["seconds"] = time.perf_counter() - start
+            return result
+
+        table = benchmark.pedantic(timed, rounds=1, iterations=1)
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
-        path.write_text(table.render() + "\n", encoding="utf-8")
+        stem = experiment_id.lower()
+        text_path = RESULTS_DIR / f"{stem}.txt"
+        text_path.write_text(table.render() + "\n", encoding="utf-8")
+        document = {
+            "id": experiment_id,
+            "quick": quick,
+            "seconds": timing.get("seconds"),
+            "table": table.to_dict(),
+        }
+        json_path = RESULTS_DIR / f"{stem}.json"
+        json_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
         return table
 
     return run

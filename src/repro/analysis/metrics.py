@@ -13,10 +13,14 @@ Each metric corresponds to a quantity the paper reasons about:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.api import ProtocolOutcome
-from repro.types import Decision
+from repro.errors import AnalysisError
+from repro.sim.rounds import RoundAnalyzer
+from repro.sim.trace import Run
+from repro.telemetry import registry as telemetry
+from repro.types import Decision, ProcessStatus
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,103 @@ class RunMetrics:
     events: int
     crashes: int
     on_time: bool
+
+
+def metrics_from_run(
+    run: Run,
+    analyzer: RoundAnalyzer | None = None,
+    record: bool = True,
+) -> RunMetrics:
+    """Build the metric bundle from a recorded run alone.
+
+    This is the trace-derivable subset: everything except the program
+    stage telemetry (``stages``, ``decision_stage``, coin-source splits),
+    which lives on the program objects and is therefore ``None`` here.
+    Because it needs nothing but the :class:`~repro.sim.trace.Run`, the
+    same function applies to live runs and to traces re-imported through
+    :mod:`repro.telemetry.runio` — the JSONL round-trip tests assert the
+    two agree exactly.
+    """
+    terminated = all(
+        run.statuses.get(pid) is ProcessStatus.RETURNED
+        for pid in run.nonfaulty()
+    )
+    rounds: int | None = None
+    if terminated:
+        try:
+            if analyzer is None:
+                analyzer = RoundAnalyzer(run)
+            rounds = analyzer.max_decision_round()
+        except AnalysisError:
+            rounds = None
+    decision_values = run.decision_values()
+    decision = decision_values.pop() if len(decision_values) == 1 else None
+    metrics = RunMetrics(
+        terminated=terminated,
+        consistent=run.agreement_holds(),
+        decision=decision,
+        rounds=rounds,
+        ticks=run.max_decision_clock(),
+        first_decision_ticks=min(
+            (c for c in run.decision_clocks.values() if c is not None),
+            default=None,
+        ),
+        stages=None,
+        decision_stage=None,
+        shared_coin_stages=None,
+        private_coin_stages=None,
+        messages=run.messages_sent(),
+        events=run.event_count,
+        crashes=len(run.faulty()),
+        on_time=run.is_on_time(),
+    )
+    if record:
+        _record_run_metrics(metrics)
+    return metrics
+
+
+def _record_run_metrics(metrics: RunMetrics) -> None:
+    """Mirror a metric bundle into the telemetry registry.
+
+    Wired into both extraction paths so experiment tables (built from
+    :class:`RunMetrics`) and registry snapshots agree by construction.
+    """
+    if not telemetry.enabled():
+        return
+    telemetry.count(
+        "analysis_runs_total",
+        help="metric bundles extracted, by outcome flags",
+        terminated=metrics.terminated,
+        consistent=metrics.consistent,
+        on_time=metrics.on_time,
+    )
+    if metrics.rounds is not None:
+        telemetry.observe(
+            "analysis_decision_rounds",
+            metrics.rounds,
+            help="rounds to the last nonfaulty decision (Theorem 10)",
+            buckets=telemetry.COUNT_BUCKETS,
+        )
+    if metrics.ticks is not None:
+        telemetry.observe(
+            "analysis_decision_ticks",
+            metrics.ticks,
+            help="clock ticks to the last decision (Remark 1)",
+            buckets=(8, 16, 32, 64, 128, 256, 512, 1024),
+        )
+    if metrics.stages is not None:
+        telemetry.observe(
+            "analysis_stages",
+            metrics.stages,
+            help="agreement stages started (Lemma 8)",
+            buckets=telemetry.COUNT_BUCKETS,
+        )
+    telemetry.observe(
+        "analysis_messages",
+        metrics.messages,
+        help="envelopes sent per run",
+        buckets=(16, 64, 256, 1024, 4096, 16384),
+    )
 
 
 def extract_metrics(
@@ -102,27 +203,20 @@ def extract_metrics(
         )
         shared_coin_stages = max(shared_values) if shared_values else None
         private_coin_stages = max(private_values) if private_values else None
-    decision_values = run.decision_values()
-    decision = decision_values.pop() if len(decision_values) == 1 else None
-    return RunMetrics(
-        terminated=outcome.terminated,
-        consistent=run.agreement_holds(),
-        decision=decision,
-        rounds=outcome.decision_round if outcome.terminated else None,
-        ticks=run.max_decision_clock(),
-        first_decision_ticks=min(
-            (c for c in run.decision_clocks.values() if c is not None),
-            default=None,
-        ),
+    base = metrics_from_run(
+        run,
+        analyzer=outcome.rounds if outcome.terminated else None,
+        record=False,
+    )
+    metrics = replace(
+        base,
         stages=stages,
         decision_stage=decision_stage,
         shared_coin_stages=shared_coin_stages,
         private_coin_stages=private_coin_stages,
-        messages=run.messages_sent(),
-        events=run.event_count,
-        crashes=len(run.faulty()),
-        on_time=run.is_on_time(),
     )
+    _record_run_metrics(metrics)
+    return metrics
 
 
 def commit_validity_satisfied(

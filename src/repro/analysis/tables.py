@@ -58,6 +58,28 @@ class ResultTable:
             parts.append(f"* {note}")
         return "\n".join(parts)
 
+    def to_dict(self) -> dict:
+        """Plain-data view of the table for JSON export.
+
+        Cells are kept as-is (JSON-native values pass through; anything
+        exotic is stringified the same way :meth:`render` would show it),
+        so machine consumers see the numbers, not their formatting.
+        """
+        return {
+            "title": self.title,
+            "columns": [str(c) for c in self.columns],
+            "rows": [
+                [
+                    cell
+                    if cell is None or isinstance(cell, (bool, int, float, str))
+                    else _format_cell(cell)
+                    for cell in row
+                ]
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
     def to_markdown(self) -> str:
         """Render the table as GitHub-flavoured markdown."""
         header = [str(c) for c in self.columns]

@@ -4,15 +4,24 @@ Commands:
 
 * ``run-commit`` — run Protocol 2 once under a chosen adversary and
   print the outcome (optionally a full timeline / lane view / round
-  chart), with ``--save`` to persist a replayable schedule;
+  chart), with ``--save`` to persist a replayable schedule,
+  ``--trace-out`` to archive the full run as JSONL, and ``--json`` for a
+  schema-versioned machine-readable document;
 * ``replay`` — re-execute a saved schedule and print the outcome;
 * ``experiments`` — list the registered experiments;
-* ``experiment`` — run one experiment and print its table.
+* ``experiment`` — run one experiment and print its table (``--json``
+  for machine-readable output);
+* ``stats`` — print a telemetry registry snapshot (JSON or
+  Prometheus-style text) for one or more archived JSONL traces.
+
+The global ``--log-level`` flag configures the ``repro`` logging channel
+(see :mod:`repro.telemetry.log`); it must precede the subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -99,6 +108,12 @@ def _print_outcome(outcome: ProtocolOutcome, args) -> None:
 
 
 def cmd_run_commit(args) -> int:
+    registry = None
+    if args.json:
+        from repro.telemetry.registry import enable_telemetry
+
+        registry = enable_telemetry()
+        registry.reset()
     adversary = build_adversary(
         args.adversary, K=args.K, seed=args.seed, crashes=args.crashes
     )
@@ -109,7 +124,31 @@ def cmd_run_commit(args) -> int:
         seed=args.seed,
         max_steps=args.max_steps,
     )
-    _print_outcome(outcome, args)
+    if args.json:
+        from repro.telemetry.summary import run_commit_document
+
+        document = run_commit_document(
+            outcome.run,
+            params={
+                "votes": list(args.votes),
+                "K": args.K,
+                "adversary": args.adversary,
+                "crashes": list(args.crashes),
+                "seed": args.seed,
+                "max_steps": args.max_steps,
+            },
+            programs=outcome.programs,
+            registry=registry,
+        )
+        print(json.dumps(document, sort_keys=True))
+    else:
+        _print_outcome(outcome, args)
+    if args.trace_out:
+        from repro.telemetry.runio import export_run_jsonl
+
+        trace_path = export_run_jsonl(outcome.run, args.trace_out)
+        if not args.json:
+            print(f"trace written to {trace_path}")
     if args.save:
         from repro.lowerbound.serialize import save_run
 
@@ -119,7 +158,8 @@ def cmd_run_commit(args) -> int:
             tape_seed=args.seed,
             note=f"run-commit votes={args.votes} adversary={args.adversary}",
         )
-        print(f"schedule saved to {path}")
+        if not args.json:
+            print(f"schedule saved to {path}")
     return 0 if outcome.consistent else 1
 
 
@@ -175,6 +215,8 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    import time
+
     from repro.experiments.registry import EXPERIMENTS, run_experiment
 
     if args.id not in EXPERIMENTS:
@@ -184,18 +226,67 @@ def cmd_experiment(args) -> int:
             file=sys.stderr,
         )
         return 2
+    registry = None
+    if args.json:
+        from repro.telemetry.registry import enable_telemetry
+
+        registry = enable_telemetry()
+        registry.reset()
+    start = time.perf_counter()
     table = run_experiment(args.id, trials=args.trials, quick=args.quick)
-    print(table.render())
+    elapsed = time.perf_counter() - start
+    if args.json:
+        from repro.telemetry.summary import experiment_document
+
+        document = experiment_document(
+            args.id, table, seconds=elapsed, registry=registry
+        )
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(table.render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.telemetry.registry import MetricsRegistry, get_registry
+    from repro.telemetry.runio import import_run_jsonl
+    from repro.telemetry.summary import record_run
+
+    if args.traces:
+        registry = MetricsRegistry(enabled=True)
+        for path in args.traces:
+            try:
+                run = import_run_jsonl(path)
+            except Exception as exc:  # noqa: BLE001 - CLI boundary
+                print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+                return 2
+            record_run(run, registry)
+    else:
+        # No traces: expose whatever the in-process default registry
+        # holds (usually empty unless the host process enabled telemetry).
+        registry = get_registry()
+    if args.format == "prom":
+        sys.stdout.write(registry.render_prometheus())
+    else:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.telemetry.log import LOG_LEVELS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Transaction Commit in a Realistic Fault Model (PODC 1986) — "
             "reproduction toolkit"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(LOG_LEVELS),
+        default=None,
+        help="configure the repro logging channel (stderr)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -238,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--save", default=None, help="save a replayable schedule (JSON path)"
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit a schema-versioned JSON document (metrics, per-phase "
+            "counters, telemetry snapshot, full trace) instead of text"
+        ),
+    )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="archive the full run as JSONL (repro.run-trace schema)",
+    )
     run_parser.set_defaults(fn=cmd_run_commit)
 
     replay_parser = sub.add_parser(
@@ -267,7 +371,32 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--quick", action="store_true", help="benchmark-sized workload"
     )
+    experiment_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the table and telemetry snapshot as JSON",
+    )
     experiment_parser.set_defaults(fn=cmd_experiment)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help=(
+            "print a telemetry registry snapshot, optionally rebuilt "
+            "from archived JSONL traces"
+        ),
+    )
+    stats_parser.add_argument(
+        "traces",
+        nargs="*",
+        help="JSONL traces written by run-commit --trace-out",
+    )
+    stats_parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="snapshot format: JSON (default) or Prometheus text",
+    )
+    stats_parser.set_defaults(fn=cmd_stats)
 
     return parser
 
@@ -276,6 +405,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.telemetry.log import configure_logging
+
+        configure_logging(args.log_level)
     return args.fn(args)
 
 

@@ -40,9 +40,17 @@ class ProtocolOutcome:
 
     Wraps the raw :class:`~repro.sim.scheduler.SimulationResult` with the
     queries experiments ask constantly.
+
+    Attributes:
+        result: the raw simulation result.
+        programs: the program objects that were executed (``None`` when
+            the caller assembled the outcome without them).  Kept so
+            metric extraction and the CLI's telemetry documents can read
+            the per-program stage/coin stats.
     """
 
     result: SimulationResult
+    programs: list | None = None
 
     @property
     def run(self):
@@ -151,7 +159,7 @@ def run_commit(
         seed=seed,
         max_steps=max_steps,
     )
-    return ProtocolOutcome(result=simulation.run())
+    return ProtocolOutcome(result=simulation.run(), programs=programs)
 
 
 def shared_coins(count: int, seed: int = 0) -> CoinList:
@@ -216,4 +224,4 @@ def run_agreement(
         seed=seed,
         max_steps=max_steps,
     )
-    return ProtocolOutcome(result=simulation.run())
+    return ProtocolOutcome(result=simulation.run(), programs=programs)

@@ -36,7 +36,11 @@ from repro.errors import ConfigurationError
 from repro.sim.message import Payload
 from repro.sim.process import Program
 from repro.sim.waits import MessageCount, WithTimeout
+from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
 from repro.types import COORDINATOR_ID, Decision, Vote
+
+_log = get_logger("core.commit")
 
 
 @dataclass
@@ -167,6 +171,17 @@ class CommitProgram(Program):
         if go_wait.timed_out(self.board, self.clock):
             stats.go_timed_out = True
             vote = 0
+            _log.debug(
+                "p%d: GO collection timed out at clock %d; vote -> abort",
+                self.pid,
+                self.clock,
+            )
+            if telemetry.enabled():
+                telemetry.count(
+                    "commit_timeouts_total",
+                    help="2K-tick waits that expired, by phase",
+                    phase="go",
+                )
 
         # Line 7: broadcast the vote.  A processor whose vote is abort
         # already knows the outcome (abort validity) — the paper notes it
@@ -177,6 +192,17 @@ class CommitProgram(Program):
                 stats.early_abort_decided = True
                 self.decide(int(Decision.ABORT))
         stats.vote_broadcast = vote
+        if telemetry.enabled():
+            telemetry.count(
+                "commit_votes_total",
+                help="votes broadcast at line 7, by value",
+                vote=vote,
+            )
+            if stats.early_abort_decided:
+                telemetry.count(
+                    "commit_early_aborts_total",
+                    help="unilateral aborts taken at line 7",
+                )
         self.broadcast(VoteMessage(vote=vote))
 
         # Lines 8-11: collect votes, or give up after 2K ticks.
@@ -186,6 +212,17 @@ class CommitProgram(Program):
         yield vote_wait
         if vote_wait.timed_out(self.board, self.clock):
             stats.vote_timed_out = True
+            _log.debug(
+                "p%d: vote collection timed out at clock %d",
+                self.pid,
+                self.clock,
+            )
+            if telemetry.enabled():
+                telemetry.count(
+                    "commit_timeouts_total",
+                    help="2K-tick waits that expired, by phase",
+                    phase="vote",
+                )
         commit_voters = {
             entry.sender
             for entry in self.board.by_key(("vote",))
@@ -193,6 +230,12 @@ class CommitProgram(Program):
         }
         x_input = 1 if len(commit_voters) >= self.n else 0
         stats.agreement_input = x_input
+        if telemetry.enabled():
+            telemetry.count(
+                "commit_agreement_inputs_total",
+                help="values fed to Protocol 1 at line 12",
+                value=x_input,
+            )
 
         # Line 12: call Protocol 1 with xp and the GO message's coins.
         stats.agreement = AgreementStats()
@@ -210,5 +253,11 @@ class CommitProgram(Program):
         # Lines 13-15: decide the fate of the transaction.
         decision = Decision.from_bit(value)
         stats.decision = decision
+        if telemetry.enabled():
+            telemetry.count(
+                "commit_decisions_total",
+                help="final transaction decisions, by value",
+                decision=decision.name.lower(),
+            )
         self.decide(int(decision))
         return decision

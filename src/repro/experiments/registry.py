@@ -9,9 +9,14 @@ its rendered output).
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.analysis.tables import ResultTable
+from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
+
+_log = get_logger("experiments")
 from repro.experiments import (
     e01_stages,
     e02_rounds,
@@ -158,11 +163,35 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
 def run_experiment(
     experiment_id: str, trials: int | None = None, quick: bool = False
 ) -> ResultTable:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    Each trial's metric extraction already feeds the telemetry registry
+    (see :mod:`repro.analysis.metrics`); this wrapper adds the
+    experiment-level counter and wall-clock histogram so registry
+    snapshots and the rendered tables describe the same execution.
+    """
     info = EXPERIMENTS[experiment_id]
+    _log.info("running experiment %s (quick=%s)", experiment_id, quick)
+    start = time.perf_counter()
     if trials is None:
-        return info.runner(quick=quick)
-    return info.runner(trials=trials, quick=quick)
+        table = info.runner(quick=quick)
+    else:
+        table = info.runner(trials=trials, quick=quick)
+    elapsed = time.perf_counter() - start
+    _log.info("experiment %s finished in %.2fs", experiment_id, elapsed)
+    if telemetry.enabled():
+        telemetry.count(
+            "experiment_runs_total",
+            help="experiment executions, by id",
+            id=experiment_id,
+        )
+        telemetry.observe(
+            "experiment_seconds",
+            elapsed,
+            help="wall-clock seconds per experiment execution",
+            id=experiment_id,
+        )
+    return table
 
 
 def run_all(

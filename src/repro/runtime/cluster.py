@@ -10,6 +10,7 @@ true concurrency, wall-clock delays, no global scheduler.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -20,7 +21,11 @@ from repro.runtime.delays import DelayModel
 from repro.runtime.node import Node, NodeResult
 from repro.runtime.transport import AsyncTransport
 from repro.sim.process import Program
+from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
 from repro.types import Decision, ProcessStatus, Vote
+
+_log = get_logger("runtime.cluster")
 
 
 @dataclass(frozen=True)
@@ -121,17 +126,55 @@ class Cluster:
 
         async def inject(crash: CrashInjection) -> None:
             await asyncio.sleep(crash.after_seconds)
+            _log.debug(
+                "injecting crash into node %d after %.3fs",
+                crash.pid,
+                crash.after_seconds,
+            )
+            if telemetry.enabled():
+                telemetry.count(
+                    "cluster_crash_injections_total",
+                    help="fault injections delivered to nodes",
+                )
             nodes[crash.pid].request_crash()
 
         injectors = [
             asyncio.create_task(inject(crash)) for crash in self.crashes
         ]
+        start = time.perf_counter()
         results = await asyncio.gather(
             *(node.run(deadline=deadline) for node in nodes)
         )
+        elapsed = time.perf_counter() - start
         for task in injectors:
             task.cancel()
-        return ClusterResult(nodes=list(results))
+        result = ClusterResult(nodes=list(results))
+        if not result.nonfaulty_all_returned():
+            _log.warning(
+                "cluster deadline %.1fs hit with unfinished nodes: %s",
+                deadline,
+                [r.pid for r in result.nodes
+                 if r.status is ProcessStatus.RUNNING],
+            )
+        if telemetry.enabled():
+            telemetry.count(
+                "cluster_runs_total",
+                help="cluster executions, by outcome",
+                outcome=(
+                    "terminated"
+                    if result.nonfaulty_all_returned()
+                    else "deadline"
+                ),
+            )
+            telemetry.set_gauge(
+                "cluster_nodes", n, help="nodes in the last cluster run"
+            )
+            telemetry.observe(
+                "cluster_run_seconds",
+                elapsed,
+                help="wall-clock seconds per cluster run",
+            )
+        return result
 
 
 def run_commit_cluster(

@@ -12,6 +12,7 @@ horizon is reached (the finite-prefix stand-in for "runs forever").
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -29,7 +30,14 @@ from repro.sim.pattern import PatternEntry, PatternView, PendingMessage, SentRec
 from repro.sim.process import Program, SimProcess
 from repro.sim.tape import TapeCollection
 from repro.sim.trace import Run, TraceEvent
+from repro.telemetry.log import get_logger
+from repro.telemetry.registry import MetricsRegistry, active_registry
 from repro.types import ProcessStatus
+
+_log = get_logger("sim.scheduler")
+
+#: Events per wall-clock timing batch when telemetry is enabled.
+_STEP_BATCH = 256
 
 
 class Outcome(enum.Enum):
@@ -79,6 +87,10 @@ class Simulation:
             collection seeded with ``seed``.
         seed: master seed for the default tape collection.
         max_steps: finite horizon standing in for an infinite run.
+        telemetry: metrics registry for per-event counters and step-batch
+            timers.  Defaults to the process-wide registry when telemetry
+            is enabled, else ``None`` (instrumentation compiled down to a
+            single attribute check per event).
     """
 
     def __init__(
@@ -90,6 +102,7 @@ class Simulation:
         tapes: TapeCollection | None = None,
         seed: int = 0,
         max_steps: int = 100_000,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         n = len(programs)
         if n == 0:
@@ -137,6 +150,34 @@ class Simulation:
         self._cumulative: list[list[int]] = [[] for _ in range(n)]
         self.monitor = AdmissibilityMonitor(n=n, t=t)
         self.view = PatternView(self)
+        if telemetry is None:
+            telemetry = active_registry()
+        elif not telemetry.enabled:
+            telemetry = None
+        self._telemetry = telemetry
+        if telemetry is not None:
+            # Instrument handles are resolved once so the per-event cost
+            # is a method call, not a registry lookup.
+            self._m_events = telemetry.counter(
+                "sim_events_total", "scheduler events applied, by kind"
+            )
+            self._m_envelopes = telemetry.counter(
+                "sim_envelopes_sent_total", "envelopes handed to buffers"
+            )
+            self._m_sent = telemetry.counter(
+                "sim_payloads_sent_total", "payloads sent, by payload kind"
+            )
+            self._m_delivered = telemetry.counter(
+                "sim_payloads_delivered_total",
+                "payloads delivered, by payload kind",
+            )
+            self._m_batch_seconds = telemetry.histogram(
+                "sim_step_batch_seconds",
+                f"wall-clock seconds per {_STEP_BATCH}-event scheduler batch",
+            )
+            self._m_run_seconds = telemetry.histogram(
+                "sim_run_seconds", "wall-clock seconds per simulation run"
+            )
 
     # -- queries used by PatternView -----------------------------------------
 
@@ -190,12 +231,46 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         """Execute the simulation to termination or the step horizon."""
+        telemetry = self._telemetry
+        run_start = batch_start = (
+            time.perf_counter() if telemetry is not None else 0.0
+        )
+        batch_anchor = self.event_count
         while not self.all_nonfaulty_done() and self.event_count < self.max_steps:
-            decision = self.adversary.decide(self.view)
+            try:
+                decision = self.adversary.decide(self.view)
+            except Exception:
+                _log.exception(
+                    "adversary %s failed deciding event %d",
+                    type(self.adversary).__name__,
+                    self.event_count,
+                )
+                raise
             self.apply(decision)
+            if (
+                telemetry is not None
+                and self.event_count - batch_anchor >= _STEP_BATCH
+            ):
+                now = time.perf_counter()
+                self._m_batch_seconds.observe(now - batch_start)
+                batch_start = now
+                batch_anchor = self.event_count
         outcome = (
             Outcome.TERMINATED if self.all_nonfaulty_done() else Outcome.HORIZON
         )
+        if outcome is Outcome.HORIZON:
+            _log.warning(
+                "step horizon %d reached with processors %s still running "
+                "under %s",
+                self.max_steps,
+                self.running_pids(),
+                type(self.adversary).__name__,
+            )
+        if telemetry is not None:
+            self._m_run_seconds.observe(time.perf_counter() - run_start)
+            telemetry.counter(
+                "sim_runs_total", "completed simulations, by outcome"
+            ).inc(outcome=outcome.name.lower())
         return SimulationResult(
             outcome=outcome,
             run=self.build_run(),
@@ -228,6 +303,17 @@ class Simulation:
                 for env in buffer:
                     if env.sender == pid and env.send_event == last_send:
                         env.guaranteed = False
+        _log.debug(
+            "processor %d crashed at event %d (clock %d)",
+            pid,
+            self.event_count,
+            self.processes[pid].clock,
+        )
+        if self._telemetry is not None:
+            self._m_events.inc(kind="crash")
+            self._telemetry.counter(
+                "sim_crashes_total", "fail-stop crashes applied"
+            ).inc()
         self._record_event(
             kind="crash", actor=pid, delivered=(), sent=(), envelopes_sent=[]
         )
@@ -266,6 +352,15 @@ class Simulation:
         if sent_envelopes:
             self._last_send_event[pid] = self.event_count
         self._step_counts[pid] += 1
+        if self._telemetry is not None:
+            self._m_events.inc(kind="step")
+            if sent_envelopes:
+                self._m_envelopes.inc(len(sent_envelopes))
+                for env in sent_envelopes:
+                    for payload in env.payloads:
+                        self._m_sent.inc(kind=type(payload).__name__)
+            for item in received:
+                self._m_delivered.inc(kind=type(item.payload).__name__)
         self._record_event(
             kind="step",
             actor=pid,

@@ -180,6 +180,27 @@ class Run:
         """Total number of envelopes sent in the run."""
         return len(self.envelopes)
 
+    def payload_kind_counts(self, delivered_only: bool = False) -> dict[str, int]:
+        """Payload tallies by payload class name, sorted by kind.
+
+        The unit is the protocol message (payload), not the envelope: one
+        envelope packs every payload one step addressed to one recipient,
+        so payload counts are the paper's message-complexity measure while
+        :meth:`messages_sent` counts scheduled deliveries.
+        """
+        counts: dict[str, int] = {}
+        for envelope in self.envelopes.values():
+            if delivered_only and not envelope.delivered:
+                continue
+            for payload in envelope.payloads:
+                kind = type(payload).__name__
+                counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def late_count(self) -> int:
+        """Number of late messages (the per-phase lateness counter)."""
+        return len(self.late_messages())
+
     def max_decision_clock(self) -> int | None:
         """The largest clock reading at which any processor decided.
 

@@ -1,0 +1,59 @@
+"""Telemetry: metrics registry, debug logging, and run archival.
+
+Three layers, all optional and all off by default:
+
+* :mod:`repro.telemetry.registry` — counters, gauges, and histograms
+  with labels, a process-wide default registry, and Prometheus-style
+  text exposition.  Instrumentation threaded through the scheduler, the
+  protocol programs, and the asyncio runtime records per-phase counters
+  (messages by payload kind, stage transitions, coin-source usage,
+  timeouts, wall-clock per scheduler step batch) whenever the default
+  registry is enabled, at near-zero cost when it is not;
+* :mod:`repro.telemetry.log` — the ``repro`` :mod:`logging` channel
+  (``--log-level`` on the CLI);
+* :mod:`repro.telemetry.runio` / :mod:`repro.telemetry.summary` —
+  schema-versioned JSONL export/import of full runs and the per-phase
+  counter bundles and ``--json`` documents derived from them.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and CLI examples.
+"""
+
+from repro.telemetry.log import LOG_LEVELS, configure_logging, get_logger
+from repro.telemetry.registry import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    count,
+    disable_telemetry,
+    enable_telemetry,
+    enabled,
+    get_registry,
+    observe,
+    set_gauge,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "active_registry",
+    "configure_logging",
+    "count",
+    "disable_telemetry",
+    "enable_telemetry",
+    "enabled",
+    "get_logger",
+    "get_registry",
+    "observe",
+    "set_gauge",
+    "set_registry",
+    "use_registry",
+]

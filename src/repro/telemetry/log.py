@@ -1,0 +1,82 @@
+"""The ``repro`` debug-logging channel.
+
+The simulator's failure modes (a non-applicable replay event, an
+adversary schedule that stalls until the step horizon, a cluster node
+missing its deadline) used to be silent or surfaced only as bare
+exceptions.  Every subsystem now logs through a child of the ``repro``
+logger; :func:`configure_logging` wires a stderr handler, and the CLI
+exposes it as ``--log-level``.
+
+Library rule: the package never configures handlers on import (standard
+library-logging etiquette) — without :func:`configure_logging` records
+propagate to the root logger and vanish unless the host application set
+logging up itself.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+#: Marker attribute so repeated configuration replaces our handler
+#: instead of stacking duplicates.
+_HANDLER_FLAG = "_repro_telemetry_handler"
+
+#: Accepted ``--log-level`` values, mapped to stdlib levels.
+LOG_LEVELS: dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The package logger, or the ``repro.<name>`` child for a subsystem."""
+    if name is None:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(f"{LOGGER_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: int | str = "warning", stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger at ``level``.
+
+    Idempotent: calling again replaces the previously attached handler
+    (so tests and long-lived sessions can re-aim or re-level it).
+
+    Args:
+        level: stdlib level number or one of :data:`LOG_LEVELS`.
+        stream: destination, default ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    if isinstance(level, str):
+        try:
+            level = LOG_LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; "
+                f"expected one of {', '.join(LOG_LEVELS)}"
+            ) from None
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

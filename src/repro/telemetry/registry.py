@@ -1,0 +1,414 @@
+"""The metrics registry: counters, gauges, and histograms with labels.
+
+The registry is deliberately tiny and dependency-free (the container has
+no prometheus_client); it implements the same data model — named metric
+families, each holding one sample per label set — plus a text exposition
+renderer compatible with the Prometheus format, so snapshots can be
+scraped, diffed, or piped into standard tooling.
+
+Telemetry is **off by default** and the hot path is guarded at the call
+sites: instrumented code checks :func:`enabled` (one attribute read)
+before touching any instrument, so a run with telemetry disabled performs
+no registry lookups, allocates nothing, and mutates nothing.  The
+overhead guarantee is pinned by ``tests/telemetry/test_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import math
+import threading
+import time
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets, in seconds (timings) — generic enough for
+#: counts too; pass explicit ``buckets`` for count-shaped histograms.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+#: Buckets suited to small integer quantities (stages, rounds, crashes).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 14, 20, 32, 64, 128)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class for one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+
+    def samples(self) -> dict[LabelKey, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing sum, one cell per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help, registry)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        with self._registry._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value for one label set (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Gauge(Metric):
+    """A value that can go up and down, one cell per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help, registry)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        with self._registry._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class _HistogramCell:
+    """Count/sum/bucket-counts for one label set of a histogram."""
+
+    __slots__ = ("count", "total", "bucket_counts")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.bucket_counts = [0] * bucket_count  # non-cumulative, no +Inf
+
+    def observe(self, value: float, bounds: Sequence[float]) -> None:
+        self.count += 1
+        self.total += value
+        index = bisect.bisect_left(bounds, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+
+
+class Histogram(Metric):
+    """A distribution: observation count, sum, and bucketed counts."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        registry: "MetricsRegistry",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, registry)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs at least one bucket")
+        self.bounds = bounds
+        self._cells: dict[LabelKey, _HistogramCell] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _HistogramCell(len(self.bounds))
+            cell.observe(float(value), self.bounds)
+
+    @contextlib.contextmanager
+    def time(self, **labels: Any) -> Iterator[None]:
+        """Observe the wall-clock duration of the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start, **labels)
+
+    def cell(self, **labels: Any) -> _HistogramCell | None:
+        return self._cells.get(_label_key(labels))
+
+    def samples(self) -> dict[LabelKey, _HistogramCell]:
+        return dict(self._cells)
+
+
+class MetricsRegistry:
+    """A collection of named metric families.
+
+    Args:
+        enabled: whether instruments attached to this registry record
+            anything.  Disabled instruments are no-ops.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors (create-or-get) ------------------------------
+
+    def _get(self, name: str, cls: type, help: str, **kwargs: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, help, self, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._get(name, Histogram, help, buckets=buckets)
+
+    def metrics(self) -> dict[str, Metric]:
+        return dict(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric family (used between runs and in tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-data view of every metric, suitable for JSON."""
+        out: dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                samples = [
+                    {
+                        "labels": dict(key),
+                        "count": cell.count,
+                        "sum": cell.total,
+                        "buckets": {
+                            _format_bound(bound): count
+                            for bound, count in zip(
+                                metric.bounds, cell.bucket_counts
+                            )
+                        },
+                    }
+                    for key, cell in sorted(metric.samples().items())
+                ]
+            else:
+                samples = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(metric.samples().items())
+                ]
+            out[name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": samples,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, cell in sorted(metric.samples().items()):
+                    cumulative = 0
+                    for bound, count in zip(metric.bounds, cell.bucket_counts):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_render_labels(key, le=_format_bound(bound))} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_render_labels(key, le='+Inf')} "
+                        f"{cell.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(cell.total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {cell.count}"
+                    )
+            else:
+                for key, value in sorted(metric.samples().items()):
+                    lines.append(
+                        f"{name}{_render_labels(key)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    if bound == math.inf:
+        return "+Inf"
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound))
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(key: LabelKey, **extra: str) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+# -- the default registry ---------------------------------------------------
+
+_default = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (disabled until enabled)."""
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the default."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def enable_telemetry() -> MetricsRegistry:
+    """Switch the default registry on; returns it."""
+    _default.enabled = True
+    return _default
+
+
+def disable_telemetry() -> MetricsRegistry:
+    """Switch the default registry off; returns it."""
+    _default.enabled = False
+    return _default
+
+
+def enabled() -> bool:
+    """Whether the default registry is recording.
+
+    This is the hot-path guard: instrumented code calls it (or caches the
+    registry reference) before constructing labels or fetching
+    instruments, so disabled telemetry costs one attribute read.
+    """
+    return _default.enabled
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The default registry if enabled, else ``None``.
+
+    Components that hold a per-run telemetry reference (the scheduler, the
+    cluster) resolve it once through this accessor.
+    """
+    return _default if _default.enabled else None
+
+
+# -- convenience emitters (no-ops when disabled) -----------------------------
+
+
+def count(name: str, amount: float = 1.0, help: str = "", **labels: Any) -> None:
+    """Increment a counter on the default registry (no-op when disabled)."""
+    if not _default.enabled:
+        return
+    _default.counter(name, help).inc(amount, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: Sequence[float] | None = None,
+    **labels: Any,
+) -> None:
+    """Observe into a histogram on the default registry."""
+    if not _default.enabled:
+        return
+    _default.histogram(name, help, buckets=buckets).observe(value, **labels)
+
+
+def set_gauge(name: str, value: float, help: str = "", **labels: Any) -> None:
+    """Set a gauge on the default registry."""
+    if not _default.enabled:
+        return
+    _default.gauge(name, help).set(value, **labels)

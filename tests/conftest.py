@@ -9,6 +9,20 @@ from repro.core.agreement import AgreementProgram
 from repro.core.api import shared_coins
 from repro.core.commit import CommitProgram
 from repro.sim.scheduler import Simulation
+from repro.telemetry.registry import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Give every test a fresh, disabled default telemetry registry.
+
+    Tests (and the CLI's ``--json`` paths) may enable telemetry on the
+    default registry; swapping in a throwaway keeps that state from
+    leaking across tests.
+    """
+    previous = set_registry(MetricsRegistry(enabled=False))
+    yield
+    set_registry(previous)
 
 
 def make_commit_simulation(

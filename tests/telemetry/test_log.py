@@ -1,0 +1,79 @@
+"""Tests for the ``repro`` logging channel."""
+
+import io
+import logging
+
+import pytest
+
+from repro.telemetry.log import (
+    LOG_LEVELS,
+    LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_logger():
+    """Strip our handlers and restore the level after each test."""
+    logger = logging.getLogger(LOGGER_NAME)
+    level = logger.level
+    yield
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_telemetry_handler", False):
+            logger.removeHandler(handler)
+    logger.setLevel(level)
+
+
+class TestGetLogger:
+    def test_root_logger(self):
+        assert get_logger().name == LOGGER_NAME
+
+    def test_child_logger(self):
+        assert get_logger("sim.scheduler").name == "repro.sim.scheduler"
+
+    def test_already_qualified_name(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+
+class TestConfigureLogging:
+    def test_levels_cover_the_standard_names(self):
+        assert set(LOG_LEVELS) == {
+            "debug",
+            "info",
+            "warning",
+            "error",
+            "critical",
+        }
+
+    def test_writes_to_stream_at_level(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("test").debug("hello from the test")
+        assert "hello from the test" in stream.getvalue()
+        assert "repro.test" in stream.getvalue()
+
+    def test_below_level_is_suppressed(self):
+        stream = io.StringIO()
+        configure_logging("error", stream=stream)
+        get_logger("test").warning("should not appear")
+        assert stream.getvalue() == ""
+
+    def test_idempotent_reconfiguration(self):
+        logger = configure_logging("info")
+        configure_logging("debug")
+        ours = [
+            h
+            for h in logger.handlers
+            if getattr(h, "_repro_telemetry_handler", False)
+        ]
+        assert len(ours) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_numeric_level_accepted(self):
+        logger = configure_logging(logging.INFO)
+        assert logger.level == logging.INFO
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")

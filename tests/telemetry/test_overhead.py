@@ -1,0 +1,57 @@
+"""Telemetry must not perturb the simulation (satellite: zero overhead).
+
+Two guarantees pinned here:
+
+* a run with telemetry enabled is *byte-identical* (as an exported JSONL
+  trace) to the same seeded run with telemetry disabled — instrumentation
+  only observes, it never changes scheduling, randomness, or payloads;
+* a run with telemetry disabled leaves the default registry untouched —
+  no metric families are created, nothing is counted.
+"""
+
+from repro.analysis.metrics import extract_metrics, metrics_from_run
+from repro.core.api import run_commit
+from repro.telemetry import registry as telemetry
+from repro.telemetry.runio import export_run_jsonl
+
+
+def _trace_bytes(tmp_path, label: str) -> bytes:
+    outcome = run_commit([1, 1, 0, 1, 1], K=4, seed=7, max_steps=50_000)
+    metrics = extract_metrics(outcome, programs=outcome.programs)
+    assert metrics.consistent
+    path = export_run_jsonl(outcome.run, tmp_path / f"{label}.jsonl")
+    return path.read_bytes()
+
+
+class TestDisabledTelemetry:
+    def test_trace_byte_identical_with_and_without_telemetry(self, tmp_path):
+        assert not telemetry.enabled()
+        baseline = _trace_bytes(tmp_path, "disabled")
+        telemetry.enable_telemetry()
+        instrumented = _trace_bytes(tmp_path, "enabled")
+        assert instrumented == baseline
+
+    def test_disabled_run_leaves_registry_untouched(self, tmp_path):
+        registry = telemetry.get_registry()
+        assert not registry.enabled
+        outcome = run_commit([1, 1, 1], K=4, seed=1)
+        extract_metrics(outcome, programs=outcome.programs)
+        metrics_from_run(outcome.run)
+        export_run_jsonl(outcome.run, tmp_path / "t.jsonl")
+        assert registry.metrics() == {}
+
+    def test_enabled_run_populates_registry(self):
+        registry = telemetry.enable_telemetry()
+        outcome = run_commit([1, 1, 1], K=4, seed=1)
+        extract_metrics(outcome, programs=outcome.programs)
+        families = registry.metrics()
+        assert "sim_events_total" in families
+        assert "sim_payloads_sent_total" in families
+        assert "agreement_stage_transitions_total" in families
+        assert "commit_decisions_total" in families
+        assert "analysis_runs_total" in families
+        assert families["sim_events_total"].value(kind="step") > 0
+        assert (
+            families["commit_decisions_total"].value(decision="commit")
+            == 3
+        )

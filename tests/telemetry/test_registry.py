@@ -1,0 +1,197 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import registry as telemetry
+from repro.telemetry.registry import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("messages_total", "messages")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labels_are_separate_cells(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("messages_total")
+        counter.inc(kind="GoMessage")
+        counter.inc(kind="GoMessage")
+        counter.inc(kind="VoteMessage")
+        assert counter.value(kind="GoMessage") == 2
+        assert counter.value(kind="VoteMessage") == 1
+        assert counter.value(kind="Other") == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("c").inc(-1)
+
+    def test_disabled_registry_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(100)
+        assert counter.value() == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("nodes")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_disabled_registry_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        gauge = registry.gauge("g")
+        gauge.set(9)
+        assert gauge.value() == 0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("rounds", buckets=(1, 2, 4))
+        for value in (0.5, 1, 1.5, 3, 100):
+            histogram.observe(value)
+        cell = histogram.cell()
+        assert cell.count == 5
+        assert cell.total == pytest.approx(106.0)
+        # le=1 gets 0.5 and 1 (upper bounds inclusive); le=2 gets 1.5;
+        # le=4 gets 3; 100 overflows into the implicit +Inf bucket.
+        assert cell.bucket_counts == [2, 1, 1]
+
+    def test_empty_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", buckets=())
+
+    def test_time_context_manager(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds")
+        with histogram.time():
+            pass
+        cell = histogram.cell()
+        assert cell.count == 1
+        assert cell.total >= 0
+
+    def test_disabled_registry_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.cell() is None
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("metric")
+
+    def test_reset_drops_families(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.metrics() == {}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help text").inc(2, kind="x")
+        registry.histogram("h", buckets=(1, 2)).observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {
+            "type": "counter",
+            "help": "help text",
+            "samples": [{"labels": {"kind": "x"}, "value": 2.0}],
+        }
+        sample = snapshot["h"]["samples"][0]
+        assert sample["count"] == 1
+        assert sample["sum"] == pytest.approx(1.5)
+        assert sample["buckets"] == {"1": 0, "2": 1}
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs_total", "messages").inc(3, kind="go")
+        registry.histogram("rounds", buckets=(1, 2)).observe(1.5)
+        text = registry.render_prometheus()
+        assert "# HELP msgs_total messages" in text
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{kind="go"} 3' in text
+        assert 'rounds_bucket{le="1"} 0' in text
+        assert 'rounds_bucket{le="2"} 1' in text  # cumulative
+        assert 'rounds_bucket{le="+Inf"} 1' in text
+        assert "rounds_sum 1.5" in text
+        assert "rounds_count 1" in text
+
+    def test_prometheus_empty_registry(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestDefaultRegistry:
+    def test_disabled_by_default(self):
+        # The test fixture installs a fresh disabled default.
+        assert not telemetry.enabled()
+        assert telemetry.active_registry() is None
+
+    def test_enable_disable(self):
+        registry = telemetry.enable_telemetry()
+        assert telemetry.enabled()
+        assert telemetry.active_registry() is registry
+        telemetry.disable_telemetry()
+        assert not telemetry.enabled()
+
+    def test_emitters_noop_when_disabled(self):
+        telemetry.count("c")
+        telemetry.observe("h", 1.0)
+        telemetry.set_gauge("g", 1.0)
+        assert telemetry.get_registry().metrics() == {}
+
+    def test_emitters_record_when_enabled(self):
+        registry = telemetry.enable_telemetry()
+        telemetry.count("c", 2, kind="x")
+        telemetry.observe("h", 3.0, buckets=COUNT_BUCKETS)
+        telemetry.set_gauge("g", 7)
+        assert registry.counter("c").value(kind="x") == 2
+        assert registry.histogram("h").cell().count == 1
+        assert registry.gauge("g").value() == 7
+
+    def test_use_registry_swaps_and_restores(self):
+        original = telemetry.get_registry()
+        scratch = MetricsRegistry()
+        with use_registry(scratch) as active:
+            assert active is scratch
+            assert telemetry.get_registry() is scratch
+            telemetry.count("c")
+        assert telemetry.get_registry() is original
+        assert scratch.counter("c").value() == 1
+
+
+class TestMetricKinds:
+    def test_kinds(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("a"), Counter)
+        assert isinstance(registry.gauge("b"), Gauge)
+        assert isinstance(registry.histogram("c"), Histogram)

@@ -1,0 +1,105 @@
+"""Tests for per-phase counter bundles and the --json documents."""
+
+import json
+
+from repro.analysis.metrics import metrics_from_run
+from repro.core.api import run_commit
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.runio import run_from_records
+from repro.telemetry.summary import (
+    EXPERIMENT_DOCUMENT_SCHEMA,
+    RUN_DOCUMENT_SCHEMA,
+    RUN_DOCUMENT_VERSION,
+    experiment_document,
+    record_run,
+    run_commit_document,
+    run_counters,
+)
+
+
+def _outcome(votes=(1, 1, 1, 1, 1), seed=0):
+    return run_commit(list(votes), K=4, seed=seed, max_steps=50_000)
+
+
+class TestRunCounters:
+    def test_counter_bundle_shape(self):
+        outcome = _outcome()
+        counters = run_counters(outcome.run, programs=outcome.programs)
+        messages = counters["messages"]
+        assert messages["envelopes_sent"] == outcome.run.messages_sent()
+        assert set(messages["sent_by_kind"]) >= {"GoMessage", "VoteMessage"}
+        assert messages["late"] == 0
+        assert counters["events"]["total"] == outcome.run.event_count
+        assert counters["crashes"] == 0
+        rounds = counters["rounds"]
+        assert rounds["max_decision_round"] == outcome.decision_round
+        assert len(rounds["decision_rounds"]) == 5
+        agreement = counters["agreement"]
+        assert agreement["stages"] >= 1
+        assert set(agreement["coin_usage"]) == {"shared", "private"}
+
+    def test_without_programs_no_agreement_section(self):
+        outcome = _outcome()
+        assert "agreement" not in run_counters(outcome.run)
+
+
+class TestRecordRun:
+    def test_populates_registry(self):
+        outcome = _outcome()
+        registry = MetricsRegistry()
+        record_run(outcome.run, registry)
+        families = registry.metrics()
+        assert families["runs_recorded_total"].value() == 1
+        sent = families["run_messages_sent_total"]
+        counters = run_counters(outcome.run)
+        for kind, count in counters["messages"]["sent_by_kind"].items():
+            assert sent.value(kind=kind) == count
+        assert families["run_decision_rounds"].cell().count == 1
+
+    def test_disabled_registry_untouched(self):
+        outcome = _outcome()
+        registry = MetricsRegistry(enabled=False)
+        record_run(outcome.run, registry)
+        assert registry.metrics() == {}
+
+
+class TestDocuments:
+    def test_run_commit_document_round_trips(self):
+        outcome = _outcome(seed=5)
+        document = run_commit_document(
+            outcome.run,
+            params={"seed": 5},
+            programs=outcome.programs,
+        )
+        assert document["schema"] == RUN_DOCUMENT_SCHEMA
+        assert document["version"] == RUN_DOCUMENT_VERSION
+        # the document must be pure JSON
+        encoded = json.dumps(document, sort_keys=True)
+        decoded = json.loads(encoded)
+        run = run_from_records(decoded["trace"]["records"])
+        from dataclasses import asdict
+
+        assert asdict(metrics_from_run(run, record=False)) == decoded["metrics"]
+
+    def test_telemetry_snapshot_included_when_given(self):
+        outcome = _outcome()
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        document = run_commit_document(
+            outcome.run, params={}, registry=registry
+        )
+        assert "c" in document["telemetry"]
+
+    def test_experiment_document(self):
+        from repro.analysis.tables import ResultTable
+
+        table = ResultTable(title="T", columns=["n", "mean"])
+        table.add_row(3, 1.25)
+        table.add_note("a note")
+        document = experiment_document("E2", table, seconds=0.5)
+        assert document["schema"] == EXPERIMENT_DOCUMENT_SCHEMA
+        assert document["id"] == "E2"
+        assert document["seconds"] == 0.5
+        assert document["table"]["rows"] == [[3, 1.25]]
+        assert document["table"]["notes"] == ["a note"]
+        json.dumps(document)  # must be pure JSON

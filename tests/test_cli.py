@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_adversary, main
@@ -93,6 +95,111 @@ class TestExperiments:
         assert main(["experiment", "E3", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "bound held" in out
+
+
+class TestJsonOutput:
+    def test_run_commit_json_round_trips(self, capsys):
+        """The ISSUE acceptance criterion, end to end."""
+        from dataclasses import asdict
+
+        from repro.analysis.metrics import metrics_from_run
+        from repro.telemetry.runio import run_from_records
+
+        code = main(["run-commit", "--adversary", "ontime", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.run-commit"
+        assert document["version"] == 1
+        counters = document["counters"]
+        assert counters["messages"]["sent_by_kind"]["GoMessage"] > 0
+        assert counters["messages"]["late"] == 0
+        assert counters["rounds"]["max_decision_round"] is not None
+        assert counters["agreement"]["stages"] >= 1
+        assert "sim_events_total" in document["telemetry"]
+        run = run_from_records(document["trace"]["records"])
+        recovered = asdict(metrics_from_run(run, record=False))
+        assert recovered == document["metrics"]
+
+    def test_run_commit_trace_out(self, tmp_path, capsys):
+        from repro.telemetry.runio import import_run_jsonl
+
+        path = tmp_path / "run.jsonl"
+        code = main(
+            ["run-commit", "--votes", "1,1,1", "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        run = import_run_jsonl(path)
+        assert run.n == 3
+
+    def test_json_suppresses_text_output(self, capsys):
+        main(["run-commit", "--votes", "1,1,1", "--json"])
+        out = capsys.readouterr().out
+        assert "decision:" not in out
+        json.loads(out)  # the whole stdout is one JSON document
+
+    def test_experiment_json(self, capsys):
+        code = main(["experiment", "E3", "--quick", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.experiment"
+        assert document["id"] == "E3"
+        assert document["seconds"] > 0
+        assert document["table"]["rows"]
+        assert "experiment_runs_total" in document["telemetry"]
+
+
+class TestStats:
+    def test_stats_from_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["run-commit", "--votes", "1,1,1", "--trace-out", str(path)])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["runs_recorded_total"]["samples"][0]["value"] == 1
+        assert "run_messages_sent_total" in snapshot
+
+    def test_stats_prometheus_format(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["run-commit", "--votes", "1,1,1", "--trace-out", str(path)])
+        capsys.readouterr()
+        assert main(["stats", str(path), "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE runs_recorded_total counter" in text
+        assert 'run_messages_sent_total{kind="GoMessage"}' in text
+
+    def test_stats_unreadable_trace(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_stats_empty_registry(self, capsys):
+        assert main(["stats"]) == 0
+        assert json.loads(capsys.readouterr().out) == {}
+
+
+class TestLogLevel:
+    def test_flag_accepted(self, capsys):
+        import logging
+
+        from repro.telemetry.log import LOGGER_NAME
+
+        logger = logging.getLogger(LOGGER_NAME)
+        level = logger.level
+        try:
+            code = main(
+                ["--log-level", "error", "run-commit", "--votes", "1,1,1"]
+            )
+            assert code == 0
+            assert logger.level == logging.ERROR
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_telemetry_handler", False):
+                    logger.removeHandler(handler)
+            logger.setLevel(level)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "run-commit"])
 
 
 class TestBuildAdversary:
