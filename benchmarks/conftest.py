@@ -26,6 +26,16 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def bench_workers() -> int:
+    """Worker processes per benchmarked experiment.
+
+    Defaults to 1 (serial) so pytest-benchmark timings measure the
+    single-process hot path; set ``REPRO_BENCH_WORKERS=N`` to benchmark
+    the parallel engine instead.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
 @pytest.fixture
 def experiment_runner(benchmark):
     """Run one experiment under pytest-benchmark and persist its table."""
@@ -34,11 +44,12 @@ def experiment_runner(benchmark):
         from repro.experiments.registry import run_experiment
 
         quick = not full_mode()
+        workers = bench_workers()
         timing: dict[str, float] = {}
 
         def timed() -> object:
             start = time.perf_counter()
-            result = run_experiment(experiment_id, quick=quick)
+            result = run_experiment(experiment_id, quick=quick, workers=workers)
             timing["seconds"] = time.perf_counter() - start
             return result
 
@@ -50,6 +61,7 @@ def experiment_runner(benchmark):
         document = {
             "id": experiment_id,
             "quick": quick,
+            "workers": workers,
             "seconds": timing.get("seconds"),
             "table": table.to_dict(),
         }

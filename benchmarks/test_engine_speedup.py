@@ -1,0 +1,132 @@
+"""Engine speedup benchmark: serial vs parallel wall-clock.
+
+Self-timed (no pytest-benchmark dependency on purpose: the point is a
+single honest A/B wall-clock pair, not statistical rounds).  Runs a
+small set of experiments in quick mode at ``workers=1`` and
+``workers=4``, asserts the result tables are byte-identical, and writes
+everything observed — host core count, per-experiment timings, the
+speedup ratio, and the recorded single-trial hot-path numbers — into
+``benchmarks/results/engine.json``.
+
+The speedup *assertion* is gated on the host core count: trial-level
+parallelism cannot beat the clock on a single-CPU container (the pool
+only adds IPC overhead there), so hosts report honestly instead of
+failing:
+
+* >= 4 cores: parallel must be at least 2.0x faster than serial;
+* >= 2 cores: at least 1.3x;
+* 1 core: numbers are recorded, no ratio is asserted.
+
+Set ``REPRO_BENCH_FULL=1`` to time the full (non-quick) workloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.registry import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Experiments timed for the serial/parallel comparison: mid-size
+#: Monte-Carlo batches with distinct adversary mixes.
+TIMED_EXPERIMENTS = ("E1", "E2", "E5")
+
+PARALLEL_WORKERS = 4
+
+#: Single-trial (serial hot-path) reference numbers, measured on the
+#: growth container with an interleaved best-of-9 harness against the
+#: seed commit (f527b55) and this tree — the same script, alternating
+#: between a baseline worktree and the optimized tree to cancel machine
+#: drift.  Recorded here so ``engine.json`` carries the hot-path story
+#: alongside the live parallel timings.
+HOT_PATH_REFERENCE = {
+    "method": (
+        "interleaved best-of-9 A/B runs, identical script, baseline "
+        "worktree at seed commit f527b55 vs this tree"
+    ),
+    "commit_trial_events_per_second": {
+        "n=15": {"baseline": 10601, "optimized": 11854},
+        "n=25": {"baseline": 6398, "optimized": 7534},
+        "n=40": {"baseline": 3800, "optimized": 4237},
+        "n=60": {"baseline": 2216, "optimized": 2558},
+    },
+    "e2_quick_serial_seconds": {"baseline": 0.410, "optimized": 0.360},
+}
+
+
+def _full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def _time_experiments(quick: bool, workers: int):
+    tables = {}
+    timings = {}
+    for experiment_id in TIMED_EXPERIMENTS:
+        start = time.perf_counter()
+        tables[experiment_id] = run_experiment(
+            experiment_id, quick=quick, workers=workers
+        )
+        timings[experiment_id] = time.perf_counter() - start
+    return tables, timings
+
+
+def test_engine_speedup():
+    quick = not _full_mode()
+
+    # Warm-up (untimed): module imports for the serial path, and one
+    # tiny parallel batch so the cached process pool's fork cost is not
+    # charged to the first timed experiment.
+    run_experiment("E3", quick=True, workers=1)
+    run_experiment("E3", quick=True, workers=PARALLEL_WORKERS)
+
+    serial_tables, serial_timings = _time_experiments(quick, workers=1)
+    parallel_tables, parallel_timings = _time_experiments(
+        quick, workers=PARALLEL_WORKERS
+    )
+
+    # Correctness before speed: the parallel tables must be
+    # byte-identical to the serial ones.
+    for experiment_id in TIMED_EXPERIMENTS:
+        serial = serial_tables[experiment_id]
+        parallel = parallel_tables[experiment_id]
+        assert parallel.render() == serial.render()
+        assert parallel.to_dict() == serial.to_dict()
+
+    serial_total = sum(serial_timings.values())
+    parallel_total = sum(parallel_timings.values())
+    speedup = serial_total / parallel_total if parallel_total else float("inf")
+    cpu_count = os.cpu_count() or 1
+
+    document = {
+        "host": {"cpu_count": cpu_count},
+        "quick": quick,
+        "experiments": list(TIMED_EXPERIMENTS),
+        "parallel_workers": PARALLEL_WORKERS,
+        "serial_seconds": serial_timings,
+        "parallel_seconds": parallel_timings,
+        "serial_total_seconds": serial_total,
+        "parallel_total_seconds": parallel_total,
+        "speedup": speedup,
+        "speedup_asserted": cpu_count >= 2,
+        "hot_path": HOT_PATH_REFERENCE,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "engine.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2.0x speedup at workers={PARALLEL_WORKERS} on "
+            f"{cpu_count} cores, got {speedup:.2f}x"
+        )
+    elif cpu_count >= 2:
+        assert speedup >= 1.3, (
+            f"expected >= 1.3x speedup at workers={PARALLEL_WORKERS} on "
+            f"{cpu_count} cores, got {speedup:.2f}x"
+        )

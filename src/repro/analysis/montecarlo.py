@@ -10,6 +10,7 @@ bundles into the summaries the experiment tables print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterator, Sequence
 
 from repro.adversary.base import Adversary
@@ -23,6 +24,7 @@ from repro.analysis.stats import Summary, proportion, summarize
 from repro.core.api import ProtocolOutcome
 from repro.core.commit import CommitProgram
 from repro.core.halting import HaltingMode
+from repro.engine.executor import run_trials
 from repro.errors import InsufficientDataError
 from repro.sim.scheduler import Simulation
 
@@ -148,24 +150,39 @@ def run_commit_trial(config: CommitTrialConfig, seed: int) -> RunMetrics:
 
 
 def run_commit_batch(
-    config: CommitTrialConfig, trials: int, base_seed: int = 0
+    config: CommitTrialConfig,
+    trials: int,
+    base_seed: int = 0,
+    workers: int | None = None,
 ) -> TrialBatch:
-    """Run ``trials`` independent commit trials."""
-    if trials <= 0:
-        raise InsufficientDataError(f"need at least one trial, got {trials}")
-    batch = TrialBatch()
-    for i in range(trials):
-        batch.add(run_commit_trial(config, base_seed + i))
-    return batch
+    """Run ``trials`` independent commit trials.
+
+    Routed through the :mod:`repro.engine` executor: ``workers > 1`` fans
+    the trials out over worker processes when the configuration pickles
+    (use :class:`~repro.engine.spec.SeededFactory` and plain vote lists),
+    and falls back to the in-process loop otherwise.  Results are in seed
+    order either way.
+    """
+    return run_custom_batch(
+        partial(run_commit_trial, config),
+        trials=trials,
+        base_seed=base_seed,
+        workers=workers,
+    )
 
 
 def run_custom_batch(
-    trial: Callable[[int], RunMetrics], trials: int, base_seed: int = 0
+    trial: Callable[[int], RunMetrics],
+    trials: int,
+    base_seed: int = 0,
+    workers: int | None = None,
 ) -> TrialBatch:
     """Run an arbitrary per-seed trial function as a batch."""
     if trials <= 0:
         raise InsufficientDataError(f"need at least one trial, got {trials}")
     batch = TrialBatch()
-    for i in range(trials):
-        batch.add(trial(base_seed + i))
+    for metrics in run_trials(
+        trial, trials=trials, base_seed=base_seed, workers=workers
+    ):
+        batch.add(metrics)
     return batch

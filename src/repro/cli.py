@@ -108,12 +108,18 @@ def _print_outcome(outcome: ProtocolOutcome, args) -> None:
 
 
 def cmd_run_commit(args) -> int:
+    from repro.engine.executor import set_default_workers
+
     registry = None
     if args.json:
         from repro.telemetry.registry import enable_telemetry
 
         registry = enable_telemetry()
         registry.reset()
+    # A single run-commit invocation is one trial and executes in-process
+    # regardless; the flag installs the default for any engine-routed
+    # batch this invocation triggers (e.g. via future batch options).
+    set_default_workers(args.workers)
     adversary = build_adversary(
         args.adversary, K=args.K, seed=args.seed, crashes=args.crashes
     )
@@ -232,8 +238,15 @@ def cmd_experiment(args) -> int:
 
         registry = enable_telemetry()
         registry.reset()
+    workers = args.workers
+    if workers is None:
+        from repro.engine.executor import default_workers
+
+        workers = default_workers()
     start = time.perf_counter()
-    table = run_experiment(args.id, trials=args.trials, quick=args.quick)
+    table = run_experiment(
+        args.id, trials=args.trials, quick=args.quick, workers=workers
+    )
     elapsed = time.perf_counter() - start
     if args.json:
         from repro.telemetry.summary import experiment_document
@@ -342,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="archive the full run as JSONL (repro.run-trace schema)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for engine-routed trial batches "
+            "(default: cpu count via REPRO_WORKERS/os.cpu_count)"
+        ),
+    )
     run_parser.set_defaults(fn=cmd_run_commit)
 
     replay_parser = sub.add_parser(
@@ -375,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the table and telemetry snapshot as JSON",
+    )
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the trial batches (default: cpu count "
+            "via REPRO_WORKERS/os.cpu_count; 1 forces serial)"
+        ),
     )
     experiment_parser.set_defaults(fn=cmd_experiment)
 

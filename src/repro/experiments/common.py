@@ -17,6 +17,7 @@ from repro.core.agreement import AgreementProgram
 from repro.core.api import ProtocolOutcome, shared_coins
 from repro.core.coins import CoinList
 from repro.core.halting import HaltingMode
+from repro.engine import seeds as seed_scheme
 from repro.sim.process import Program
 from repro.sim.scheduler import Simulation
 
@@ -42,7 +43,7 @@ def run_programs(
 ) -> tuple[ProtocolOutcome, RunMetrics]:
     """Run arbitrary programs under an adversary and extract metrics."""
     simulation = Simulation(
-        programs=list(programs),
+        programs=programs,
         adversary=adversary,
         K=K,
         t=t,
@@ -53,7 +54,7 @@ def run_programs(
     if attach is not None:
         attach(simulation)
     outcome = ProtocolOutcome(result=simulation.run())
-    return outcome, extract_metrics(outcome, programs=list(programs))
+    return outcome, extract_metrics(outcome, programs=simulation.programs)
 
 
 def agreement_trial(
@@ -69,7 +70,7 @@ def agreement_trial(
 ) -> tuple[ProtocolOutcome, RunMetrics]:
     """One standalone agreement run with the given adversary."""
     if coins is None:
-        coins = shared_coins(n, seed=seed + 104729)
+        coins = shared_coins(n, seed=seed_scheme.coin_seed(seed))
     programs = [
         AgreementProgram(
             pid=pid,

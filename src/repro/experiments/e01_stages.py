@@ -12,23 +12,47 @@ metric is the max stage at which any nonfaulty processor decided.
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Callable
+
+from repro.adversary.base import Adversary
 from repro.adversary.random_walk import RandomAdversary
 from repro.adversary.splitter import SplitVoteAdversary
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 from repro.experiments.common import agreement_trial, alternating_values
 
 
+def _stage_trial(
+    seed: int, n: int, t: int, adversary_factory: Callable[[int], Adversary]
+):
+    """One picklable E1 trial: split inputs, one adversary, one seed."""
+    _, metrics = agreement_trial(
+        n=n,
+        t=t,
+        values=alternating_values(n),
+        adversary=adversary_factory(seed),
+        seed=seed,
+    )
+    return metrics
+
+
 def run(
-    trials: int = 60, base_seed: int = 0, quick: bool = False
+    trials: int = 60,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E1 and render its table."""
     sizes = (4, 8) if quick else (4, 8, 16, 24)
     trials = min(trials, 12) if quick else trials
-    adversaries = {
-        "random": lambda n, seed: RandomAdversary(seed=seed),
-        "splitter": lambda n, seed: SplitVoteAdversary(n=n, seed=seed),
-    }
+
+    def adversaries(n: int) -> dict[str, SeededFactory]:
+        return {
+            "random": SeededFactory.of(RandomAdversary),
+            "splitter": SeededFactory.of(SplitVoteAdversary, n=n),
+        }
     table = ResultTable(
         title=(
             "E1 (Lemma 8): expected stages of Protocol 1 with |coins| >= n "
@@ -47,18 +71,13 @@ def run(
     )
     for n in sizes:
         t = (n - 1) // 2
-        for name, factory in adversaries.items():
-            batch = TrialBatch()
-            for i in range(trials):
-                seed = base_seed + i
-                _, metrics = agreement_trial(
-                    n=n,
-                    t=t,
-                    values=alternating_values(n),
-                    adversary=factory(n, seed),
-                    seed=seed,
-                )
-                batch.add(metrics)
+        for name, factory in adversaries(n).items():
+            batch = run_custom_batch(
+                partial(_stage_trial, n=n, t=t, adversary_factory=factory),
+                trials=trials,
+                base_seed=base_seed,
+                workers=workers,
+            )
             stages = batch.summary("decision_stage")
             table.add_row(
                 n,

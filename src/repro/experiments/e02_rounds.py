@@ -21,20 +21,24 @@ from repro.analysis.montecarlo import (
     run_commit_batch,
 )
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 
 _K = 4
 
 
 def run(
-    trials: int = 60, base_seed: int = 0, quick: bool = False
+    trials: int = 60,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E2 and render its table."""
     sizes = (5, 9) if quick else (3, 5, 9, 15)
     trials = min(trials, 10) if quick else trials
     adversaries = {
-        "synchronous": lambda seed: SynchronousAdversary(seed=seed),
-        "ontime-jitter": lambda seed: OnTimeAdversary(K=_K, seed=seed),
-        "random": lambda seed: RandomAdversary(seed=seed),
+        "synchronous": SeededFactory.of(SynchronousAdversary),
+        "ontime-jitter": SeededFactory.of(OnTimeAdversary, K=_K),
+        "random": SeededFactory.of(RandomAdversary),
     }
     table = ResultTable(
         title=(
@@ -58,7 +62,9 @@ def run(
                 adversary_factory=factory,
                 K=_K,
             )
-            batch = run_commit_batch(config, trials=trials, base_seed=base_seed)
+            batch = run_commit_batch(
+                config, trials=trials, base_seed=base_seed, workers=workers
+            )
             rounds = batch.summary("rounds")
             table.add_row(
                 n,

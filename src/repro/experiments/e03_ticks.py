@@ -15,10 +15,14 @@ from __future__ import annotations
 from repro.adversary.standard import SynchronousAdversary
 from repro.analysis.montecarlo import CommitTrialConfig, run_commit_batch
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 
 
 def run(
-    trials: int = 40, base_seed: int = 0, quick: bool = False
+    trials: int = 40,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E3 and render its table."""
     ks = (2, 4) if quick else (2, 4, 8, 16)
@@ -43,10 +47,12 @@ def run(
         for K in ks:
             config = CommitTrialConfig(
                 votes=[1] * n,
-                adversary_factory=lambda seed: SynchronousAdversary(seed=seed),
+                adversary_factory=SeededFactory.of(SynchronousAdversary),
                 K=K,
             )
-            batch = run_commit_batch(config, trials=trials, base_seed=base_seed)
+            batch = run_commit_batch(
+                config, trials=trials, base_seed=base_seed, workers=workers
+            )
             ticks = batch.summary("ticks")
             bound_held = all(
                 m.ticks is not None and m.ticks <= 8 * K for m in batch

@@ -17,12 +17,16 @@ from repro.adversary.base import CrashAt
 from repro.adversary.crash import ScheduledCrashAdversary
 from repro.analysis.montecarlo import CommitTrialConfig, run_commit_batch
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 
 _K = 4
 
 
 def run(
-    trials: int = 40, base_seed: int = 0, quick: bool = False
+    trials: int = 40,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E4 and render its table."""
     sizes = (5,) if quick else (5, 9)
@@ -47,24 +51,27 @@ def run(
         t = (n - 1) // 2
         for crashes in range(t + 1):
             for partial in (False, True) if crashes else (False,):
-                def factory(seed: int, c=crashes, p=partial) -> ScheduledCrashAdversary:
-                    plan = [
-                        CrashAt(pid=n - 1 - i, cycle=2 + i) for i in range(c)
-                    ]
-                    victims = set(range(1, 1 + n // 2)) if p else None
-                    return ScheduledCrashAdversary(
-                        crash_plan=plan,
-                        seed=seed,
-                        partial_broadcast_victims=victims,
-                    )
-
+                plan = tuple(
+                    CrashAt(pid=n - 1 - i, cycle=2 + i)
+                    for i in range(crashes)
+                )
+                victims = (
+                    frozenset(range(1, 1 + n // 2)) if partial else None
+                )
                 config = CommitTrialConfig(
                     votes=[1] * n,
-                    adversary_factory=factory,
+                    adversary_factory=SeededFactory.of(
+                        ScheduledCrashAdversary,
+                        crash_plan=plan,
+                        partial_broadcast_victims=victims,
+                    ),
                     K=_K,
                 )
                 batch = run_commit_batch(
-                    config, trials=trials, base_seed=base_seed
+                    config,
+                    trials=trials,
+                    base_seed=base_seed,
+                    workers=workers,
                 )
                 ticks = batch.summary("ticks")
                 table.add_row(

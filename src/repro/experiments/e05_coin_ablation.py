@@ -17,15 +17,38 @@ stage count reached).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.adversary.omniscient import OmniscientBalancer
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
 from repro.core.api import shared_coins
+from repro.engine import seeds as seed_scheme
 from repro.experiments.common import agreement_trial, alternating_values
 
 
+def _ablation_trial(seed: int, n: int, t: int, m: int, max_steps: int):
+    """One picklable E5 trial at coin-list length ``m``."""
+    adversary = OmniscientBalancer(n=n, t=t, seed=seed)
+    _, metrics = agreement_trial(
+        n=n,
+        t=t,
+        values=alternating_values(n),
+        adversary=adversary,
+        seed=seed,
+        coins=shared_coins(
+            m, seed=seed_scheme.derive(seed, seed_scheme.ABLATION_COIN_STREAM)
+        ),
+        max_steps=max_steps,
+    )
+    return metrics
+
+
 def run(
-    trials: int = 25, base_seed: int = 0, quick: bool = False
+    trials: int = 25,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E5 and render its table."""
     n = 6
@@ -50,20 +73,12 @@ def run(
         ],
     )
     for m in lengths:
-        batch = TrialBatch()
-        for i in range(trials):
-            seed = base_seed + i
-            adversary = OmniscientBalancer(n=n, t=t, seed=seed)
-            _, metrics = agreement_trial(
-                n=n,
-                t=t,
-                values=alternating_values(n),
-                adversary=adversary,
-                seed=seed,
-                coins=shared_coins(m, seed=seed + 31337),
-                max_steps=max_steps,
-            )
-            batch.add(metrics)
+        batch = run_custom_batch(
+            partial(_ablation_trial, n=n, t=t, m=m, max_steps=max_steps),
+            trials=trials,
+            base_seed=base_seed,
+            workers=workers,
+        )
         stages = batch.summary("stages")
         shared_used = batch.summary("shared_coin_stages")
         private_used = batch.summary("private_coin_stages")

@@ -19,12 +19,16 @@ from repro.adversary.base import CrashAt
 from repro.adversary.crash import ScheduledCrashAdversary
 from repro.analysis.montecarlo import CommitTrialConfig, run_commit_batch
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 
 _K = 4
 
 
 def run(
-    trials: int = 30, base_seed: int = 0, quick: bool = False
+    trials: int = 30,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E6 and render its table."""
     n = 5
@@ -48,21 +52,22 @@ def run(
         ],
     )
     for crashes in crash_counts:
-        def factory(seed: int, c=crashes) -> ScheduledCrashAdversary:
-            plan = [CrashAt(pid=n - 1 - i, cycle=2 + i) for i in range(c)]
-            return ScheduledCrashAdversary(
-                crash_plan=plan,
-                seed=seed,
-                partial_broadcast_victims=set(range(0, n, 2)),
-            )
-
+        plan = tuple(
+            CrashAt(pid=n - 1 - i, cycle=2 + i) for i in range(crashes)
+        )
         config = CommitTrialConfig(
             votes=[1] * n,
-            adversary_factory=factory,
+            adversary_factory=SeededFactory.of(
+                ScheduledCrashAdversary,
+                crash_plan=plan,
+                partial_broadcast_victims=frozenset(range(0, n, 2)),
+            ),
             K=_K,
             max_steps=max_steps,
         )
-        batch = run_commit_batch(config, trials=trials, base_seed=base_seed)
+        batch = run_commit_batch(
+            config, trials=trials, base_seed=base_seed, workers=workers
+        )
         table.add_row(
             n,
             t,

@@ -20,12 +20,23 @@ Lemmas 12 and 13 (the proof's schedule machinery) are property-tested in
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.tables import ResultTable
+from repro.engine import run_trials
 from repro.lowerbound.theorem14 import run_boundary_case
 
 
+def _boundary_trial(seed: int, n: int, t: int, max_steps: int):
+    """One picklable E7 trial: the kill-half schedule at one seed."""
+    return run_boundary_case(n=n, t=t, seed=seed, max_steps=max_steps)
+
+
 def run(
-    trials: int = 5, base_seed: int = 0, quick: bool = False
+    trials: int = 5,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E7 and render its table."""
     ts = (1, 2) if quick else (1, 2, 3)
@@ -51,13 +62,12 @@ def run(
             terminated = 0
             conflicts = 0
             decisions: set[int] = set()
-            for i in range(trials):
-                result = run_boundary_case(
-                    n=n,
-                    t=t,
-                    seed=base_seed + i,
-                    max_steps=max_steps,
-                )
+            for result in run_trials(
+                partial(_boundary_trial, n=n, t=t, max_steps=max_steps),
+                trials=trials,
+                base_seed=base_seed,
+                workers=workers,
+            ):
                 terminated += result.terminated
                 conflicts += not result.consistent
                 decisions |= set(result.decided_values)

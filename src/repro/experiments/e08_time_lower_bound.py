@@ -15,15 +15,26 @@ messages and stretches with the delay).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.stats import summarize
 from repro.analysis.tables import ResultTable
+from repro.engine import run_trials
 from repro.lowerbound.theorem17 import run_delay_point
 
 _K = 4
 
 
+def _delay_trial(seed: int, n: int, delay_cycles: int):
+    """One picklable E8 trial: the delay-D schedule at one seed."""
+    return run_delay_point(n=n, delay_cycles=delay_cycles, K=_K, seed=seed)
+
+
 def run(
-    trials: int = 15, base_seed: int = 0, quick: bool = False
+    trials: int = 15,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E8 and render its table."""
     n = 5
@@ -48,10 +59,12 @@ def run(
         ticks = []
         rounds = []
         on_time = 0
-        for i in range(trials):
-            point = run_delay_point(
-                n=n, delay_cycles=delay, K=_K, seed=base_seed + i
-            )
+        for point in run_trials(
+            partial(_delay_trial, n=n, delay_cycles=delay),
+            trials=trials,
+            base_seed=base_seed,
+            workers=workers,
+        ):
             if point.decision_ticks is not None:
                 ticks.append(point.decision_ticks)
             if point.decision_rounds is not None:

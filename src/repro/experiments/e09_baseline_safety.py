@@ -17,6 +17,7 @@ blocking rate.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.adversary.base import Adversary
@@ -24,6 +25,7 @@ from repro.adversary.crash import AdaptiveCrashAdversary
 from repro.adversary.standard import LateMessageAdversary, SynchronousAdversary
 from repro.analysis.tables import ResultTable
 from repro.core.commit import CommitProgram
+from repro.engine import run_trials
 from repro.experiments.common import run_programs
 from repro.protocols.decentralized import DecentralizedCommitProgram
 from repro.protocols.threepc import ThreePCProgram
@@ -88,8 +90,23 @@ def _environments(n: int) -> dict[str, Callable[[int], Adversary]]:
     }
 
 
+def _safety_trial(
+    seed: int, protocol: str, environment: str, n: int, t: int, max_steps: int
+):
+    """One picklable E9 trial, protocol and environment keyed by name."""
+    build = _protocol_factories(n, t)[protocol]
+    adversary = _environments(n)[environment](seed)
+    _, metrics = run_programs(
+        build(), adversary, K=_K, t=t, seed=seed, max_steps=max_steps
+    )
+    return metrics
+
+
 def run(
-    trials: int = 30, base_seed: int = 0, quick: bool = False
+    trials: int = 30,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E9 and render its table."""
     n = 5
@@ -112,22 +129,25 @@ def run(
             "aborts",
         ],
     )
-    for protocol_name, build in _protocol_factories(n, t).items():
-        for env_name, adversary_factory in _environments(n).items():
+    for protocol_name in _protocol_factories(n, t):
+        for env_name in _environments(n):
             wrong = 0
             blocked = 0
             commits = 0
             aborts = 0
-            for i in range(trials):
-                seed = base_seed + i
-                outcome, metrics = run_programs(
-                    build(),
-                    adversary_factory(seed),
-                    K=_K,
+            for metrics in run_trials(
+                partial(
+                    _safety_trial,
+                    protocol=protocol_name,
+                    environment=env_name,
+                    n=n,
                     t=t,
-                    seed=seed,
                     max_steps=max_steps,
-                )
+                ),
+                trials=trials,
+                base_seed=base_seed,
+                workers=workers,
+            ):
                 if not metrics.consistent:
                     wrong += 1
                 elif not metrics.terminated:

@@ -17,12 +17,15 @@ every processor adopt the *same* shared coin.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.adversary.omniscient import OmniscientBalancer
 from repro.adversary.splitter import SplitVoteAdversary
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
 from repro.core.agreement import AgreementProgram
 from repro.core.api import shared_coins
+from repro.engine import seeds as seed_scheme
 from repro.experiments.common import alternating_values, run_programs
 from repro.protocols.benor import BenOrProgram
 
@@ -32,7 +35,9 @@ _K = 4
 def _build(n: int, t: int, shared: bool, seed: int):
     values = alternating_values(n)
     if shared:
-        coins = shared_coins(n, seed=seed + 7_654_321)
+        coins = shared_coins(
+            n, seed=seed_scheme.derive(seed, seed_scheme.BENOR_COIN_STREAM)
+        )
         return [
             AgreementProgram(
                 pid=p, n=n, t=t, initial_value=values[p], coins=coins
@@ -45,21 +50,40 @@ def _build(n: int, t: int, shared: bool, seed: int):
     ]
 
 
+def _make_adversary(name: str, n: int, t: int, seed: int):
+    if name == "balancer (content-aware)":
+        return OmniscientBalancer(n=n, t=t, seed=seed)
+    if name == "splitter (pattern-only)":
+        return SplitVoteAdversary(n=n, seed=seed)
+    raise ValueError(f"unknown adversary {name!r}")
+
+
+def _comparison_trial(
+    seed: int, n: int, t: int, shared: bool, adversary: str, max_steps: int
+):
+    """One picklable E10 trial: one protocol, one adversary, one seed."""
+    _, metrics = run_programs(
+        _build(n, t, shared, seed),
+        _make_adversary(adversary, n, t, seed),
+        K=_K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return metrics
+
+
 def run(
-    trials: int = 15, base_seed: int = 0, quick: bool = False
+    trials: int = 15,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E10 and render its table."""
     sizes = (4, 6) if quick else (4, 6, 8)
     trials = min(trials, 5) if quick else trials
     max_steps = 60_000 if quick else 300_000
-    adversaries = {
-        "balancer (content-aware)": lambda n, t, seed: OmniscientBalancer(
-            n=n, t=t, seed=seed
-        ),
-        "splitter (pattern-only)": lambda n, t, seed: SplitVoteAdversary(
-            n=n, seed=seed
-        ),
-    }
+    adversary_names = ("balancer (content-aware)", "splitter (pattern-only)")
     table = ResultTable(
         title=(
             "E10: Ben-Or (local coins) vs Protocol 1 (shared coins) -- "
@@ -77,23 +101,24 @@ def run(
     )
     for n in sizes:
         t = (n - 1) // 2
-        for adversary_name, adversary_factory in adversaries.items():
+        for adversary_name in adversary_names:
             for protocol_name, shared in (
                 ("Ben-Or", False),
                 ("Protocol 1", True),
             ):
-                batch = TrialBatch()
-                for i in range(trials):
-                    seed = base_seed + i
-                    _, metrics = run_programs(
-                        _build(n, t, shared, seed),
-                        adversary_factory(n, t, seed),
-                        K=_K,
+                batch = run_custom_batch(
+                    partial(
+                        _comparison_trial,
+                        n=n,
                         t=t,
-                        seed=seed,
+                        shared=shared,
+                        adversary=adversary_name,
                         max_steps=max_steps,
-                    )
-                    batch.add(metrics)
+                    ),
+                    trials=trials,
+                    base_seed=base_seed,
+                    workers=workers,
+                )
                 stages = batch.summary("stages")
                 table.add_row(
                     n,

@@ -16,12 +16,16 @@ from repro.adversary.base import CrashAt
 from repro.adversary.crash import ScheduledCrashAdversary
 from repro.analysis.montecarlo import CommitTrialConfig, run_commit_batch
 from repro.analysis.tables import ResultTable
+from repro.engine import SeededFactory
 
 _K = 4
 
 
 def run(
-    trials: int = 20, base_seed: int = 0, quick: bool = False
+    trials: int = 20,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E11 and render its table."""
     sizes = (5,) if quick else (5, 7, 9)
@@ -48,19 +52,20 @@ def run(
             if crashes < 0 or crashes >= n:
                 continue
 
-            def factory(seed: int, c=crashes) -> ScheduledCrashAdversary:
-                plan = [
-                    CrashAt(pid=n - 1 - i, cycle=2 + i) for i in range(c)
-                ]
-                return ScheduledCrashAdversary(crash_plan=plan, seed=seed)
-
+            plan = tuple(
+                CrashAt(pid=n - 1 - i, cycle=2 + i) for i in range(crashes)
+            )
             config = CommitTrialConfig(
                 votes=[1] * n,
-                adversary_factory=factory,
+                adversary_factory=SeededFactory.of(
+                    ScheduledCrashAdversary, crash_plan=plan
+                ),
                 K=_K,
                 max_steps=max_steps,
             )
-            batch = run_commit_batch(config, trials=trials, base_seed=base_seed)
+            batch = run_commit_batch(
+                config, trials=trials, base_seed=base_seed, workers=workers
+            )
             table.add_row(
                 n,
                 t,

@@ -18,12 +18,15 @@ and degrades when its low-id share holders crash.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.adversary.base import CrashAt
 from repro.adversary.omniscient import OmniscientBalancer
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
 from repro.core.agreement import AgreementProgram
 from repro.core.api import shared_coins
+from repro.engine import seeds as seed_scheme
 from repro.experiments.common import alternating_values, run_programs
 from repro.protocols.benor import BenOrProgram
 from repro.protocols.cms import CMSStyleAgreementProgram
@@ -40,7 +43,9 @@ def _build(mechanism: str, n: int, t: int, seed: int):
             for p in range(n)
         ]
     if mechanism == "dealer (Rabin)":
-        dealt = shared_coins(n, seed=seed + 424242)
+        dealt = shared_coins(
+            n, seed=seed_scheme.derive(seed, seed_scheme.DEALER_COIN_STREAM)
+        )
         return [
             DealerCoinAgreementProgram(
                 pid=p, n=n, t=t, initial_value=values[p], dealer_coins=dealt
@@ -59,7 +64,12 @@ def _build(mechanism: str, n: int, t: int, seed: int):
             for p in range(n)
         ]
     if mechanism == "coordinator list (this paper)":
-        coins = shared_coins(n, seed=seed + 515151)
+        coins = shared_coins(
+            n,
+            seed=seed_scheme.derive(
+                seed, seed_scheme.COORDINATOR_COIN_STREAM
+            ),
+        )
         return [
             AgreementProgram(
                 pid=p, n=n, t=t, initial_value=values[p], coins=coins
@@ -67,6 +77,33 @@ def _build(mechanism: str, n: int, t: int, seed: int):
             for p in range(n)
         ]
     raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+def _make_adversary(environment: str, n: int, t: int, seed: int):
+    if environment == "balancer":
+        return OmniscientBalancer(n=n, t=t, seed=seed)
+    if environment == "balancer + low-id crash":
+        # The crash targets processor 0 — the weak coin's min-id share
+        # holder; list-based mechanisms should shrug it off.
+        return OmniscientBalancer(
+            n=n, t=t, seed=seed, crash_plan=(CrashAt(pid=0, cycle=3),)
+        )
+    raise ValueError(f"unknown environment {environment!r}")
+
+
+def _mechanism_trial(
+    seed: int, mechanism: str, environment: str, n: int, t: int, max_steps: int
+):
+    """One picklable E12 trial, mechanism and environment keyed by name."""
+    _, metrics = run_programs(
+        _build(mechanism, n, t, seed),
+        _make_adversary(environment, n, t, seed),
+        K=_K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    return metrics
 
 
 MECHANISMS = (
@@ -78,21 +115,17 @@ MECHANISMS = (
 
 
 def run(
-    trials: int = 12, base_seed: int = 0, quick: bool = False
+    trials: int = 12,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E12 and render its table."""
     n = 6
     t = (n - 1) // 2
     trials = min(trials, 5) if quick else trials
     max_steps = 60_000 if quick else 250_000
-    environments = {
-        "balancer": lambda seed: OmniscientBalancer(n=n, t=t, seed=seed),
-        # The crash targets processor 0 — the weak coin's min-id share
-        # holder; list-based mechanisms should shrug it off.
-        "balancer + low-id crash": lambda seed: OmniscientBalancer(
-            n=n, t=t, seed=seed, crash_plan=(CrashAt(pid=0, cycle=3),)
-        ),
-    }
+    environments = ("balancer", "balancer + low-id crash")
     table = ResultTable(
         title=(
             "E12 (ablation): coin-distribution mechanisms under the "
@@ -116,21 +149,20 @@ def run(
             return (n - 1) // 6  # n > 6t
         return (n - 1) // 2  # n > 2t
     for mechanism in MECHANISMS:
-        for environment, adversary_factory in environments.items():
-            batch = TrialBatch()
-            for i in range(trials):
-                seed = base_seed + i
-                adversary = adversary_factory(seed)
-                programs = _build(mechanism, n, t, seed)
-                _, metrics = run_programs(
-                    programs,
-                    adversary,
-                    K=_K,
+        for environment in environments:
+            batch = run_custom_batch(
+                partial(
+                    _mechanism_trial,
+                    mechanism=mechanism,
+                    environment=environment,
+                    n=n,
                     t=t,
-                    seed=seed,
                     max_steps=max_steps,
-                )
-                batch.add(metrics)
+                ),
+                trials=trials,
+                base_seed=base_seed,
+                workers=workers,
+            )
             stages = batch.summary("stages")
             shared_used = batch.summary("shared_coin_stages")
             table.add_row(

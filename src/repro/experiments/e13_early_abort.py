@@ -16,13 +16,12 @@ agreement subroutine instead of after them.
 
 from __future__ import annotations
 
-from typing import Callable
+from functools import partial
 
-from repro.adversary.base import Adversary
 from repro.adversary.partition import PartitionAdversary
 from repro.adversary.standard import OnTimeAdversary
 from repro.analysis.metrics import extract_metrics
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
 from repro.core.api import ProtocolOutcome
 from repro.core.commit import CommitProgram
@@ -31,67 +30,63 @@ from repro.sim.scheduler import Simulation
 _K = 4
 
 
-def _run_batch(
-    votes: list[int],
-    adversary_factory: Callable[[int], Adversary],
+def _scenario_adversary(scenario: str, seed: int):
+    if scenario == "timeout abort (partition)":
+        return PartitionAdversary(
+            groups=[{0, 1, 2}, {3, 4}],
+            start_cycle=1,
+            heal_cycle=30,
+            seed=seed,
+        )
+    return OnTimeAdversary(K=_K, seed=seed)
+
+
+def _abort_trial(
+    seed: int,
+    votes: tuple[int, ...],
+    scenario: str,
     early: bool,
-    trials: int,
-    base_seed: int,
     max_steps: int,
-) -> TrialBatch:
+):
+    """One picklable E13 trial: one vote pattern, one scenario, one seed."""
     n = len(votes)
     t = (n - 1) // 2
-    batch = TrialBatch()
-    for i in range(trials):
-        seed = base_seed + i
-        programs = [
-            CommitProgram(
-                pid=pid,
-                n=n,
-                t=t,
-                initial_vote=vote,
-                K=_K,
-                early_abort=early,
-            )
-            for pid, vote in enumerate(votes)
-        ]
-        simulation = Simulation(
-            programs=programs,
-            adversary=adversary_factory(seed),
-            K=_K,
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
             t=t,
-            seed=seed,
-            max_steps=max_steps,
+            initial_vote=vote,
+            K=_K,
+            early_abort=early,
         )
-        outcome = ProtocolOutcome(result=simulation.run())
-        batch.add(extract_metrics(outcome, programs=programs))
-    return batch
+        for pid, vote in enumerate(votes)
+    ]
+    simulation = Simulation(
+        programs=programs,
+        adversary=_scenario_adversary(scenario, seed),
+        K=_K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    outcome = ProtocolOutcome(result=simulation.run())
+    return extract_metrics(outcome, programs=programs)
 
 
 def run(
-    trials: int = 30, base_seed: int = 0, quick: bool = False
+    trials: int = 30,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E13 and render its table."""
     n = 5
     trials = min(trials, 8) if quick else trials
     scenarios = {
-        "one no-voter": (
-            [1, 1, 0, 1, 1],
-            lambda seed: OnTimeAdversary(K=_K, seed=seed),
-        ),
-        "two no-voters": (
-            [0, 1, 0, 1, 1],
-            lambda seed: OnTimeAdversary(K=_K, seed=seed),
-        ),
-        "timeout abort (partition)": (
-            [1] * n,
-            lambda seed: PartitionAdversary(
-                groups=[{0, 1, 2}, {3, 4}],
-                start_cycle=1,
-                heal_cycle=30,
-                seed=seed,
-            ),
-        ),
+        "one no-voter": (1, 1, 0, 1, 1),
+        "two no-voters": (0, 1, 0, 1, 1),
+        "timeout abort (partition)": (1,) * n,
     }
     table = ResultTable(
         title=(
@@ -108,15 +103,19 @@ def run(
             "consistent",
         ],
     )
-    for scenario, (votes, factory) in scenarios.items():
+    for scenario, votes in scenarios.items():
         for early in (False, True):
-            batch = _run_batch(
-                votes=votes,
-                adversary_factory=factory,
-                early=early,
+            batch = run_custom_batch(
+                partial(
+                    _abort_trial,
+                    votes=votes,
+                    scenario=scenario,
+                    early=early,
+                    max_steps=20_000,
+                ),
                 trials=trials,
                 base_seed=base_seed,
-                max_steps=20_000,
+                workers=workers,
             )
             first = batch.summary("first_decision_ticks")
             last = batch.summary("ticks")

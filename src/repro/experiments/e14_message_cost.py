@@ -17,8 +17,10 @@ fault tolerance and expected rounds rather than message counts.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.adversary.standard import SynchronousAdversary
-from repro.analysis.montecarlo import TrialBatch
+from repro.analysis.montecarlo import run_custom_batch
 from repro.analysis.tables import ResultTable
 from repro.core.commit import CommitProgram
 from repro.experiments.common import run_programs
@@ -53,8 +55,24 @@ def _build(protocol: str, n: int):
 PROTOCOLS = ("2PC", "3PC", "decentralized 1PC", "Protocol 2")
 
 
+def _cost_trial(seed: int, protocol: str, n: int):
+    """One picklable E14 trial: one protocol at one size and seed."""
+    _, metrics = run_programs(
+        _build(protocol, n),
+        SynchronousAdversary(seed=seed),
+        K=_K,
+        t=(n - 1) // 2,
+        seed=seed,
+        max_steps=100_000,
+    )
+    return metrics
+
+
 def run(
-    trials: int = 10, base_seed: int = 0, quick: bool = False
+    trials: int = 10,
+    base_seed: int = 0,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run E14 and render its table."""
     sizes = (5, 9) if quick else (5, 9, 17, 33)
@@ -77,18 +95,12 @@ def run(
     )
     for protocol in PROTOCOLS:
         for n in sizes:
-            batch = TrialBatch()
-            for i in range(trials):
-                seed = base_seed + i
-                _, metrics = run_programs(
-                    _build(protocol, n),
-                    SynchronousAdversary(seed=seed),
-                    K=_K,
-                    t=(n - 1) // 2,
-                    seed=seed,
-                    max_steps=100_000,
-                )
-                batch.add(metrics)
+            batch = run_custom_batch(
+                partial(_cost_trial, protocol=protocol, n=n),
+                trials=trials,
+                base_seed=base_seed,
+                workers=workers,
+            )
             envelopes = batch.summary("messages")
             events = batch.summary("events")
             table.add_row(

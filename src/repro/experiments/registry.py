@@ -161,7 +161,10 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
 
 
 def run_experiment(
-    experiment_id: str, trials: int | None = None, quick: bool = False
+    experiment_id: str,
+    trials: int | None = None,
+    quick: bool = False,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run one experiment by id.
 
@@ -169,14 +172,21 @@ def run_experiment(
     (see :mod:`repro.analysis.metrics`); this wrapper adds the
     experiment-level counter and wall-clock histogram so registry
     snapshots and the rendered tables describe the same execution.
+    ``workers`` fans the trial batches out over worker processes via
+    :mod:`repro.engine`; the tables are byte-identical at every count.
     """
     info = EXPERIMENTS[experiment_id]
-    _log.info("running experiment %s (quick=%s)", experiment_id, quick)
+    _log.info(
+        "running experiment %s (quick=%s, workers=%s)",
+        experiment_id,
+        quick,
+        workers,
+    )
     start = time.perf_counter()
     if trials is None:
-        table = info.runner(quick=quick)
+        table = info.runner(quick=quick, workers=workers)
     else:
-        table = info.runner(trials=trials, quick=quick)
+        table = info.runner(trials=trials, quick=quick, workers=workers)
     elapsed = time.perf_counter() - start
     _log.info("experiment %s finished in %.2fs", experiment_id, elapsed)
     if telemetry.enabled():
@@ -195,12 +205,16 @@ def run_experiment(
 
 
 def run_all(
-    quick: bool = False, report: Callable[[str], None] | None = None
+    quick: bool = False,
+    report: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> dict[str, ResultTable]:
     """Run every experiment; optionally report progress."""
     tables: dict[str, ResultTable] = {}
     for experiment_id in EXPERIMENTS:
         if report is not None:
             report(f"running {experiment_id} ...")
-        tables[experiment_id] = run_experiment(experiment_id, quick=quick)
+        tables[experiment_id] = run_experiment(
+            experiment_id, quick=quick, workers=workers
+        )
     return tables

@@ -6,6 +6,13 @@ buffer.  The buffer is a *set* in the paper; we keep insertion order for
 determinism (adversaries that say "deliver everything pending" must produce
 identical runs across invocations), but membership semantics are set-like:
 each envelope is delivered at most once.
+
+The buffer is on the scheduler's per-event hot path, so all operations
+are indexed: deliveries resolve through the id map and an insertion-rank
+map (``take`` is O(k log k) in the delivered count, not O(pending)), and
+per-sender queries go through a sender index instead of a scan.  The
+``version`` counter lets callers (the scheduler's pattern-metadata cache)
+invalidate derived views only when the buffer actually changed.
 """
 
 from __future__ import annotations
@@ -19,8 +26,17 @@ from repro.sim.message import Envelope, MessageId
 class MessageBuffer:
     """An ordered set of undelivered envelopes for one processor."""
 
+    __slots__ = ("_pending", "_rank", "_by_sender", "_counter", "version")
+
     def __init__(self) -> None:
         self._pending: dict[MessageId, Envelope] = {}
+        #: Insertion rank per pending id; delivery order follows it.
+        self._rank: dict[MessageId, int] = {}
+        #: Sender index: sender pid -> insertion-ordered id map.
+        self._by_sender: dict[int, dict[MessageId, Envelope]] = {}
+        self._counter = 0
+        #: Bumped on every mutation; lets derived views cache safely.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -39,11 +55,25 @@ class MessageBuffer:
                 pending (ids are run-unique, so this indicates a kernel bug
                 or a hand-built schedule error).
         """
-        if envelope.message_id in self._pending:
+        message_id = envelope.message_id
+        if message_id in self._pending:
             raise SchedulingError(
-                f"duplicate envelope {envelope.message_id} added to buffer"
+                f"duplicate envelope {message_id} added to buffer"
             )
-        self._pending[envelope.message_id] = envelope
+        self._pending[message_id] = envelope
+        self._rank[message_id] = self._counter
+        self._counter += 1
+        self._by_sender.setdefault(envelope.sender, {})[message_id] = envelope
+        self.version += 1
+
+    def _remove(self, message_id: MessageId) -> Envelope:
+        envelope = self._pending.pop(message_id)
+        del self._rank[message_id]
+        sender_map = self._by_sender[envelope.sender]
+        del sender_map[message_id]
+        if not sender_map:
+            del self._by_sender[envelope.sender]
+        return envelope
 
     def take(self, message_ids: Iterable[MessageId]) -> list[Envelope]:
         """Remove and return the envelopes with the given ids.
@@ -57,15 +87,18 @@ class MessageBuffer:
                 be *applicable* in the model's sense.
         """
         wanted = set(message_ids)
-        missing = wanted - self._pending.keys()
+        if not wanted:
+            return []
+        rank = self._rank
+        missing = [mid for mid in wanted if mid not in rank]
         if missing:
             raise SchedulingError(
                 f"event not applicable: envelopes {sorted(missing)} are not "
                 f"in the buffer"
             )
-        taken = [env for mid, env in self._pending.items() if mid in wanted]
-        for envelope in taken:
-            del self._pending[envelope.message_id]
+        ordered = sorted(wanted, key=rank.__getitem__)
+        taken = [self._remove(mid) for mid in ordered]
+        self.version += 1
         return taken
 
     def peek_ids(self) -> list[MessageId]:
@@ -74,7 +107,7 @@ class MessageBuffer:
 
     def pending_from(self, sender: int) -> list[Envelope]:
         """All pending envelopes from ``sender``, oldest first."""
-        return [e for e in self._pending.values() if e.sender == sender]
+        return list(self._by_sender.get(sender, {}).values())
 
     def drop(self, message_id: MessageId) -> Envelope:
         """Remove an envelope without delivering it.
@@ -82,9 +115,10 @@ class MessageBuffer:
         Only legal for non-guaranteed envelopes (sent at a crashed sender's
         final step); the scheduler enforces that restriction.
         """
-        try:
-            return self._pending.pop(message_id)
-        except KeyError:
+        if message_id not in self._pending:
             raise SchedulingError(
                 f"cannot drop envelope {message_id}: not pending"
-            ) from None
+            )
+        envelope = self._remove(message_id)
+        self.version += 1
+        return envelope

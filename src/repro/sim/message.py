@@ -69,6 +69,10 @@ class Envelope:
     send_clock: int
     receive_event: int | None = None
     guaranteed: bool = True
+    #: Scheduler-owned cache of this envelope's pattern-visible metadata
+    #: (a ``PendingMessage``); rebuilt when ``guaranteed`` flips.  Not
+    #: part of the envelope's identity.
+    pattern_meta: Any = field(default=None, repr=False, compare=False)
 
     @property
     def delivered(self) -> bool:

@@ -65,6 +65,34 @@ class PendingMessage:
     guaranteed: bool
 
 
+class PatternHistory(Sequence):
+    """A zero-copy, read-only window onto the live message pattern.
+
+    Adversaries may consult the full history every decision; copying the
+    pattern list per decision made that O(events²) over a run.  This
+    wrapper exposes the scheduler's live list through the ``Sequence``
+    protocol only — no mutators — so reads are O(1) and iteration incurs
+    no allocation.  The window always reflects the pattern *so far*.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: list[PatternEntry]) -> None:
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"PatternHistory({len(self._entries)} events)"
+
+
 class PatternView:
     """Read-only, contents-free view of a simulation for adversaries."""
 
@@ -101,12 +129,11 @@ class PatternView:
 
     def crashed(self) -> frozenset[int]:
         """Processors the adversary has crashed so far."""
-        return frozenset(self._sim.crashed_pids())
+        return self._sim.crashed_frozen()
 
     def alive(self) -> list[int]:
         """Processors still eligible to take steps, ascending by id."""
-        dead = self._sim.crashed_pids()
-        return [pid for pid in range(self._sim.n) if pid not in dead]
+        return list(self._sim.alive_pids())
 
     def pending(self, pid: int) -> list[PendingMessage]:
         """Metadata of the envelopes sitting in ``pid``'s buffer."""
@@ -117,8 +144,8 @@ class PatternView:
         return [m.message_id for m in self.pending(pid)]
 
     def history(self) -> Sequence[PatternEntry]:
-        """The full message pattern so far."""
-        return self._sim.pattern_entries()
+        """The full message pattern so far (a live, read-only window)."""
+        return self._sim.pattern_history()
 
     def steps_between(self, first_event: int, last_event: int) -> int:
         """Largest per-processor step count within an event interval.

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 import time
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -26,7 +27,13 @@ from repro.sim.decisions import (
     StepDecision,
 )
 from repro.sim.message import Envelope, EnvelopeFactory, MessageId, ReceivedPayload
-from repro.sim.pattern import PatternEntry, PatternView, PendingMessage, SentRecord
+from repro.sim.pattern import (
+    PatternEntry,
+    PatternHistory,
+    PatternView,
+    PendingMessage,
+    SentRecord,
+)
 from repro.sim.process import Program, SimProcess
 from repro.sim.tape import TapeCollection
 from repro.sim.trace import Run, TraceEvent
@@ -104,6 +111,10 @@ class Simulation:
         max_steps: int = 100_000,
         telemetry: MetricsRegistry | None = None,
     ) -> None:
+        # Accept any Sequence (or iterable) of programs; materialise once
+        # and share the list with callers via ``self.programs`` so batch
+        # helpers need not re-list it for metric extraction.
+        programs = list(programs)
         n = len(programs)
         if n == 0:
             raise ConfigurationError("a simulation needs at least one processor")
@@ -125,6 +136,7 @@ class Simulation:
         self.t = t
         self.max_steps = max_steps
         self.adversary = adversary
+        self.programs = programs
         self.tapes = tapes if tapes is not None else TapeCollection(n, seed)
         if len(self.tapes) != n:
             raise ConfigurationError(
@@ -143,13 +155,30 @@ class Simulation:
         self._crashed: set[int] = set()
         self._last_send_event: dict[int, int] = {}
         self._trace: list[TraceEvent] = []
-        # Per-processor cumulative step counts, indexed by event: entry i of
-        # self._cumulative_steps[pid] is how many steps pid had taken after
-        # event i.  Used for pattern-level lateness queries.
+        # Per-processor sorted lists of the event indices at which the
+        # processor took a step.  ``max_steps_between`` answers interval
+        # queries with two bisects per processor instead of the old
+        # per-event cumulative tables (which cost O(n) work and memory
+        # per event).
         self._step_counts = [0] * n
-        self._cumulative: list[list[int]] = [[] for _ in range(n)]
+        self._pid_step_events: list[list[int]] = [[] for _ in range(n)]
         self.monitor = AdmissibilityMonitor(n=n, t=t)
         self.view = PatternView(self)
+        # Hot-path caches for the adversary-facing pattern view.  All are
+        # derived state: crashes invalidate the crash/alive caches, buffer
+        # versions gate the pending-metadata cache, and the history window
+        # wraps the live pattern list (no copies).
+        self._running_count = sum(
+            1
+            for proc in self.processes
+            if proc.status is ProcessStatus.RUNNING
+        )
+        self._crashed_frozen: frozenset[int] = frozenset()
+        self._alive_tuple: tuple[int, ...] = tuple(range(n))
+        self._history = PatternHistory(self._pattern)
+        self._pending_meta: list[tuple[int, list[PendingMessage]] | None] = [
+            None
+        ] * n
         if telemetry is None:
             telemetry = active_registry()
         elif not telemetry.enabled:
@@ -187,32 +216,69 @@ class Simulation:
     def crashed_pids(self) -> set[int]:
         return set(self._crashed)
 
+    def crashed_frozen(self) -> frozenset[int]:
+        """Crashed processors as a cached frozenset (invalidated on crash)."""
+        return self._crashed_frozen
+
+    def alive_pids(self) -> tuple[int, ...]:
+        """Non-crashed processors, ascending (cached; invalidated on crash)."""
+        return self._alive_tuple
+
     def pending_metadata(self, pid: int) -> list[PendingMessage]:
-        return [
-            PendingMessage(
-                message_id=env.message_id,
-                sender=env.sender,
-                recipient=env.recipient,
-                send_event=env.send_event,
-                send_clock=env.send_clock,
-                guaranteed=env.guaranteed,
-            )
-            for env in self.buffers[pid]
-        ]
+        """Pattern-visible metadata of ``pid``'s buffer, oldest first.
+
+        The per-buffer list is cached against the buffer's mutation
+        version and the per-envelope ``PendingMessage`` is cached on the
+        envelope itself (rebuilt only if its delivery guarantee flips),
+        so adversaries that consult pending metadata every decision no
+        longer rebuild the metadata objects every event.
+        """
+        buffer = self.buffers[pid]
+        cached = self._pending_meta[pid]
+        if cached is not None and cached[0] == buffer.version:
+            return list(cached[1])
+        metadata = []
+        for env in buffer:
+            meta = env.pattern_meta
+            if meta is None or meta.guaranteed != env.guaranteed:
+                meta = PendingMessage(
+                    message_id=env.message_id,
+                    sender=env.sender,
+                    recipient=env.recipient,
+                    send_event=env.send_event,
+                    send_clock=env.send_clock,
+                    guaranteed=env.guaranteed,
+                )
+                env.pattern_meta = meta
+            metadata.append(meta)
+        self._pending_meta[pid] = (buffer.version, metadata)
+        return list(metadata)
 
     def pattern_entries(self) -> list[PatternEntry]:
         return list(self._pattern)
 
+    def pattern_history(self) -> PatternHistory:
+        """Zero-copy read-only window onto the live pattern."""
+        return self._history
+
     def max_steps_between(self, first_event: int, last_event: int) -> int:
-        """Max per-processor step count strictly inside an event interval."""
+        """Max per-processor step count strictly inside an event interval.
+
+        Equivalent to reading per-event cumulative step tables at the
+        interval's (clamped) endpoints: ``bisect_right`` over a
+        processor's step-event indices *is* its cumulative count after a
+        given event, saturating beyond the recorded range.
+        """
         best = 0
-        for pid in range(self.n):
-            cum = self._cumulative[pid]
-            if not cum:
+        hi = last_event - 1
+        for steps in self._pid_step_events:
+            if not steps:
                 continue
-            at_first = cum[min(first_event, len(cum) - 1)] if first_event >= 0 else 0
-            at_last = cum[min(last_event - 1, len(cum) - 1)] if last_event > 0 else 0
-            best = max(best, at_last - at_first)
+            at_first = bisect_right(steps, first_event) if first_event >= 0 else 0
+            at_last = bisect_right(steps, hi) if last_event > 0 else 0
+            delta = at_last - at_first
+            if delta > best:
+                best = delta
         return best
 
     # -- run loop ---------------------------------------------------------------
@@ -226,8 +292,13 @@ class Simulation:
         ]
 
     def all_nonfaulty_done(self) -> bool:
-        """Whether every non-crashed processor's program has returned."""
-        return not self.running_pids()
+        """Whether every non-crashed processor's program has returned.
+
+        O(1): the scheduler maintains a running-processor count across
+        step and crash transitions instead of rescanning every process
+        each event.
+        """
+        return self._running_count == 0
 
     def run(self) -> SimulationResult:
         """Execute the simulation to termination or the step horizon."""
@@ -292,17 +363,32 @@ class Simulation:
         pid = decision.pid
         if pid in self._crashed:
             raise SchedulingError(f"processor {pid} is already crashed")
+        process = self.processes[pid]
+        was_running = process.status is ProcessStatus.RUNNING
         self._crashed.add(pid)
-        self.processes[pid].mark_crashed()
+        self._crashed_frozen = frozenset(self._crashed)
+        self._alive_tuple = tuple(
+            p for p in range(self.n) if p not in self._crashed
+        )
+        process.mark_crashed()
+        if was_running:
+            self._running_count -= 1
         self.monitor.record_crash(pid)
         # Messages sent at the crashed processor's final step lose their
-        # delivery guarantee (the paper's non-guaranteed messages).
+        # delivery guarantee (the paper's non-guaranteed messages).  The
+        # sender index answers "pending from pid" without scanning whole
+        # buffers; bumping the buffer version invalidates cached
+        # pattern metadata for the flipped envelopes.
         last_send = self._last_send_event.get(pid)
         if last_send is not None:
             for buffer in self.buffers:
-                for env in buffer:
-                    if env.sender == pid and env.send_event == last_send:
+                flipped = False
+                for env in buffer.pending_from(pid):
+                    if env.send_event == last_send:
                         env.guaranteed = False
+                        flipped = True
+                if flipped:
+                    buffer.version += 1
         _log.debug(
             "processor %d crashed at event %d (clock %d)",
             pid,
@@ -336,7 +422,11 @@ class Simulation:
                         message_id=env.message_id,
                     )
                 )
-        outgoing = self.processes[pid].on_step(received)
+        process = self.processes[pid]
+        was_running = process.status is ProcessStatus.RUNNING
+        outgoing = process.on_step(received)
+        if was_running and process.status is not ProcessStatus.RUNNING:
+            self._running_count -= 1
         sent_envelopes: list[Envelope] = []
         for recipient, payloads in outgoing:
             env = self._factory.build(
@@ -352,6 +442,7 @@ class Simulation:
         if sent_envelopes:
             self._last_send_event[pid] = self.event_count
         self._step_counts[pid] += 1
+        self._pid_step_events[pid].append(self.event_count)
         if self._telemetry is not None:
             self._m_events.inc(kind="step")
             if sent_envelopes:
@@ -404,8 +495,6 @@ class Simulation:
                 halted_after=proc.halted,
             )
         )
-        for pid in range(self.n):
-            self._cumulative[pid].append(self._step_counts[pid])
 
     # -- result assembly ---------------------------------------------------------
 

@@ -79,6 +79,13 @@ class Run:
     _step_indices: dict[int, list[int]] | None = field(
         default=None, repr=False, compare=False
     )
+    # Cache: the late-message list.  A Run is assembled once, after the
+    # simulation finishes, so lateness is immutable; analyses typically ask
+    # both ``is_on_time`` and ``late_count``, which would otherwise scan
+    # every envelope twice.
+    _late_cache: list[Envelope] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- basic queries ------------------------------------------------------
 
@@ -156,8 +163,12 @@ class Run:
         )
 
     def late_messages(self) -> list[Envelope]:
-        """Every late message in the run."""
-        return [env for env in self.envelopes.values() if self.is_late(env)]
+        """Every late message in the run (cached after the first call)."""
+        if self._late_cache is None:
+            self._late_cache = [
+                env for env in self.envelopes.values() if self.is_late(env)
+            ]
+        return list(self._late_cache)
 
     def is_on_time(self) -> bool:
         """Whether the run contains no late messages."""

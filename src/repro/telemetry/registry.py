@@ -184,6 +184,31 @@ class Histogram(Metric):
     def samples(self) -> dict[LabelKey, _HistogramCell]:
         return dict(self._cells)
 
+    def merge_sample(
+        self,
+        labels: Mapping[str, Any],
+        count: int,
+        total: float,
+        bucket_counts: Sequence[int],
+    ) -> None:
+        """Fold one exported cell into this histogram (worker merge)."""
+        if not self._registry.enabled:
+            return
+        if len(bucket_counts) != len(self.bounds):
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge {len(bucket_counts)} "
+                f"buckets into {len(self.bounds)}"
+            )
+        key = _label_key(labels)
+        with self._registry._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _HistogramCell(len(self.bounds))
+            cell.count += count
+            cell.total += total
+            for index, value in enumerate(bucket_counts):
+                cell.bucket_counts[index] += value
+
 
 class MetricsRegistry:
     """A collection of named metric families.
@@ -234,6 +259,57 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    # -- merge -------------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the batch engine to combine per-worker registries into
+        the parent's: counters and histogram cells add; gauges take the
+        incoming value (last write wins, matching serial semantics where
+        the most recent ``set`` survives).  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            help_text = data.get("help", "")
+            samples = data.get("samples", ())
+            if kind == "counter":
+                counter = self.counter(name, help_text)
+                for sample in samples:
+                    if sample["value"]:
+                        counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, help_text)
+                for sample in samples:
+                    gauge.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                # Bounds travel at family level so registered-but-empty
+                # families survive the merge; older snapshots only carry
+                # them per sample.
+                bounds_raw = data.get("buckets")
+                if bounds_raw is None and samples:
+                    bounds_raw = list(samples[0]["buckets"])
+                if bounds_raw is None:
+                    continue
+                bounds = tuple(
+                    math.inf if raw == "+Inf" else float(raw)
+                    for raw in bounds_raw
+                )
+                histogram = self.histogram(name, help_text, buckets=bounds)
+                for sample in samples:
+                    histogram.merge_sample(
+                        sample["labels"],
+                        count=sample["count"],
+                        total=sample["sum"],
+                        bucket_counts=list(sample["buckets"].values()),
+                    )
+            else:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -265,6 +341,10 @@ class MetricsRegistry:
                 "help": metric.help,
                 "samples": samples,
             }
+            if isinstance(metric, Histogram):
+                out[name]["buckets"] = [
+                    _format_bound(bound) for bound in metric.bounds
+                ]
         return out
 
     def render_prometheus(self) -> str:

@@ -8,6 +8,7 @@ from repro.adversary.standard import SynchronousAdversary
 from repro.core.agreement import AgreementProgram
 from repro.core.api import shared_coins
 from repro.core.commit import CommitProgram
+from repro.engine import seeds as seed_scheme
 from repro.sim.scheduler import Simulation
 from repro.telemetry.registry import MetricsRegistry, set_registry
 
@@ -82,7 +83,9 @@ def make_agreement_simulation(
     if t is None:
         t = (n - 1) // 2
     if coins is None:
-        coins = shared_coins(n, seed=seed + 1000)
+        coins = shared_coins(
+            n, seed=seed_scheme.derive(seed, seed_scheme.FIXTURE_COIN_STREAM)
+        )
     programs = [
         AgreementProgram(
             pid=pid,

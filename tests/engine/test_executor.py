@@ -1,0 +1,153 @@
+"""Tests for the batch trial-execution engine."""
+
+from __future__ import annotations
+
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.adversary.standard import OnTimeAdversary
+from repro.engine.executor import (
+    TrialEngine,
+    default_workers,
+    resolve_workers,
+    run_trials,
+    set_default_workers,
+)
+from repro.engine.spec import SeededFactory, chunk_seeds
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import MetricsRegistry, count, use_registry
+
+
+def _square(seed: int, offset: int = 0) -> int:
+    return seed * seed + offset
+
+
+def _marked(seed: int) -> int:
+    count("engine_test_marks_total", help="trial marker")
+    return seed + 1
+
+
+class TestChunkSeeds:
+    def test_concatenation_reproduces_seeds(self):
+        seeds = tuple(range(17))
+        chunks = chunk_seeds(seeds, 5)
+        assert tuple(s for chunk in chunks for s in chunk) == seeds
+
+    def test_chunks_are_contiguous_and_balanced(self):
+        chunks = chunk_seeds(tuple(range(17)), 5)
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        for chunk in chunks:
+            assert chunk == tuple(range(chunk[0], chunk[0] + len(chunk)))
+
+    def test_more_chunks_than_seeds(self):
+        assert chunk_seeds((3, 4), 8) == [(3,), (4,)]
+
+    def test_empty_seed_list(self):
+        assert chunk_seeds((), 4) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_seeds((1, 2), 0)
+
+
+class TestTrialEngine:
+    def test_parallel_matches_serial(self):
+        trial = partial(_square, offset=7)
+        serial = TrialEngine(workers=1).map(trial, range(23))
+        parallel = TrialEngine(workers=4).map(trial, range(23))
+        assert serial == parallel == [s * s + 7 for s in range(23)]
+
+    def test_empty_batch(self):
+        assert TrialEngine(workers=4).map(_square, ()) == []
+
+    def test_single_seed_stays_in_process(self):
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            results = TrialEngine(workers=4).map(_square, [6])
+        assert results == [36]
+        assert registry.counter("engine_trials_total").value(mode="parallel") == 0
+
+    def test_unpicklable_trial_falls_back_to_serial(self):
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            results = TrialEngine(workers=4).map(lambda s: s * 2, range(8))
+        assert results == [s * 2 for s in range(8)]
+        fallbacks = registry.counter("engine_fallbacks_total")
+        assert fallbacks.value(reason="unpicklable") == 1
+        assert registry.counter("engine_trials_total").value(mode="parallel") == 0
+
+    def test_worker_telemetry_merges_into_parent(self):
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            results = TrialEngine(workers=2).map(_marked, range(10))
+        assert results == [s + 1 for s in range(10)]
+        assert registry.counter("engine_test_marks_total").value() == 10
+        assert registry.counter("engine_trials_total").value(mode="parallel") == 10
+        assert registry.counter("engine_chunks_total").value() > 0
+
+
+class TestRunTrials:
+    def test_consecutive_seeds_from_base(self):
+        assert run_trials(_square, trials=4, base_seed=10) == [100, 121, 144, 169]
+
+    def test_explicit_seeds_preserve_order(self):
+        assert run_trials(_square, seeds=[5, 3, 9]) == [25, 9, 81]
+
+    def test_requires_exactly_one_seed_source(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(_square)
+        with pytest.raises(ConfigurationError):
+            run_trials(_square, trials=2, seeds=[1])
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(_square, trials=0)
+
+
+class TestWorkerResolution:
+    def test_none_resolves_serial_by_default(self):
+        assert resolve_workers(None) == 1
+
+    def test_default_override_round_trip(self):
+        set_default_workers(3)
+        try:
+            assert resolve_workers(None) == 3
+        finally:
+            set_default_workers(None)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_count_wins(self):
+        set_default_workers(3)
+        try:
+            assert resolve_workers(2) == 2
+        finally:
+            set_default_workers(None)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+        with pytest.raises(ConfigurationError):
+            set_default_workers(0)
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert default_workers() == 6
+        monkeypatch.setenv("REPRO_WORKERS", "zebra")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+
+class TestSeededFactory:
+    def test_builds_target_with_seed(self):
+        factory = SeededFactory.of(OnTimeAdversary, K=4)
+        adversary = factory(17)
+        assert isinstance(adversary, OnTimeAdversary)
+
+    def test_pickle_round_trip(self):
+        factory = SeededFactory.of(OnTimeAdversary, K=4)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        assert isinstance(clone(3), OnTimeAdversary)

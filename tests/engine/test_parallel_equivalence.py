@@ -1,0 +1,63 @@
+"""Serial vs parallel experiment equivalence.
+
+The engine's headline guarantee: for any worker count an experiment
+produces the same ``ResultTable`` — byte for byte — and the same merged
+count-metric snapshot as the serial run.  Exercised across experiments
+covering five distinct adversaries: E1 (random walk, vote splitter),
+E2 (synchronous, on-time, random walk), and E3 (synchronous).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.telemetry.registry import MetricsRegistry, use_registry
+
+EXPERIMENTS = ("E1", "E2", "E3")
+
+
+def _run(experiment_id: str, workers: int):
+    """Run one quick experiment under a fresh enabled registry."""
+    registry = MetricsRegistry(enabled=True)
+    with use_registry(registry):
+        table = run_experiment(experiment_id, quick=True, workers=workers)
+    return table, registry.snapshot()
+
+
+def _counters(snapshot):
+    """Counter samples only, minus the engine's own bookkeeping.
+
+    Timing histograms legitimately differ between runs; the engine's
+    ``engine_*`` counters exist only on the parallel path.  Everything
+    else — every count the trials themselves record — must match.
+    """
+    out = {}
+    for name, data in snapshot.items():
+        if data["type"] != "counter" or name.startswith("engine_"):
+            continue
+        out[name] = sorted(
+            (tuple(sorted(sample["labels"].items())), sample["value"])
+            for sample in data["samples"]
+        )
+    return out
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENTS)
+def test_parallel_run_matches_serial(experiment_id):
+    serial_table, serial_snapshot = _run(experiment_id, workers=1)
+    parallel_table, parallel_snapshot = _run(experiment_id, workers=4)
+
+    # Tables are byte-identical, so --json / --trace-out artifacts and
+    # EXPERIMENTS.md numbers do not depend on the worker count.
+    assert parallel_table.render() == serial_table.render()
+    assert parallel_table.to_dict() == serial_table.to_dict()
+
+    # Worker registries merged back into the parent reproduce the serial
+    # counter totals exactly.
+    assert _counters(parallel_snapshot) == _counters(serial_snapshot)
+
+    # The parallel run really fanned out (no silent pickling fallback).
+    trials = parallel_snapshot["engine_trials_total"]["samples"]
+    assert sum(s["value"] for s in trials if s["labels"] == {"mode": "parallel"}) > 0
+    assert "engine_fallbacks_total" not in parallel_snapshot
