@@ -12,7 +12,11 @@ Commands:
 * ``experiment`` — run one experiment and print its table (``--json``
   for machine-readable output);
 * ``stats`` — print a telemetry registry snapshot (JSON or
-  Prometheus-style text) for one or more archived JSONL traces.
+  Prometheus-style text) for one or more archived JSONL traces;
+* ``faults campaign`` — sweep seeded randomized FaultPlans across the
+  simulator and asyncio tracks, check the paper's invariants on every
+  trial, and write a machine-readable campaign report; exits nonzero on
+  any safety violation.
 
 The global ``--log-level`` flag configures the ``repro`` logging channel
 (see :mod:`repro.telemetry.log`); it must precede the subcommand.
@@ -285,6 +289,45 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_faults_campaign(args) -> int:
+    from repro.faults.campaign import (
+        CampaignConfig,
+        render_campaign_summary,
+        run_campaign,
+        write_campaign_report,
+    )
+
+    registry = None
+    if args.stats:
+        from repro.telemetry.registry import enable_telemetry
+
+        registry = enable_telemetry()
+        registry.reset()
+    config = CampaignConfig(
+        n=args.n,
+        t=args.t,
+        plans=args.plans,
+        base_seed=args.seed,
+        tracks=tuple(args.tracks.split(",")),
+        K=args.K,
+        max_steps=args.max_steps,
+        deadline=args.deadline,
+        over_budget_fraction=args.over_budget_fraction,
+    )
+    report = run_campaign(config, workers=args.workers)
+    if registry is not None:
+        report["telemetry"] = registry.snapshot()
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_campaign_summary(report))
+    if args.out:
+        path = write_campaign_report(report, args.out)
+        if not args.json:
+            print(f"report written to {path}")
+    return 0 if report["summary"]["safety_violations"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.telemetry.log import LOG_LEVELS
 
@@ -428,6 +471,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot format: JSON (default) or Prometheus text",
     )
     stats_parser.set_defaults(fn=cmd_stats)
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection tooling (see: faults campaign)"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_command", required=True)
+    campaign_parser = faults_sub.add_parser(
+        "campaign",
+        help=(
+            "sweep seeded randomized FaultPlans across both tracks and "
+            "machine-check safety on every trial"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--plans", type=int, default=100, help="number of randomized plans"
+    )
+    campaign_parser.add_argument(
+        "--n", type=int, default=5, help="processors per trial"
+    )
+    campaign_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    campaign_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    campaign_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed; plan i uses seed+i"
+    )
+    campaign_parser.add_argument(
+        "--tracks",
+        default="sim,runtime",
+        help="comma-separated tracks to run: sim, runtime, or both",
+    )
+    campaign_parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=20_000,
+        help="simulator step horizon per trial",
+    )
+    campaign_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=8.0,
+        help="runtime-track budget per trial, in virtual seconds",
+    )
+    campaign_parser.add_argument(
+        "--over-budget-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of plans drawing more than t crashes",
+    )
+    campaign_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the plan sweep (default: cpu count via "
+            "REPRO_WORKERS/os.cpu_count; 1 forces serial)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--out", default=None, help="write the campaign report JSON here"
+    )
+    campaign_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary",
+    )
+    campaign_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="embed a telemetry snapshot in the report",
+    )
+    campaign_parser.set_defaults(fn=cmd_faults_campaign)
 
     return parser
 

@@ -54,6 +54,14 @@ COORDINATOR_COIN_STREAM = 515_151
 #: (historically ``seed + 1000`` in ``tests/conftest.py``).
 FIXTURE_COIN_STREAM = 1_000
 
+#: Stream offset of the per-trial vote draw in fault campaigns
+#: (:mod:`repro.faults.campaign`), independent of the plan randomness.
+CAMPAIGN_VOTE_STREAM = 9_700_417
+
+#: Stream offset of the per-trial shape draw (within- vs over-budget) in
+#: fault campaigns.
+CAMPAIGN_SHAPE_STREAM = 9_999_991
+
 
 def trial_seed(base_seed: int, index: int) -> int:
     """Seed of trial ``index`` in a batch anchored at ``base_seed``."""

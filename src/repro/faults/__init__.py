@@ -1,0 +1,74 @@
+"""Unified fault injection: one declarative plan, two execution tracks.
+
+This package closes the gap between *what faults a trial suffers* and
+*where the trial runs*.  A :class:`FaultPlan` declares a schedule —
+crash-at-cycle, partition windows, per-link loss/duplication/reorder
+probabilities, delay overrides — in track-neutral cycle time, and two
+compilers realise it:
+
+* :func:`compile_to_adversary` → a
+  :class:`~repro.adversary.base.CycleAdversary` for the deterministic
+  simulator;
+* :func:`compile_to_runtime` → transport link hooks, crash injections,
+  and a retransmission config for the asyncio runtime.
+
+The :class:`SafetyMonitor` machine-checks the paper's invariants
+(agreement, validity, nonblocking-within-budget) on every trial, and
+:func:`run_campaign` sweeps seeded randomized plans across both tracks
+into one reproducible, machine-readable report.
+"""
+
+from repro.faults.campaign import (
+    CAMPAIGN_SCHEMA,
+    CampaignConfig,
+    render_campaign_summary,
+    run_campaign,
+    run_campaign_trial,
+    write_campaign_report,
+)
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    LinkDelay,
+    LinkLoss,
+    PartitionWindow,
+)
+from repro.faults.runtime_compile import (
+    PlanLinkFaults,
+    cluster_from_plan,
+    compile_to_runtime,
+    plan_reliability,
+)
+from repro.faults.safety import (
+    LIVENESS_PROPERTIES,
+    SAFETY_PROPERTIES,
+    SafetyMonitor,
+    SafetyReport,
+    Violation,
+)
+from repro.faults.sim_compile import FaultPlanAdversary, compile_to_adversary
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignConfig",
+    "CrashFault",
+    "FaultPlan",
+    "FaultPlanAdversary",
+    "LIVENESS_PROPERTIES",
+    "LinkDelay",
+    "LinkLoss",
+    "PartitionWindow",
+    "PlanLinkFaults",
+    "SAFETY_PROPERTIES",
+    "SafetyMonitor",
+    "SafetyReport",
+    "Violation",
+    "cluster_from_plan",
+    "compile_to_adversary",
+    "compile_to_runtime",
+    "plan_reliability",
+    "render_campaign_summary",
+    "run_campaign",
+    "run_campaign_trial",
+    "write_campaign_report",
+]

@@ -1,0 +1,388 @@
+"""Fault-injection campaigns: sweep seeded FaultPlans across both tracks.
+
+A campaign is a batch of independent trials.  Trial ``i`` derives one
+randomized :class:`~repro.faults.plan.FaultPlan` and one vote vector
+from ``base_seed + i``, executes the plan on the deterministic
+simulator and/or the asyncio runtime (on the virtual-clock loop, so
+trials are fast and reproducible), and machine-checks the paper's
+invariants with the :class:`~repro.faults.safety.SafetyMonitor`.
+
+Trials fan out through the :mod:`repro.engine` executor, inheriting its
+guarantee that results are byte-identical to the serial loop at any
+worker count; combined with the virtual clock on the runtime track the
+whole campaign *report* is reproducible from ``(config, base_seed)``
+alone — rerun it anywhere and diff the JSON.
+
+The report (``repro.fault-campaign v1``) embeds every plan, so any
+violation ever found is replayable: feed the plan dict back through
+:meth:`FaultPlan.from_dict` and either compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+from repro.core.commit import CommitProgram
+from repro.engine.executor import run_trials
+from repro.engine.seeds import (
+    CAMPAIGN_SHAPE_STREAM,
+    CAMPAIGN_VOTE_STREAM,
+    derive,
+)
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime_compile import cluster_from_plan
+from repro.faults.safety import SafetyMonitor
+from repro.faults.sim_compile import compile_to_adversary
+from repro.runtime.cluster import NONTERMINATED, TERMINATED
+from repro.runtime.virtualtime import run_virtual
+from repro.sim.scheduler import Simulation
+from repro.telemetry import registry as telemetry
+
+#: Schema tag of the campaign report document.
+CAMPAIGN_SCHEMA = "repro.fault-campaign v1"
+
+#: The executable tracks a campaign can sweep.
+TRACKS = ("sim", "runtime")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of one fault-injection campaign.
+
+    Attributes:
+        n: processors per trial.
+        t: fault budget; ``None`` means the optimum ``(n - 1) // 2``.
+        plans: number of randomized FaultPlans to sweep.
+        base_seed: seed of plan 0; plan ``i`` uses ``base_seed + i``.
+        tracks: which tracks each plan runs on.
+        K: the protocols' on-time bound.
+        max_steps: simulator horizon per trial.
+        deadline: runtime-track budget in *virtual* seconds per trial.
+        tick_interval: runtime node step granularity.
+        over_budget_fraction: fraction of trials drawing a plan with
+            more than ``t`` crashes (the graceful-degradation regime).
+        all_commit_fraction: fraction of trials voting all-COMMIT; the
+            rest draw random vote vectors.
+    """
+
+    n: int = 5
+    t: int | None = None
+    plans: int = 100
+    base_seed: int = 0
+    tracks: tuple[str, ...] = TRACKS
+    K: int = 4
+    max_steps: int = 20_000
+    deadline: float = 8.0
+    tick_interval: float = 0.002
+    over_budget_fraction: float = 0.25
+    all_commit_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"campaigns need n >= 2, got {self.n}")
+        if self.plans <= 0:
+            raise ConfigurationError(
+                f"need at least one plan, got {self.plans}"
+            )
+        if not self.tracks:
+            raise ConfigurationError("need at least one track")
+        for track in self.tracks:
+            if track not in TRACKS:
+                raise ConfigurationError(
+                    f"unknown track {track!r}; choose from {TRACKS}"
+                )
+        if not 0.0 <= self.over_budget_fraction <= 1.0:
+            raise ConfigurationError(
+                f"over_budget_fraction out of [0, 1]: "
+                f"{self.over_budget_fraction}"
+            )
+        if not 0.0 <= self.all_commit_fraction <= 1.0:
+            raise ConfigurationError(
+                f"all_commit_fraction out of [0, 1]: "
+                f"{self.all_commit_fraction}"
+            )
+
+    @property
+    def resolved_t(self) -> int:
+        return self.t if self.t is not None else (self.n - 1) // 2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "t": self.resolved_t,
+            "plans": self.plans,
+            "base_seed": self.base_seed,
+            "tracks": list(self.tracks),
+            "K": self.K,
+            "max_steps": self.max_steps,
+            "deadline": self.deadline,
+            "tick_interval": self.tick_interval,
+            "over_budget_fraction": self.over_budget_fraction,
+            "all_commit_fraction": self.all_commit_fraction,
+        }
+
+
+def _draw_votes(config: CampaignConfig, seed: int) -> list[int]:
+    rng = random.Random(derive(seed, CAMPAIGN_VOTE_STREAM))
+    if rng.random() < config.all_commit_fraction:
+        return [1] * config.n
+    return [rng.randint(0, 1) for _ in range(config.n)]
+
+
+def _draw_plan(config: CampaignConfig, seed: int) -> FaultPlan:
+    shape = random.Random(derive(seed, CAMPAIGN_SHAPE_STREAM))
+    over_budget = (
+        config.resolved_t < config.n - 1
+        and shape.random() < config.over_budget_fraction
+    )
+    return FaultPlan.random(
+        n=config.n,
+        t=config.resolved_t,
+        seed=seed,
+        K=config.K,
+        over_budget=over_budget,
+    )
+
+
+def _make_programs(config: CampaignConfig, votes: list[int]) -> list[CommitProgram]:
+    t = config.resolved_t
+    return [
+        CommitProgram(
+            pid=pid,
+            n=config.n,
+            t=t,
+            initial_vote=vote,
+            K=config.K,
+            allow_sub_resilience=True,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+
+
+def _run_sim_track(
+    config: CampaignConfig, plan: FaultPlan, votes: list[int], seed: int
+) -> dict[str, Any]:
+    adversary = compile_to_adversary(plan, K=config.K)
+    simulation = Simulation(
+        programs=_make_programs(config, votes),
+        adversary=adversary,
+        K=config.K,
+        t=config.resolved_t,
+        seed=seed,
+        max_steps=config.max_steps,
+    )
+    result = simulation.run()
+    run = result.run
+    decisions = [run.decisions[pid] for pid in range(config.n)]
+    return {
+        "outcome": TERMINATED if result.terminated else NONTERMINATED,
+        "decisions": decisions,
+        "crashed": sorted(run.faulty()),
+        "events": run.event_count,
+    }
+
+
+def _run_runtime_track(
+    config: CampaignConfig, plan: FaultPlan, votes: list[int]
+) -> dict[str, Any]:
+    cluster = cluster_from_plan(
+        programs=_make_programs(config, votes),
+        plan=plan,
+        tick_interval=config.tick_interval,
+        K=config.K,
+    )
+    result = run_virtual(cluster.run(deadline=config.deadline))
+    decisions = [result.decisions()[pid] for pid in range(config.n)]
+    stats = result.transport_stats
+    return {
+        "outcome": result.outcome,
+        "decisions": decisions,
+        "crashed": sorted(result.crashed_pids()),
+        "transport": {
+            "sent": stats.get("sent", 0),
+            "retransmitted": stats.get("retransmitted", 0),
+            "duplicated": stats.get("duplicated", 0),
+            "duplicates_dropped": stats.get("duplicates_dropped", 0),
+            "dropped_by_faults": stats.get("dropped_by_faults", 0),
+        },
+    }
+
+
+def run_campaign_trial(config: CampaignConfig, seed: int) -> dict[str, Any]:
+    """Run one seeded plan on every configured track and check safety."""
+    plan = _draw_plan(config, seed)
+    votes = _draw_votes(config, seed)
+    t = config.resolved_t
+    within_budget = plan.within_budget(t)
+    expect_termination = plan.guarantees_termination(t)
+    monitor = SafetyMonitor(n=config.n, t=t, votes=votes)
+    tracks: dict[str, Any] = {}
+    for track in config.tracks:
+        if track == "sim":
+            outcome = _run_sim_track(config, plan, votes, seed)
+        else:
+            outcome = _run_runtime_track(config, plan, votes)
+        report = monitor.check(
+            decisions={
+                pid: bit for pid, bit in enumerate(outcome["decisions"])
+            },
+            crashed=set(outcome["crashed"]),
+            terminated=outcome["outcome"] == TERMINATED,
+            expect_termination=expect_termination,
+            benign=False,
+        )
+        outcome["safety"] = report.to_dict()
+        tracks[track] = outcome
+        if telemetry.enabled():
+            telemetry.count(
+                "campaign_trials_total",
+                help="campaign trials executed, by track and outcome",
+                track=track,
+                outcome=outcome["outcome"],
+            )
+    return {
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "votes": votes,
+        "within_budget": within_budget,
+        "expect_termination": expect_termination,
+        "tracks": tracks,
+    }
+
+
+def _summarize(config: CampaignConfig, records: list[dict]) -> dict[str, Any]:
+    summary: dict[str, Any] = {
+        "trials": len(records),
+        "within_budget_trials": sum(
+            1 for r in records if r["within_budget"]
+        ),
+        "over_budget_trials": sum(
+            1 for r in records if not r["within_budget"]
+        ),
+        "safety_violations": 0,
+        "liveness_violations": 0,
+        "tracks": {},
+    }
+    for track in config.tracks:
+        outcomes = {TERMINATED: 0, NONTERMINATED: 0}
+        decisions = {"commit": 0, "abort": 0, "undecided": 0}
+        safety_violations = 0
+        liveness_violations = 0
+        retransmitted = 0
+        duplicates_dropped = 0
+        dropped_by_faults = 0
+        for record in records:
+            data = record["tracks"][track]
+            outcomes[data["outcome"]] += 1
+            bits = {b for b in data["decisions"] if b is not None}
+            if not bits:
+                decisions["undecided"] += 1
+            elif bits == {1}:
+                decisions["commit"] += 1
+            elif bits == {0}:
+                decisions["abort"] += 1
+            else:  # pragma: no cover - an agreement violation
+                decisions["undecided"] += 1
+            for violation in data["safety"]["violations"]:
+                if violation["property"] in ("nonblocking",):
+                    liveness_violations += 1
+                else:
+                    safety_violations += 1
+            transport = data.get("transport")
+            if transport:
+                retransmitted += transport["retransmitted"]
+                duplicates_dropped += transport["duplicates_dropped"]
+                dropped_by_faults += transport["dropped_by_faults"]
+        track_summary: dict[str, Any] = {
+            "outcomes": outcomes,
+            "decisions": decisions,
+            "safety_violations": safety_violations,
+            "liveness_violations": liveness_violations,
+        }
+        if track == "runtime":
+            track_summary["transport"] = {
+                "retransmitted": retransmitted,
+                "duplicates_dropped": duplicates_dropped,
+                "dropped_by_faults": dropped_by_faults,
+            }
+        summary["tracks"][track] = track_summary
+        summary["safety_violations"] += safety_violations
+        summary["liveness_violations"] += liveness_violations
+    return summary
+
+
+def run_campaign(
+    config: CampaignConfig, workers: int | None = None
+) -> dict[str, Any]:
+    """Run a whole campaign and build its report document.
+
+    The document is deterministic in ``(config, workers-independent)``:
+    the engine reassembles trial records in seed order and the virtual
+    clock removes wall-clock wobble, so serial and parallel campaigns
+    serialize byte-identically.
+    """
+    records = run_trials(
+        partial(run_campaign_trial, config),
+        trials=config.plans,
+        base_seed=config.base_seed,
+        workers=workers,
+    )
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "config": config.to_dict(),
+        "summary": _summarize(config, records),
+        "trials": records,
+    }
+
+
+def render_campaign_summary(report: dict[str, Any]) -> str:
+    """A short human-readable digest of a campaign report."""
+    summary = report["summary"]
+    lines = [
+        f"fault campaign: {summary['trials']} plans "
+        f"({summary['within_budget_trials']} within budget, "
+        f"{summary['over_budget_trials']} over budget)",
+    ]
+    for track, data in summary["tracks"].items():
+        outcomes = data["outcomes"]
+        decisions = data["decisions"]
+        lines.append(
+            f"  {track:>7}: {outcomes[TERMINATED]} terminated / "
+            f"{outcomes[NONTERMINATED]} nonterminated; "
+            f"decisions commit={decisions['commit']} "
+            f"abort={decisions['abort']} "
+            f"undecided={decisions['undecided']}; "
+            f"safety violations={data['safety_violations']}, "
+            f"liveness violations={data['liveness_violations']}"
+        )
+        transport = data.get("transport")
+        if transport:
+            lines.append(
+                f"           transport: {transport['retransmitted']} "
+                f"retransmitted, {transport['duplicates_dropped']} "
+                f"duplicates dropped, {transport['dropped_by_faults']} "
+                f"dropped by faults"
+            )
+    verdict = (
+        "SAFE" if summary["safety_violations"] == 0 else "SAFETY VIOLATED"
+    )
+    lines.append(
+        f"  verdict: {verdict} "
+        f"({summary['safety_violations']} safety / "
+        f"{summary['liveness_violations']} liveness violations)"
+    )
+    return "\n".join(lines)
+
+
+def write_campaign_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Serialize a report deterministically (sorted keys, one line)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,123 @@
+"""Compile a FaultPlan to asyncio-runtime transport hooks.
+
+The runtime realisation of a plan has three parts:
+
+* a :class:`PlanLinkFaults` policy the transport consults per
+  transmission attempt — drops and duplicates by the plan's per-link
+  probabilities, holds (extra delay) for reorder, severs links inside
+  partition windows (cycle windows scale to seconds by
+  ``tick_interval``);
+* a list of :class:`~repro.runtime.cluster.CrashInjection`, one per
+  planned crash, at ``cycle * tick_interval`` seconds;
+* a :class:`~repro.runtime.transport.Reliability` config sized to the
+  tick so retransmission recovers dropped envelopes within a few ticks
+  — the transport-level machinery that keeps lossy runs live.
+
+Unlike the simulator compile (where a drop *is* a late delivery), here
+a dropped copy is really lost and liveness comes from the hardened
+transport: sequence numbers, receiver dedup, and ack-driven
+retransmission with exponential backoff.  Cross-track agreement of the
+two compilations is exactly what the campaign layer checks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan
+from repro.runtime.cluster import Cluster, CrashInjection
+from repro.runtime.transport import LinkFaultPolicy, LinkVerdict, Reliability
+from repro.sim.process import Program
+
+
+class PlanLinkFaults(LinkFaultPolicy):
+    """Transport link policy realising a FaultPlan in wall-clock time.
+
+    Args:
+        plan: the fault schedule.
+        tick_interval: seconds per cycle (the node step granularity);
+            scales partition windows and reorder holds.
+        K: the protocol's on-time bound (scales reorder holds).
+    """
+
+    def __init__(
+        self, plan: FaultPlan, tick_interval: float = 0.002, K: int = 4
+    ) -> None:
+        if tick_interval <= 0:
+            raise ValueError(
+                f"tick_interval must be positive, got {tick_interval}"
+            )
+        self.plan = plan
+        self.tick_interval = tick_interval
+        self.K = K
+
+    def verdict(
+        self, sender: int, recipient: int, now: float, rng: random.Random
+    ) -> LinkVerdict:
+        cycle = now / self.tick_interval
+        if self.plan.severed(sender, recipient, cycle):
+            return LinkVerdict(drop=True)
+        loss = self.plan.loss_for(sender, recipient)
+        extra_delay = 0.0
+        delay = self.plan.delay_for(sender, recipient)
+        if delay is not None:
+            extra_delay += self.tick_interval * rng.uniform(
+                delay.min_cycles, delay.max_cycles
+            )
+        if loss.reorder and rng.random() < loss.reorder:
+            extra_delay += self.tick_interval * rng.uniform(1, self.K)
+        drop = bool(loss.drop) and rng.random() < loss.drop
+        duplicates = 1 if loss.duplicate and rng.random() < loss.duplicate else 0
+        return LinkVerdict(
+            drop=drop, duplicates=duplicates, extra_delay=extra_delay
+        )
+
+
+def plan_reliability(tick_interval: float = 0.002) -> Reliability:
+    """Retransmission config sized to the node tick.
+
+    The first retry lands a few ticks after a silent send — late enough
+    to not double clean traffic (deliveries take ~a tick), early enough
+    that a drop costs a handful of ticks, comfortably under the
+    protocol's ``2K``-tick timeouts.
+    """
+    return Reliability(
+        base_timeout=6 * tick_interval,
+        max_backoff=64 * tick_interval,
+        jitter=0.4,
+        max_retries=None,
+    )
+
+
+def compile_to_runtime(
+    plan: FaultPlan, tick_interval: float = 0.002, K: int = 4
+) -> tuple[PlanLinkFaults, list[CrashInjection], Reliability]:
+    """Compile ``plan`` into the asyncio cluster's fault knobs."""
+    faults = PlanLinkFaults(plan, tick_interval=tick_interval, K=K)
+    crashes = [
+        CrashInjection(pid=c.pid, after_seconds=c.cycle * tick_interval)
+        for c in plan.crashes
+    ]
+    return faults, crashes, plan_reliability(tick_interval)
+
+
+def cluster_from_plan(
+    programs: list[Program],
+    plan: FaultPlan,
+    tick_interval: float = 0.002,
+    K: int = 4,
+    delay_model=None,
+) -> Cluster:
+    """Build a cluster wired with ``plan``'s compiled runtime faults."""
+    faults, crashes, reliability = compile_to_runtime(
+        plan, tick_interval=tick_interval, K=K
+    )
+    return Cluster(
+        programs=programs,
+        delay_model=delay_model,
+        tick_interval=tick_interval,
+        seed=plan.seed,
+        crashes=crashes,
+        link_faults=faults,
+        reliability=reliability,
+    )

@@ -1,0 +1,112 @@
+"""Compile a FaultPlan to a simulator adversary.
+
+The deterministic track already has the right chassis: the
+:class:`~repro.adversary.base.CycleAdversary` steps alive processors in
+round-robin cycles, executes a crash plan, and delegates delivery to a
+:class:`~repro.adversary.base.DeliveryPolicy`.  A fault plan therefore
+compiles to a crash plan plus one composite policy that realises the
+plan's link behaviour in *cycle* time:
+
+* **partition windows** withhold cross-group envelopes while up;
+* **drop** becomes a long hold (the dropped copy never arrives, the
+  retransmitted one does — in the simulator the two are
+  indistinguishable, so a drop is "delivery after a recovery delay");
+* **reorder** holds an envelope a few extra cycles so later traffic
+  overtakes it;
+* **duplication** has no simulator counterpart (the receiver-side dedup
+  of the runtime track makes duplicates invisible to the protocol, and
+  the simulator's buffers deliver each envelope at most once), so it
+  compiles to a no-op;
+* **per-link delay overrides** replace the base hold outright.
+
+Every hold is finite and partitions heal, so compiled adversaries
+preserve eventual delivery: within-budget plans remain schedules under
+which Protocol 2 must terminate, not just stay safe.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import (
+    CrashAt,
+    CycleAdversary,
+    CycleContext,
+    DeliveryPolicy,
+)
+from repro.faults.plan import FaultPlan
+from repro.sim.message import MessageId
+from repro.sim.pattern import PendingMessage
+
+
+class _PlanPolicy(DeliveryPolicy):
+    """Delivery policy realising a FaultPlan's link behaviour in cycles."""
+
+    def __init__(self, plan: FaultPlan, K: int) -> None:
+        self.plan = plan
+        self.K = K
+        #: Recovery delay of a dropped copy, in cycles: comfortably past
+        #: the on-time bound, so drops manufacture genuinely late
+        #: messages, yet finite, so delivery stays eventual.
+        self.drop_penalty = 3 * K
+        self._hold: dict[MessageId, int] = {}
+
+    def _hold_cycles(self, message: PendingMessage, ctx: CycleContext) -> int:
+        """Total cycles to hold one envelope (assigned once, remembered)."""
+        assigned = self._hold.get(message.message_id)
+        if assigned is not None:
+            return assigned
+        plan = self.plan
+        delay = plan.delay_for(message.sender, message.recipient)
+        if delay is not None:
+            hold = ctx.rng.randint(delay.min_cycles, delay.max_cycles)
+        else:
+            hold = 1
+        loss = plan.loss_for(message.sender, message.recipient)
+        if loss.reorder and ctx.rng.random() < loss.reorder:
+            hold += ctx.rng.randint(1, self.K)
+        if loss.drop and ctx.rng.random() < loss.drop:
+            hold += self.drop_penalty
+        self._hold[message.message_id] = hold
+        return hold
+
+    def select(self, view, pid, pending, ctx):
+        chosen = []
+        for message in pending:
+            if self.plan.severed(message.sender, pid, ctx.cycle):
+                continue
+            if ctx.age_in_cycles(message) >= self._hold_cycles(message, ctx):
+                chosen.append(message.message_id)
+        return tuple(chosen)
+
+
+class FaultPlanAdversary(CycleAdversary):
+    """A CycleAdversary executing one :class:`FaultPlan`.
+
+    Args:
+        plan: the fault schedule to realise.
+        K: the protocol's on-time bound (scales reorder holds and the
+            drop recovery penalty).
+        seed: adversary randomness; defaults to the plan's own seed so a
+            plan is one self-contained, replayable object.
+    """
+
+    def __init__(self, plan: FaultPlan, K: int = 4, seed: int | None = None) -> None:
+        super().__init__(
+            seed=plan.seed if seed is None else seed,
+            delivery=_PlanPolicy(plan, K),
+            crash_plan=[
+                CrashAt(pid=c.pid, cycle=c.cycle) for c in plan.crashes
+            ],
+        )
+        self.plan = plan
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlanAdversary(n={self.plan.n}, "
+            f"crashes={self.plan.crash_count}, "
+            f"partitions={len(self.plan.partitions)})"
+        )
+
+
+def compile_to_adversary(plan: FaultPlan, K: int = 4) -> FaultPlanAdversary:
+    """Compile ``plan`` for the deterministic simulator track."""
+    return FaultPlanAdversary(plan, K=K)

@@ -9,6 +9,8 @@ asynchrony and is what the example applications build on.
 """
 
 from repro.runtime.cluster import (
+    NONTERMINATED,
+    TERMINATED,
     Cluster,
     ClusterResult,
     CrashInjection,
@@ -22,7 +24,15 @@ from repro.runtime.delays import (
     UniformDelay,
 )
 from repro.runtime.node import Node, NodeResult
-from repro.runtime.transport import AsyncTransport, TransportStats, WireMessage
+from repro.runtime.transport import (
+    AsyncTransport,
+    LinkFaultPolicy,
+    LinkVerdict,
+    Reliability,
+    TransportStats,
+    WireMessage,
+)
+from repro.runtime.virtualtime import VirtualClockEventLoop, run_virtual
 
 __all__ = [
     "AsyncTransport",
@@ -32,11 +42,17 @@ __all__ = [
     "DelayModel",
     "ExponentialDelay",
     "FixedDelay",
+    "LinkFaultPolicy",
+    "LinkVerdict",
+    "NONTERMINATED",
     "Node",
     "NodeResult",
+    "Reliability",
     "SpikeDelay",
+    "TERMINATED",
     "TransportStats",
     "UniformDelay",
+    "VirtualClockEventLoop",
     "WireMessage",
     "run_commit_cluster",
 ]

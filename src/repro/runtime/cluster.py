@@ -5,6 +5,18 @@ wires them through one :class:`~repro.runtime.transport.AsyncTransport`,
 optionally schedules fault injections, runs everything concurrently, and
 collects the per-node results.  This is the "realistic deployment" track:
 true concurrency, wall-clock delays, no global scheduler.
+
+Two robustness features matter for degraded runs:
+
+* a **watchdog** bounds the whole run at ``deadline`` plus a grace
+  period; nodes still running when it fires are snapshotted in place and
+  the run reports outcome ``"nonterminated"`` instead of hanging — the
+  runtime shape of the paper's graceful degradation (beyond ``t`` faults
+  the protocol may block, but it never errs);
+* the transport accepts a :class:`~repro.runtime.transport.LinkFaultPolicy`
+  plus :class:`~repro.runtime.transport.Reliability` so lossy-link
+  campaigns (see :mod:`repro.faults`) run through the identical
+  orchestration path as clean ones.
 """
 
 from __future__ import annotations
@@ -19,13 +31,23 @@ from repro.core.halting import HaltingMode
 from repro.errors import ConfigurationError
 from repro.runtime.delays import DelayModel
 from repro.runtime.node import Node, NodeResult
-from repro.runtime.transport import AsyncTransport
+from repro.runtime.transport import (
+    AsyncTransport,
+    LinkFaultPolicy,
+    Reliability,
+)
 from repro.sim.process import Program
 from repro.telemetry import registry as telemetry
 from repro.telemetry.log import get_logger
 from repro.types import Decision, ProcessStatus, Vote
 
 _log = get_logger("runtime.cluster")
+
+#: Outcome label of a run in which every nonfaulty node returned.
+TERMINATED = "terminated"
+#: Outcome label of a run stopped by the deadline/watchdog with some
+#: nonfaulty node still running (degraded, but never inconsistent).
+NONTERMINATED = "nonterminated"
 
 
 @dataclass(frozen=True)
@@ -41,6 +63,8 @@ class ClusterResult:
     """Aggregated results of one cluster run."""
 
     nodes: list[NodeResult] = field(default_factory=list)
+    outcome: str = TERMINATED
+    transport_stats: dict[str, int] = field(default_factory=dict)
 
     def decisions(self) -> dict[int, int | None]:
         return {r.pid: r.decision for r in self.nodes}
@@ -60,6 +84,10 @@ class ClusterResult:
             return None
         return Decision.from_bit(values.pop())
 
+    @property
+    def terminated(self) -> bool:
+        return self.outcome == TERMINATED
+
     def nonfaulty_all_returned(self) -> bool:
         """Whether every non-crashed node's program returned."""
         return all(
@@ -67,6 +95,14 @@ class ClusterResult:
             for r in self.nodes
             if r.status is not ProcessStatus.CRASHED
         )
+
+    def statuses(self) -> dict[int, ProcessStatus]:
+        return {r.pid: r.status for r in self.nodes}
+
+    def crashed_pids(self) -> set[int]:
+        return {
+            r.pid for r in self.nodes if r.status is ProcessStatus.CRASHED
+        }
 
 
 class Cluster:
@@ -78,6 +114,12 @@ class Cluster:
         tick_interval: node step granularity in seconds.
         seed: seeds the transport and derives per-node tape seeds.
         crashes: fault injection schedule.
+        link_faults: lossy-link policy applied to every transmission
+            attempt (drops, duplicates, partitions, extra delay).
+        reliability: retransmission config; required for liveness when
+            ``link_faults`` can drop messages.
+        watchdog_grace: extra seconds past ``deadline`` before the
+            watchdog force-stops straggler node tasks.
     """
 
     def __init__(
@@ -87,6 +129,9 @@ class Cluster:
         tick_interval: float = 0.002,
         seed: int = 0,
         crashes: Sequence[CrashInjection] = (),
+        link_faults: LinkFaultPolicy | None = None,
+        reliability: Reliability | None = None,
+        watchdog_grace: float = 1.0,
     ) -> None:
         n = len(programs)
         if n == 0:
@@ -97,11 +142,18 @@ class Cluster:
                     f"programs must be ordered by pid: slot {pid} holds "
                     f"pid {program.pid}"
                 )
+        if watchdog_grace < 0:
+            raise ConfigurationError(
+                f"watchdog_grace must be non-negative, got {watchdog_grace}"
+            )
         self.programs = list(programs)
         self.delay_model = delay_model
         self.tick_interval = tick_interval
         self.seed = seed
         self.crashes = list(crashes)
+        self.link_faults = link_faults
+        self.reliability = reliability
+        self.watchdog_grace = watchdog_grace
         for crash in self.crashes:
             if not 0 <= crash.pid < n:
                 raise ConfigurationError(
@@ -109,10 +161,21 @@ class Cluster:
                 )
 
     async def run(self, deadline: float = 10.0) -> ClusterResult:
-        """Run all nodes concurrently until they finish or ``deadline``."""
+        """Run all nodes concurrently until they finish or ``deadline``.
+
+        Nodes stop stepping at ``deadline`` on their own; the watchdog is
+        the backstop for anything that fails to yield (e.g. a node task
+        starved by pathological fault schedules) and fires at
+        ``deadline + watchdog_grace``, snapshotting still-running nodes
+        instead of hanging the caller.
+        """
         n = len(self.programs)
         transport = AsyncTransport(
-            n=n, delay_model=self.delay_model, seed=self.seed
+            n=n,
+            delay_model=self.delay_model,
+            seed=self.seed,
+            faults=self.link_faults,
+            reliability=self.reliability,
         )
         nodes = [
             Node(
@@ -142,14 +205,51 @@ class Cluster:
             asyncio.create_task(inject(crash)) for crash in self.crashes
         ]
         start = time.perf_counter()
-        results = await asyncio.gather(
-            *(node.run(deadline=deadline) for node in nodes)
+        tasks = [
+            asyncio.create_task(node.run(deadline=deadline)) for node in nodes
+        ]
+        done, pending = await asyncio.wait(
+            tasks, timeout=deadline + self.watchdog_grace
         )
+        if pending:
+            _log.warning(
+                "watchdog fired %.1fs past deadline %.1fs; force-stopping "
+                "%d node task(s)",
+                self.watchdog_grace,
+                deadline,
+                len(pending),
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
         elapsed = time.perf_counter() - start
         for task in injectors:
             task.cancel()
-        result = ClusterResult(nodes=list(results))
-        if not result.nonfaulty_all_returned():
+        transport.close()
+        results: list[NodeResult] = []
+        for node, task in zip(nodes, tasks):
+            if task in done and not task.cancelled() and task.exception() is None:
+                results.append(task.result())
+            else:
+                # Watchdog path: snapshot the node's process in place.
+                process = node.process
+                results.append(
+                    NodeResult(
+                        pid=node.pid,
+                        status=process.status,
+                        decision=process.decision,
+                        output=process.output,
+                        steps=process.clock,
+                    )
+                )
+        result = ClusterResult(
+            nodes=results,
+            transport_stats=transport.stats.as_dict(),
+        )
+        result.outcome = (
+            TERMINATED if result.nonfaulty_all_returned() else NONTERMINATED
+        )
+        if result.outcome == NONTERMINATED:
             _log.warning(
                 "cluster deadline %.1fs hit with unfinished nodes: %s",
                 deadline,
@@ -160,11 +260,7 @@ class Cluster:
             telemetry.count(
                 "cluster_runs_total",
                 help="cluster executions, by outcome",
-                outcome=(
-                    "terminated"
-                    if result.nonfaulty_all_returned()
-                    else "deadline"
-                ),
+                outcome=result.outcome,
             )
             telemetry.set_gauge(
                 "cluster_nodes", n, help="nodes in the last cluster run"
@@ -174,6 +270,7 @@ class Cluster:
                 elapsed,
                 help="wall-clock seconds per cluster run",
             )
+            transport.record_telemetry()
         return result
 
 
@@ -188,11 +285,17 @@ def run_commit_cluster(
     deadline: float = 10.0,
     coin_count: int | None = None,
     halting: HaltingMode = HaltingMode.DECIDE_BROADCAST,
+    link_faults: LinkFaultPolicy | None = None,
+    reliability: Reliability | None = None,
+    virtual_clock: bool = False,
 ) -> ClusterResult:
     """Run Protocol 2 on an asyncio cluster (blocking convenience wrapper).
 
     Args mirror :func:`repro.core.api.run_commit`, plus the runtime knobs
-    (delay model, tick interval, crash injections, wall-clock deadline).
+    (delay model, tick interval, crash injections, wall-clock deadline,
+    link faults and retransmission).  With ``virtual_clock`` the run
+    executes on the deterministic fast-forward loop of
+    :mod:`repro.runtime.virtualtime` — same code path, virtual seconds.
     """
     n = len(votes)
     if t is None:
@@ -215,5 +318,11 @@ def run_commit_cluster(
         tick_interval=tick_interval,
         seed=seed,
         crashes=crashes,
+        link_faults=link_faults,
+        reliability=reliability,
     )
+    if virtual_clock:
+        from repro.runtime.virtualtime import run_virtual
+
+        return run_virtual(cluster.run(deadline=deadline))
     return asyncio.run(cluster.run(deadline=deadline))

@@ -1,17 +1,36 @@
-"""In-memory asyncio transport with configurable delays and crashes.
+"""In-memory asyncio transport with delays, crashes, and lossy links.
 
 The transport is the runtime counterpart of the simulator's buffers plus
 adversary delivery choices: each node has an inbox queue, sends are
 delivered after a sampled delay, and a crashed node neither sends nor
 receives.  Unlike the simulator there is no global scheduler — real
 concurrency (the asyncio event loop) interleaves the nodes.
+
+Beyond the benign delay models, the transport can host a *lossy* link
+layer (see :class:`LinkFaultPolicy`): per-link drop / duplication /
+reorder probabilities and partition windows, typically compiled from a
+:class:`~repro.faults.plan.FaultPlan`.  To keep the protocols live under
+loss, the transport implements the classic reliability pair:
+
+* every envelope carries a per-sender **sequence number** and receivers
+  **deduplicate** on ``(sender, seq)``, so duplicated or retransmitted
+  copies are invisible to the hosted protocol;
+* with a :class:`Reliability` config, unacknowledged envelopes are
+  **retransmitted** under a timeout with exponential backoff and jitter
+  until acknowledged (acknowledgements traverse the same lossy link in
+  the reverse direction), the sender or recipient crashes, or the
+  transport closes.
+
+First sends, retransmissions, and fault-injected duplicates are counted
+*distinctly* in :class:`TransportStats`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.errors import NodeCrashedError
 from repro.runtime.delays import DelayModel, FixedDelay
@@ -20,29 +39,122 @@ from repro.sim.message import Payload
 
 @dataclass(frozen=True)
 class WireMessage:
-    """One envelope on the wire: sender plus packed payloads."""
+    """One envelope on the wire: sender, packed payloads, sequence number.
+
+    ``seq`` is unique per sender and identifies the logical envelope
+    across retransmissions and duplicate copies.
+    """
 
     sender: int
     payloads: tuple[Payload, ...]
+    seq: int = -1
+
+
+@dataclass(frozen=True)
+class LinkVerdict:
+    """What the link layer does to one transmission attempt.
+
+    Attributes:
+        drop: lose this copy entirely (a retransmission may follow).
+        duplicates: extra copies injected beyond the first.
+        extra_delay: additional delivery latency in seconds.
+    """
+
+    drop: bool = False
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+
+#: The verdict for a clean link: deliver one copy, no extra delay.
+CLEAN_LINK = LinkVerdict()
+
+
+class LinkFaultPolicy:
+    """Decides the fate of each transmission attempt on a directed link.
+
+    Implementations must be deterministic given the supplied ``rng`` (the
+    transport's private, seeded randomness) so that fault campaigns are
+    replayable.  ``now`` is the event-loop clock, letting policies model
+    time-windowed behaviour such as transient partitions.
+    """
+
+    def verdict(
+        self, sender: int, recipient: int, now: float, rng: random.Random
+    ) -> LinkVerdict:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Reliability:
+    """Retransmission parameters for lossy links.
+
+    Attributes:
+        base_timeout: seconds before the first retransmission.
+        max_backoff: cap on the (exponentially growing) timeout.
+        jitter: fractional timeout spread; each wait is scaled by a
+            factor uniform in ``[1 - jitter, 1 + jitter]``.
+        max_retries: retransmission budget per envelope; ``None`` retries
+            until acknowledged, a crash, or transport close.
+    """
+
+    base_timeout: float = 0.012
+    max_backoff: float = 0.2
+    jitter: float = 0.4
+    max_retries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_timeout <= 0:
+            raise ValueError(
+                f"base_timeout must be positive, got {self.base_timeout}"
+            )
+        if self.max_backoff < self.base_timeout:
+            raise ValueError(
+                f"max_backoff {self.max_backoff} below base_timeout "
+                f"{self.base_timeout}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
 
 
 @dataclass
 class TransportStats:
-    """Counters the transport maintains for assertions and reports."""
+    """Counters the transport maintains for assertions and reports.
+
+    ``sent`` counts *first* sends only; retransmissions and fault-layer
+    duplicates are tracked separately so loss-recovery overhead is
+    visible rather than folded into the send count.
+    """
 
     sent: int = 0
     delivered: int = 0
+    retransmitted: int = 0
+    duplicated: int = 0
+    duplicates_dropped: int = 0
+    dropped_by_faults: int = 0
+    acks_dropped: int = 0
     dropped_to_crashed: int = 0
     dropped_from_crashed: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-data view, one entry per counter field."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class AsyncTransport:
-    """Delay-injecting message fabric for ``n`` nodes.
+    """Delay-injecting, optionally lossy message fabric for ``n`` nodes.
 
     Args:
         n: number of nodes.
         delay_model: delivery-latency distribution.
         seed: seed of the transport's private randomness.
+        faults: link fault policy (drop/duplicate/delay per attempt);
+            ``None`` means every transmission attempt succeeds.
+        reliability: retransmission config; ``None`` disables
+            retransmission (appropriate for loss-free links).
     """
 
     def __init__(
@@ -50,25 +162,39 @@ class AsyncTransport:
         n: int,
         delay_model: DelayModel | None = None,
         seed: int = 0,
+        faults: LinkFaultPolicy | None = None,
+        reliability: Reliability | None = None,
     ) -> None:
         if n <= 0:
             raise ValueError(f"need at least one node, got n={n}")
         self.n = n
         self.delay_model = delay_model if delay_model is not None else FixedDelay()
         self.rng = random.Random(seed)
+        self.faults = faults
+        self.reliability = reliability
         self.inboxes: list[asyncio.Queue[WireMessage]] = [
             asyncio.Queue() for _ in range(n)
         ]
         self.crashed: set[int] = set()
+        self.closed = False
         self.stats = TransportStats()
         self._pending_tasks: set[asyncio.Task] = set()
+        self._seq = itertools.count()
+        self._seen: list[set[tuple[int, int]]] = [set() for _ in range(n)]
+        self._acked: set[int] = set()
 
     def crash(self, pid: int) -> None:
         """Fail-stop a node: all its future traffic is dropped."""
         self.crashed.add(pid)
 
+    def close(self) -> None:
+        """Stop the fabric: cancel in-flight deliveries and retransmits."""
+        self.closed = True
+        for task in list(self._pending_tasks):
+            task.cancel()
+
     def send(self, sender: int, recipient: int, payloads: tuple[Payload, ...]) -> None:
-        """Queue delivery of one envelope after a sampled delay.
+        """Queue delivery of one envelope (plus recovery machinery).
 
         Raises:
             NodeCrashedError: when the sender has been crashed (its node
@@ -78,19 +204,55 @@ class AsyncTransport:
             raise NodeCrashedError(f"node {sender} is crashed and cannot send")
         if not 0 <= recipient < self.n:
             raise ValueError(f"recipient {recipient} out of range")
+        if self.closed:
+            return
+        seq = next(self._seq)
         self.stats.sent += 1
-        delay = self.delay_model.sample(self.rng)
-        task = asyncio.get_running_loop().create_task(
-            self._deliver_later(sender, recipient, payloads, delay)
-        )
+        self._transmit(sender, recipient, payloads, seq)
+        if self.reliability is not None:
+            self._spawn(
+                self._retransmit_loop(sender, recipient, payloads, seq)
+            )
+
+    # -- transmission attempts ----------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
         self._pending_tasks.add(task)
         task.add_done_callback(self._pending_tasks.discard)
+
+    def _link_verdict(self, sender: int, recipient: int) -> LinkVerdict:
+        if self.faults is None:
+            return CLEAN_LINK
+        now = asyncio.get_running_loop().time()
+        return self.faults.verdict(sender, recipient, now, self.rng)
+
+    def _transmit(
+        self,
+        sender: int,
+        recipient: int,
+        payloads: tuple[Payload, ...],
+        seq: int,
+    ) -> None:
+        """One attempt to move an envelope across the (lossy) link."""
+        verdict = self._link_verdict(sender, recipient)
+        if verdict.drop:
+            self.stats.dropped_by_faults += 1
+        else:
+            copies = 1 + max(0, verdict.duplicates)
+            self.stats.duplicated += copies - 1
+            for _ in range(copies):
+                delay = self.delay_model.sample(self.rng) + verdict.extra_delay
+                self._spawn(
+                    self._deliver_later(sender, recipient, payloads, seq, delay)
+                )
 
     async def _deliver_later(
         self,
         sender: int,
         recipient: int,
         payloads: tuple[Payload, ...],
+        seq: int,
         delay: float,
     ) -> None:
         if delay > 0:
@@ -104,12 +266,79 @@ class AsyncTransport:
         if recipient in self.crashed:
             self.stats.dropped_to_crashed += 1
             return
+        if (sender, seq) in self._seen[recipient]:
+            self.stats.duplicates_dropped += 1
+            return
+        self._seen[recipient].add((sender, seq))
         self.stats.delivered += 1
         await self.inboxes[recipient].put(
-            WireMessage(sender=sender, payloads=payloads)
+            WireMessage(sender=sender, payloads=payloads, seq=seq)
         )
+        if self.reliability is not None:
+            self._send_ack(sender, recipient, seq)
+
+    def _send_ack(self, sender: int, recipient: int, seq: int) -> None:
+        """Race an acknowledgement back across the reverse lossy link."""
+        verdict = self._link_verdict(recipient, sender)
+        if verdict.drop:
+            self.stats.acks_dropped += 1
+            return
+        delay = self.delay_model.sample(self.rng) + verdict.extra_delay
+        asyncio.get_running_loop().call_later(delay, self._acked.add, seq)
+
+    async def _retransmit_loop(
+        self,
+        sender: int,
+        recipient: int,
+        payloads: tuple[Payload, ...],
+        seq: int,
+    ) -> None:
+        """Retransmit ``seq`` under backoff until acked, crash, or close."""
+        config = self.reliability
+        assert config is not None
+        timeout = config.base_timeout
+        attempt = 0
+        while True:
+            jittered = timeout * (1 + config.jitter * self.rng.uniform(-1, 1))
+            await asyncio.sleep(jittered)
+            if (
+                self.closed
+                or seq in self._acked
+                or sender in self.crashed
+                or recipient in self.crashed
+            ):
+                return
+            if (
+                config.max_retries is not None
+                and attempt >= config.max_retries
+            ):
+                return
+            attempt += 1
+            self.stats.retransmitted += 1
+            self._transmit(sender, recipient, payloads, seq)
+            timeout = min(timeout * 2, config.max_backoff)
 
     async def drain(self) -> None:
-        """Wait for all in-flight deliveries to settle (test helper)."""
+        """Wait for all in-flight deliveries to settle (test helper).
+
+        With retransmission enabled this waits for the recovery loops
+        too, so callers should :meth:`close` first (or crash the peers)
+        unless every envelope is expected to be acknowledged.
+        """
         while self._pending_tasks:
             await asyncio.gather(*list(self._pending_tasks), return_exceptions=True)
+
+    def record_telemetry(self) -> None:
+        """Mirror the stats counters into the telemetry registry."""
+        from repro.telemetry import registry as telemetry
+
+        if not telemetry.enabled():
+            return
+        for name, value in self.stats.as_dict().items():
+            if value:
+                telemetry.count(
+                    "transport_messages_total",
+                    value,
+                    help="transport envelope counters, by kind",
+                    kind=name,
+                )

@@ -1,0 +1,52 @@
+"""Pin test: every adversary module's public classes are package exports.
+
+Guards against the easy regression where a new adversary module is added
+(or an existing class renamed) without updating
+``repro.adversary.__init__`` — callers and docs address adversaries
+through the package root, so anything public in a submodule must be
+importable from there.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro.adversary as adversary_pkg
+
+
+def public_classes(module):
+    """Classes defined in ``module`` whose names are public."""
+    return {
+        name
+        for name, obj in inspect.getmembers(module, inspect.isclass)
+        if obj.__module__ == module.__name__ and not name.startswith("_")
+    }
+
+
+def test_every_module_class_is_importable_from_package_root():
+    missing = {}
+    for info in pkgutil.iter_modules(adversary_pkg.__path__):
+        module = importlib.import_module(f"repro.adversary.{info.name}")
+        absent = {
+            name
+            for name in public_classes(module)
+            if not hasattr(adversary_pkg, name)
+        }
+        if absent:
+            missing[info.name] = sorted(absent)
+    assert not missing, (
+        f"public adversary classes not re-exported from repro.adversary: "
+        f"{missing}"
+    )
+
+
+def test_all_list_matches_actual_exports():
+    for name in adversary_pkg.__all__:
+        assert hasattr(adversary_pkg, name), f"__all__ lists missing {name}"
+
+
+def test_partition_and_chaos_are_root_importable():
+    from repro.adversary import ChaosAdversary, PartitionAdversary
+
+    assert PartitionAdversary.__module__ == "repro.adversary.partition"
+    assert ChaosAdversary.__module__ == "repro.adversary.chaos"

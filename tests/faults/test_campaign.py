@@ -1,0 +1,107 @@
+"""Campaign runner tests: determinism, schema, safety accounting."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import (
+    CAMPAIGN_SCHEMA,
+    CampaignConfig,
+    render_campaign_summary,
+    run_campaign,
+    run_campaign_trial,
+    write_campaign_report,
+)
+from repro.runtime.cluster import NONTERMINATED, TERMINATED
+
+# Small but real: both tracks, a handful of plans.
+QUICK = CampaignConfig(n=5, plans=4, base_seed=31)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_campaign(QUICK, workers=1)
+
+
+class TestConfig:
+    def test_default_budget_is_optimum(self):
+        assert CampaignConfig(n=5).resolved_t == 2
+        assert CampaignConfig(n=5, t=1).resolved_t == 1
+
+    def test_rejects_unknown_track(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(tracks=("sim", "tcp"))
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(plans=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(over_budget_fraction=1.5)
+
+
+class TestTrial:
+    def test_trial_is_deterministic(self):
+        a = run_campaign_trial(QUICK, 31)
+        b = run_campaign_trial(QUICK, 31)
+        assert a == b
+
+    def test_trial_record_is_json_safe(self):
+        record = run_campaign_trial(QUICK, 33)
+        assert json.loads(json.dumps(record)) == record
+
+    def test_trial_runs_requested_tracks_only(self):
+        config = CampaignConfig(n=5, plans=1, base_seed=0, tracks=("sim",))
+        record = run_campaign_trial(config, 0)
+        assert set(record["tracks"]) == {"sim"}
+
+
+class TestReport:
+    def test_schema_and_shape(self, quick_report):
+        assert quick_report["schema"] == CAMPAIGN_SCHEMA
+        assert quick_report["config"]["n"] == 5
+        assert len(quick_report["trials"]) == QUICK.plans
+        summary = quick_report["summary"]
+        assert summary["trials"] == QUICK.plans
+        assert set(summary["tracks"]) == {"sim", "runtime"}
+
+    def test_outcomes_add_up(self, quick_report):
+        for track_summary in quick_report["summary"]["tracks"].values():
+            outcomes = track_summary["outcomes"]
+            assert outcomes[TERMINATED] + outcomes[NONTERMINATED] == QUICK.plans
+
+    def test_no_safety_violations(self, quick_report):
+        assert quick_report["summary"]["safety_violations"] == 0
+
+    def test_render_summary_mentions_verdict(self, quick_report):
+        text = render_campaign_summary(quick_report)
+        assert "SAFE" in text
+        assert f"{QUICK.plans} plans" in text
+
+    def test_write_report_is_stable_json(self, quick_report, tmp_path):
+        path = write_campaign_report(quick_report, tmp_path / "r.json")
+        text = path.read_text()
+        assert json.loads(text) == quick_report
+        # Deterministic serialization: same report, same bytes.
+        again = write_campaign_report(quick_report, tmp_path / "r2.json")
+        assert again.read_text() == text
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_reports_are_byte_identical(self, quick_report):
+        parallel = run_campaign(QUICK, workers=2)
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(
+            quick_report, sort_keys=True
+        )
+
+    def test_same_seed_reproduces(self, quick_report):
+        again = run_campaign(QUICK, workers=1)
+        assert again == quick_report
+
+    def test_different_base_seed_differs(self, quick_report):
+        other = run_campaign(
+            CampaignConfig(n=5, plans=4, base_seed=501), workers=1
+        )
+        assert other["trials"] != quick_report["trials"]

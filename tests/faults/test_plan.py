@@ -1,0 +1,150 @@
+"""Unit tests for the FaultPlan DSL: validation, queries, serialization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    LinkDelay,
+    LinkLoss,
+    PartitionWindow,
+)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_crash_pid(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(n=3, crashes=(CrashFault(pid=3, cycle=0),))
+
+    def test_rejects_double_crash(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                n=3,
+                crashes=(CrashFault(0, 1), CrashFault(0, 2)),
+            )
+
+    def test_rejects_crashing_everyone(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                n=2,
+                crashes=(CrashFault(0, 0), CrashFault(1, 0)),
+            )
+
+    def test_rejects_certain_drop(self):
+        with pytest.raises(ConfigurationError):
+            LinkLoss(drop=1.0)
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            LinkLoss(duplicate=1.5)
+
+    def test_rejects_unhealing_partition(self):
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(groups=((0,),), start_cycle=5, heal_cycle=2)
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ConfigurationError):
+            PartitionWindow(groups=((0, 1), (1, 2)), start_cycle=0, heal_cycle=1)
+
+    def test_rejects_partition_pid_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                n=2,
+                partitions=(
+                    PartitionWindow(groups=((5,),), start_cycle=0, heal_cycle=1),
+                ),
+            )
+
+    def test_rejects_bad_link_delay_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LinkDelay(sender=0, recipient=1, min_cycles=4, max_cycles=2)
+
+
+class TestQueries:
+    def test_partition_severs_cross_group_only_inside_window(self):
+        window = PartitionWindow(groups=((0, 1),), start_cycle=2, heal_cycle=5)
+        assert window.severs(0, 2, cycle=3)
+        assert not window.severs(0, 1, cycle=3)  # same group
+        assert not window.severs(0, 2, cycle=1)  # before
+        assert not window.severs(0, 2, cycle=5)  # healed
+        assert window.severs(2, 0, cycle=4)  # implicit group <-> listed
+
+    def test_loss_override_shadows_default(self):
+        override = LinkLoss(drop=0.5)
+        plan = FaultPlan(
+            n=3,
+            loss=LinkLoss(drop=0.1),
+            link_loss=((0, 1, override),),
+        )
+        assert plan.loss_for(0, 1) is override
+        assert plan.loss_for(1, 0).drop == 0.1
+
+    def test_within_budget(self):
+        plan = FaultPlan(n=5, crashes=(CrashFault(1, 0), CrashFault(2, 0)))
+        assert plan.within_budget(2)
+        assert not plan.within_budget(1)
+
+    def test_guarantees_termination_excludes_early_coordinator_crash(self):
+        blocked = FaultPlan(n=5, crashes=(CrashFault(pid=0, cycle=0),))
+        assert blocked.within_budget(2)
+        assert not blocked.guarantees_termination(2)
+        after_fanout = FaultPlan(n=5, crashes=(CrashFault(pid=0, cycle=1),))
+        assert after_fanout.guarantees_termination(2)
+        follower = FaultPlan(n=5, crashes=(CrashFault(pid=3, cycle=0),))
+        assert follower.guarantees_termination(2)
+
+    def test_last_disruption_cycle(self):
+        plan = FaultPlan(
+            n=4,
+            crashes=(CrashFault(1, 7),),
+            partitions=(
+                PartitionWindow(groups=((0,),), start_cycle=2, heal_cycle=11),
+            ),
+        )
+        assert plan.last_disruption_cycle == 11
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_plan(self):
+        plan = FaultPlan.random(n=6, t=2, seed=99)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_roundtrip_through_json(self):
+        import json
+
+        plan = FaultPlan.random(n=5, t=2, seed=7, over_budget=True)
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+
+    def test_dict_form_is_stable(self):
+        plan = FaultPlan.random(n=5, t=2, seed=3)
+        assert plan.to_dict() == plan.to_dict()
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(n=5, t=2, seed=11)
+        b = FaultPlan.random(n=5, t=2, seed=11)
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        plans = {FaultPlan.random(n=5, t=2, seed=s).to_dict().__str__() for s in range(20)}
+        assert len(plans) > 1
+
+    def test_within_budget_respects_t(self):
+        for seed in range(50):
+            plan = FaultPlan.random(n=5, t=2, seed=seed)
+            assert plan.crash_count <= 2
+            assert plan.guarantees_termination(2)
+
+    def test_over_budget_exceeds_t(self):
+        for seed in range(20):
+            plan = FaultPlan.random(n=5, t=2, seed=seed, over_budget=True)
+            assert 2 < plan.crash_count <= 4
+
+    def test_partitions_always_heal(self):
+        for seed in range(50):
+            plan = FaultPlan.random(n=5, t=2, seed=seed)
+            for window in plan.partitions:
+                assert window.heal_cycle > window.start_cycle

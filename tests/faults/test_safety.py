@@ -1,0 +1,112 @@
+"""Unit tests for the online SafetyMonitor."""
+
+import pytest
+
+from repro.faults.safety import SafetyMonitor
+
+
+def monitor(votes, t=2):
+    return SafetyMonitor(n=len(votes), t=t, votes=votes)
+
+
+class TestAgreement:
+    def test_unanimous_is_ok(self):
+        report = monitor([1] * 5).check(
+            decisions={p: 1 for p in range(5)},
+            crashed=set(),
+            terminated=True,
+            expect_termination=True,
+        )
+        assert report.ok
+        assert "agreement" in report.checked
+
+    def test_conflicting_decisions_violate(self):
+        report = monitor([1] * 5).check(
+            decisions={0: 1, 1: 0, 2: 1, 3: None, 4: None},
+            crashed=set(),
+            terminated=False,
+            expect_termination=False,
+        )
+        assert not report.safety_ok
+        assert [v.prop for v in report.violations] == ["agreement"]
+
+    def test_undecided_processors_do_not_conflict(self):
+        report = monitor([1] * 3, t=1).check(
+            decisions={0: 1, 1: None, 2: None},
+            crashed={1},
+            terminated=False,
+            expect_termination=False,
+        )
+        assert report.safety_ok
+
+
+class TestValidity:
+    def test_commit_despite_abort_vote_violates(self):
+        report = monitor([1, 0, 1, 1, 1]).check(
+            decisions={p: 1 for p in range(5)},
+            crashed=set(),
+            terminated=True,
+            expect_termination=True,
+        )
+        assert not report.safety_ok
+        assert any(v.prop == "abort_validity" for v in report.violations)
+
+    def test_abort_with_abort_vote_is_ok(self):
+        report = monitor([1, 0, 1, 1, 1]).check(
+            decisions={p: 0 for p in range(5)},
+            crashed=set(),
+            terminated=True,
+            expect_termination=True,
+        )
+        assert report.ok
+
+    def test_benign_all_commit_must_commit(self):
+        report = monitor([1] * 5).check(
+            decisions={p: 0 for p in range(5)},
+            crashed=set(),
+            terminated=True,
+            expect_termination=True,
+            benign=True,
+        )
+        assert not report.safety_ok
+        assert any(v.prop == "commit_validity" for v in report.violations)
+
+    def test_commit_validity_skipped_when_not_benign(self):
+        report = monitor([1] * 5).check(
+            decisions={p: 0 for p in range(5)},
+            crashed={4},
+            terminated=True,
+            expect_termination=True,
+            benign=False,
+        )
+        assert "commit_validity" not in report.checked
+        assert report.ok
+
+
+class TestNonblocking:
+    def test_blocking_within_budget_is_liveness_violation(self):
+        report = monitor([1] * 5).check(
+            decisions={p: None for p in range(5)},
+            crashed={4},
+            terminated=False,
+            expect_termination=True,
+        )
+        assert report.safety_ok  # liveness, not safety
+        assert not report.liveness_ok
+        assert [v.prop for v in report.violations] == ["nonblocking"]
+
+    def test_blocking_over_budget_is_expected(self):
+        report = monitor([1] * 5).check(
+            decisions={p: None for p in range(5)},
+            crashed={2, 3, 4},
+            terminated=False,
+            expect_termination=False,
+        )
+        assert report.ok
+        assert "nonblocking" not in report.checked
+
+
+class TestConstruction:
+    def test_vote_count_must_match_n(self):
+        with pytest.raises(ValueError):
+            SafetyMonitor(n=5, t=2, votes=[1, 1])

@@ -1,0 +1,110 @@
+"""Cluster fault scheduling: crashes before/mid protocol, degradation.
+
+These pin the paper's graceful-degradation behaviour on the asyncio
+track: within-budget crashes leave the survivors deciding unanimously,
+while more than ``t`` crashes end in ``nonterminated`` — bounded by the
+watchdog, never a hang, and never conflicting decisions.  All runs use
+the virtual clock, so "seconds" are virtual and the suite stays fast.
+"""
+
+from repro.runtime.cluster import (
+    NONTERMINATED,
+    TERMINATED,
+    CrashInjection,
+    run_commit_cluster,
+)
+from repro.runtime.delays import FixedDelay
+from repro.types import Decision
+
+TICK = 0.002
+
+
+def run_with_crashes(crashes, votes=(1, 1, 1, 1, 1), deadline=8.0, seed=3):
+    return run_commit_cluster(
+        list(votes),
+        K=8,
+        delay_model=FixedDelay(0.001),
+        tick_interval=TICK,
+        seed=seed,
+        crashes=crashes,
+        deadline=deadline,
+        virtual_clock=True,
+    )
+
+
+class TestWithinBudget:
+    def test_crash_before_vote(self):
+        # Pid 4 dies early, long before the vote exchange; the survivors
+        # time out on its GO/vote and abort together.
+        result = run_with_crashes([CrashInjection(pid=4, after_seconds=TICK)])
+        assert result.outcome == TERMINATED
+        decided = {
+            pid: bit
+            for pid, bit in result.decisions().items()
+            if bit is not None
+        }
+        assert set(decided) == {0, 1, 2, 3}
+        assert len(set(decided.values())) == 1
+
+    def test_crash_mid_agreement(self):
+        # Pid 3 survives GO and vote collection and dies partway through
+        # the run (a clean virtual run completes in ~5 ticks, so 3 ticks
+        # is mid-protocol); termination must survive it.
+        result = run_with_crashes(
+            [CrashInjection(pid=3, after_seconds=3 * TICK)]
+        )
+        assert result.outcome == TERMINATED
+        assert result.crashed_pids() == {3}
+        decided = {
+            bit for bit in result.decisions().values() if bit is not None
+        }
+        assert len(decided) == 1
+
+    def test_two_crashes_still_terminate(self):
+        result = run_with_crashes(
+            [
+                CrashInjection(pid=3, after_seconds=1 * TICK),
+                CrashInjection(pid=4, after_seconds=3 * TICK),
+            ]
+        )
+        assert result.outcome == TERMINATED
+        assert result.crashed_pids() == {3, 4}
+
+
+class TestOverBudget:
+    def test_more_than_t_crashes_report_nonterminated(self):
+        # n=5, t=2: three early crashes may block the protocol; the
+        # watchdog must convert that into a nonterminated outcome with
+        # agreement intact, not a hang.
+        result = run_with_crashes(
+            [
+                CrashInjection(pid=2, after_seconds=TICK),
+                CrashInjection(pid=3, after_seconds=TICK),
+                CrashInjection(pid=4, after_seconds=TICK),
+            ],
+            deadline=3.0,
+        )
+        assert result.outcome == NONTERMINATED
+        assert not result.terminated
+        decided = {
+            bit for bit in result.decisions().values() if bit is not None
+        }
+        assert len(decided) <= 1  # never conflicting answers
+
+    def test_nonterminated_result_reports_transport_stats(self):
+        result = run_with_crashes(
+            [
+                CrashInjection(pid=2, after_seconds=TICK),
+                CrashInjection(pid=3, after_seconds=TICK),
+                CrashInjection(pid=4, after_seconds=TICK),
+            ],
+            deadline=2.0,
+        )
+        assert result.transport_stats["sent"] > 0
+
+
+class TestNoFaults:
+    def test_clean_run_commits(self):
+        result = run_with_crashes([], votes=(1, 1, 1, 1, 1))
+        assert result.outcome == TERMINATED
+        assert result.unanimous_decision is Decision.COMMIT

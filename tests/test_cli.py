@@ -213,3 +213,59 @@ class TestBuildAdversary:
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             build_adversary("nope", K=4, seed=0, crashes=[])
+
+
+class TestFaultsCampaign:
+    def test_quick_campaign_summary(self, capsys, tmp_path):
+        out = tmp_path / "campaign.json"
+        code = main(
+            [
+                "faults",
+                "campaign",
+                "--plans",
+                "3",
+                "--seed",
+                "17",
+                "--workers",
+                "1",
+                "--tracks",
+                "sim",
+                "--out",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "3 plans" in captured
+        assert "verdict: SAFE" in captured
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.fault-campaign v1"
+        assert len(report["trials"]) == 3
+
+    def test_json_output_is_machine_readable(self, capsys):
+        code = main(
+            [
+                "faults",
+                "campaign",
+                "--plans",
+                "2",
+                "--seed",
+                "5",
+                "--workers",
+                "1",
+                "--tracks",
+                "sim",
+                "--json",
+            ]
+        )
+        import json
+
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["safety_violations"] == 0
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["faults"])
