@@ -31,9 +31,12 @@ def bench_workers() -> int:
 
     Defaults to 1 (serial) so pytest-benchmark timings measure the
     single-process hot path; set ``REPRO_BENCH_WORKERS=N`` to benchmark
-    the parallel engine instead.
+    the parallel engine instead.  Invalid values (zero, negative,
+    non-integer) are rejected rather than silently clamped.
     """
-    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    from repro.engine.executor import workers_from_env
+
+    return workers_from_env("REPRO_BENCH_WORKERS", 1)
 
 
 @pytest.fixture

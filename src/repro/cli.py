@@ -15,8 +15,18 @@ Commands:
   Prometheus-style text) for one or more archived JSONL traces;
 * ``faults campaign`` — sweep seeded randomized FaultPlans across the
   simulator and asyncio tracks, check the paper's invariants on every
-  trial, and write a machine-readable campaign report; exits nonzero on
-  any safety violation.
+  trial, and write a machine-readable campaign report; exits 1 on any
+  safety violation, 2 (with ``--fail-on-liveness``) on liveness-only
+  violations, and cuts per-violation replay artifacts with
+  ``--artifact-dir``;
+* ``faults replay`` — re-execute a replay artifact
+  (``repro.counterexample`` v1) and verify the recorded per-track
+  results reproduce byte-identically;
+* ``faults shrink`` — minimize a violating trial (from an artifact or
+  by scanning a campaign) to a locally-minimal FaultPlan that still
+  violates safety;
+* ``faults diff`` — run the cross-track differential oracle and report
+  semantic divergence between the simulator and the runtime.
 
 The global ``--log-level`` flag configures the ``repro`` logging channel
 (see :mod:`repro.telemetry.log`); it must precede the subcommand.
@@ -313,6 +323,8 @@ def cmd_faults_campaign(args) -> int:
         max_steps=args.max_steps,
         deadline=args.deadline,
         over_budget_fraction=args.over_budget_fraction,
+        all_commit_fraction=args.all_commit_fraction,
+        program=args.variant,
     )
     report = run_campaign(config, workers=args.workers)
     if registry is not None:
@@ -325,7 +337,129 @@ def cmd_faults_campaign(args) -> int:
         path = write_campaign_report(report, args.out)
         if not args.json:
             print(f"report written to {path}")
-    return 0 if report["summary"]["safety_violations"] == 0 else 1
+    if args.artifact_dir:
+        from repro.counterexample import artifacts_from_report
+
+        written = artifacts_from_report(report, args.artifact_dir)
+        if not args.json:
+            print(
+                f"{len(written)} replay artifact(s) written to "
+                f"{args.artifact_dir}"
+            )
+    if report["summary"]["safety_violations"] > 0:
+        return 1
+    if args.fail_on_liveness and report["summary"]["liveness_violations"] > 0:
+        return 2
+    return 0
+
+
+def cmd_faults_replay(args) -> int:
+    from repro.counterexample import verify_replay
+
+    report = verify_replay(args.artifact)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        state = "byte-identical" if report["match"] else "DIVERGED"
+        print(f"replay of {args.artifact}: {state}")
+        print(f"  violated safety properties: {report['properties']}")
+        for track, data in report["tracks"].items():
+            if data["match"]:
+                print(f"  {track}: match")
+            else:
+                print(
+                    f"  {track}: MISMATCH "
+                    f"(keys: {data.get('diverging_keys', '?')})"
+                )
+    return 0 if report["match"] else 1
+
+
+def cmd_faults_shrink(args) -> int:
+    from repro.counterexample import (
+        first_violating_case,
+        read_artifact,
+        render_shrink_summary,
+        shrink_case,
+        write_artifact,
+    )
+    from repro.faults.campaign import CampaignConfig, execute_trial_case
+
+    if args.artifact:
+        case, _expected = read_artifact(args.artifact)
+    else:
+        config = CampaignConfig(
+            n=args.n,
+            t=args.t,
+            plans=args.plans,
+            base_seed=args.seed,
+            K=args.K,
+            all_commit_fraction=args.all_commit_fraction,
+            program=args.variant,
+        )
+        found = first_violating_case(config, workers=args.workers)
+        if found is None:
+            print(
+                f"no safety violation in {config.plans} plans; "
+                f"nothing to shrink",
+                file=sys.stderr,
+            )
+            return 3
+        case, _result = found
+    result = shrink_case(case, workers=args.workers)
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        print(render_shrink_summary(result))
+    if args.out:
+        minimal_result = execute_trial_case(result.minimal)
+        path = write_artifact(result.minimal, minimal_result, args.out)
+        if not args.json:
+            print(f"minimal replay artifact written to {path}")
+    if args.max_entries is not None:
+        entries = result.minimal.plan.entry_count
+        if entries > args.max_entries:
+            print(
+                f"minimal plan has {entries} entries "
+                f"(> --max-entries {args.max_entries})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def cmd_faults_diff(args) -> int:
+    from repro.counterexample import (
+        render_differential_summary,
+        run_differential,
+    )
+    from repro.faults.campaign import CampaignConfig
+
+    config = CampaignConfig(
+        n=args.n,
+        t=args.t,
+        plans=args.plans,
+        base_seed=args.seed,
+        K=args.K,
+        max_steps=args.max_steps,
+        deadline=args.deadline,
+        over_budget_fraction=args.over_budget_fraction,
+        all_commit_fraction=args.all_commit_fraction,
+        program=args.variant,
+    )
+    report = run_differential(config, workers=args.workers)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_differential_summary(report))
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"differential report written to {target}")
+    return 0 if report["summary"]["findings"] == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +654,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of plans drawing more than t crashes",
     )
     campaign_parser.add_argument(
+        "--all-commit-fraction",
+        type=float,
+        default=0.6,
+        help="fraction of trials voting all-commit (rest draw random votes)",
+    )
+    campaign_parser.add_argument(
+        "--variant",
+        default="commit",
+        help=(
+            "protocol variant to sweep: commit (the paper's Protocol 2) "
+            "or broken-commit (the planted-bug fixture)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -532,6 +680,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the campaign report JSON here"
     )
     campaign_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write one replay artifact per safety-violating trial here",
+    )
+    campaign_parser.add_argument(
+        "--fail-on-liveness",
+        action="store_true",
+        help=(
+            "exit 2 when liveness (nonblocking) violations occur without "
+            "any safety violation (safety still exits 1)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--json",
         action="store_true",
         help="print the full report document instead of the summary",
@@ -542,6 +703,151 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed a telemetry snapshot in the report",
     )
     campaign_parser.set_defaults(fn=cmd_faults_campaign)
+
+    replay_artifact_parser = faults_sub.add_parser(
+        "replay",
+        help=(
+            "re-execute a replay artifact and verify byte-identical "
+            "reproduction of the recorded per-track results"
+        ),
+    )
+    replay_artifact_parser.add_argument(
+        "artifact", help="path to a repro.counterexample JSONL artifact"
+    )
+    replay_artifact_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the verification report as JSON",
+    )
+    replay_artifact_parser.set_defaults(fn=cmd_faults_replay)
+
+    shrink_parser = faults_sub.add_parser(
+        "shrink",
+        help=(
+            "minimize a violating trial to a locally-minimal FaultPlan "
+            "that still violates safety"
+        ),
+    )
+    shrink_parser.add_argument(
+        "--artifact",
+        default=None,
+        help="shrink the case pinned in this replay artifact",
+    )
+    shrink_parser.add_argument(
+        "--plans",
+        type=int,
+        default=50,
+        help="without --artifact: scan this many plans for a violation",
+    )
+    shrink_parser.add_argument(
+        "--n", type=int, default=5, help="processors per trial"
+    )
+    shrink_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    shrink_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    shrink_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed; plan i uses seed+i"
+    )
+    shrink_parser.add_argument(
+        "--all-commit-fraction",
+        type=float,
+        default=0.6,
+        help="fraction of trials voting all-commit (rest draw random votes)",
+    )
+    shrink_parser.add_argument(
+        "--variant",
+        default="broken-commit",
+        help="protocol variant to scan (default: the planted-bug fixture)",
+    )
+    shrink_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for scanning and candidate probing",
+    )
+    shrink_parser.add_argument(
+        "--out",
+        default=None,
+        help="write the minimal case as a replay artifact here",
+    )
+    shrink_parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="exit 1 unless the minimal plan has at most this many entries",
+    )
+    shrink_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the shrink result as JSON",
+    )
+    shrink_parser.set_defaults(fn=cmd_faults_shrink)
+
+    diff_parser = faults_sub.add_parser(
+        "diff",
+        help=(
+            "run the cross-track differential oracle: every plan on both "
+            "the simulator and the runtime, flagging semantic divergence"
+        ),
+    )
+    diff_parser.add_argument(
+        "--plans", type=int, default=100, help="number of randomized plans"
+    )
+    diff_parser.add_argument(
+        "--n", type=int, default=5, help="processors per trial"
+    )
+    diff_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    diff_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    diff_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed; plan i uses seed+i"
+    )
+    diff_parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=20_000,
+        help="simulator step horizon per trial",
+    )
+    diff_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=8.0,
+        help="runtime-track budget per trial, in virtual seconds",
+    )
+    diff_parser.add_argument(
+        "--over-budget-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of plans drawing more than t crashes",
+    )
+    diff_parser.add_argument(
+        "--all-commit-fraction",
+        type=float,
+        default=0.6,
+        help="fraction of trials voting all-commit (rest draw random votes)",
+    )
+    diff_parser.add_argument(
+        "--variant",
+        default="commit",
+        help="protocol variant to sweep (broken-commit to test the oracle)",
+    )
+    diff_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the plan sweep",
+    )
+    diff_parser.add_argument(
+        "--out", default=None, help="write the differential report JSON here"
+    )
+    diff_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary",
+    )
+    diff_parser.set_defaults(fn=cmd_faults_diff)
 
     return parser
 

@@ -1,0 +1,168 @@
+"""Cross-track differential oracle: simulator vs runtime, plan by plan.
+
+The repo executes every FaultPlan on two independent stacks — the
+deterministic cycle simulator and the asyncio runtime on a virtual
+clock.  They share *no* scheduling code, so semantic disagreement
+between them is a first-class finding: either one compiler mistranslates
+the plan, one track's protocol implementation is wrong, or the safety
+monitor is inconsistent.
+
+What counts as divergence is deliberately narrow.  The tracks schedule
+messages differently, and Protocol 2's commit/abort decision is
+legitimately schedule-dependent (a vote-phase timeout on one track but
+not the other flips the agreement input — both outcomes are *safe*).
+Measured over seeded campaigns, roughly one plan in ten decides
+commit on one track and abort on the other; flagging that would drown
+real signal in noise.  A **finding** is therefore only:
+
+* ``safety-mismatch`` — the tracks violate *different sets of safety
+  properties* (one track sees an agreement violation the other does
+  not, etc.); on a correct protocol both sets are empty, so any
+  violation anywhere is automatically also a mismatch or a shared bug;
+* ``termination-mismatch`` — the plan guarantees termination
+  (within budget, coordinator survives its fan-out) yet exactly one
+  track terminates.
+
+Benign schedule-dependent drift (decision differs, or termination
+differs on plans with no termination guarantee) is counted separately
+in the summary — visible, but not a finding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.faults.campaign import (
+    TRACKS,
+    CampaignConfig,
+    run_campaign,
+)
+from repro.faults.safety import SAFETY_PROPERTIES
+from repro.runtime.cluster import TERMINATED
+
+#: Schema tag of the differential report document.
+DIFFERENTIAL_SCHEMA = "repro.fault-differential v1"
+
+
+def _safety_set(outcome: dict[str, Any]) -> list[str]:
+    return sorted(
+        {
+            violation["property"]
+            for violation in outcome["safety"]["violations"]
+            if violation["property"] in SAFETY_PROPERTIES
+        }
+    )
+
+
+def _decision_class(outcome: dict[str, Any]) -> str:
+    bits = {bit for bit in outcome["decisions"] if bit is not None}
+    if bits == {1}:
+        return "commit"
+    if bits == {0}:
+        return "abort"
+    if not bits:
+        return "undecided"
+    return "mixed"
+
+
+def classify_trial(record: dict[str, Any]) -> dict[str, Any]:
+    """Classify one two-track trial record into findings and drift.
+
+    Returns ``{"findings": [...], "decision_drift": bool,
+    "termination_drift": bool}``; the input must carry both tracks.
+    """
+    sim = record["tracks"]["sim"]
+    runtime = record["tracks"]["runtime"]
+    findings: list[dict[str, Any]] = []
+    sim_safety = _safety_set(sim)
+    runtime_safety = _safety_set(runtime)
+    if sim_safety != runtime_safety:
+        findings.append(
+            {
+                "kind": "safety-mismatch",
+                "seed": record["seed"],
+                "sim": sim_safety,
+                "runtime": runtime_safety,
+            }
+        )
+    sim_terminated = sim["outcome"] == TERMINATED
+    runtime_terminated = runtime["outcome"] == TERMINATED
+    termination_differs = sim_terminated != runtime_terminated
+    if termination_differs and record["expect_termination"]:
+        findings.append(
+            {
+                "kind": "termination-mismatch",
+                "seed": record["seed"],
+                "sim": sim["outcome"],
+                "runtime": runtime["outcome"],
+            }
+        )
+    return {
+        "findings": findings,
+        "decision_drift": _decision_class(sim) != _decision_class(runtime),
+        "termination_drift": termination_differs
+        and not record["expect_termination"],
+    }
+
+
+def run_differential(
+    config: CampaignConfig, workers: int | None = None
+) -> dict[str, Any]:
+    """Sweep a campaign on both tracks and report semantic divergence.
+
+    The campaign's ``tracks`` setting is overridden to run both tracks;
+    everything else (plans, seeds, program variant) is honoured, so the
+    oracle can be pointed at broken variants too.  The report embeds the
+    violating plans, making every finding replayable.
+    """
+    config = dataclasses.replace(config, tracks=TRACKS)
+    campaign = run_campaign(config, workers=workers)
+    findings: list[dict[str, Any]] = []
+    decision_drift = 0
+    termination_drift = 0
+    for record in campaign["trials"]:
+        verdict = classify_trial(record)
+        for finding in verdict["findings"]:
+            finding["plan"] = record["plan"]
+            findings.append(finding)
+        decision_drift += verdict["decision_drift"]
+        termination_drift += verdict["termination_drift"]
+    by_kind: dict[str, int] = {}
+    for finding in findings:
+        by_kind[finding["kind"]] = by_kind.get(finding["kind"], 0) + 1
+    return {
+        "schema": DIFFERENTIAL_SCHEMA,
+        "config": config.to_dict(),
+        "summary": {
+            "plans": config.plans,
+            "findings": len(findings),
+            "findings_by_kind": by_kind,
+            "benign_decision_drift": decision_drift,
+            "benign_termination_drift": termination_drift,
+            "campaign_safety_violations": campaign["summary"][
+                "safety_violations"
+            ],
+        },
+        "findings": findings,
+    }
+
+
+def render_differential_summary(report: dict[str, Any]) -> str:
+    """A short human-readable digest of a differential report."""
+    summary = report["summary"]
+    lines = [
+        f"differential oracle: {summary['plans']} plans on both tracks",
+        f"  findings: {summary['findings']}"
+        + (
+            f" ({', '.join(f'{k}={v}' for k, v in sorted(summary['findings_by_kind'].items()))})"
+            if summary["findings_by_kind"]
+            else ""
+        ),
+        f"  benign drift: {summary['benign_decision_drift']} decision, "
+        f"{summary['benign_termination_drift']} termination "
+        f"(schedule-dependent, not findings)",
+    ]
+    verdict = "CONSISTENT" if summary["findings"] == 0 else "DIVERGED"
+    lines.append(f"  verdict: {verdict}")
+    return "\n".join(lines)

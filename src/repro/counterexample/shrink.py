@@ -1,0 +1,303 @@
+"""Delta-debugging minimizer over violating TrialCases.
+
+A campaign-found counterexample is usually noisy: the randomized
+FaultPlan that first triggered a violation carries crashes, a partition
+window, background loss, and link overrides, most of which are
+irrelevant to the bug.  :func:`shrink_case` strips the noise: it
+repeatedly generates strictly-smaller candidate cases via reduction
+operators —
+
+* drop one crash entry,
+* drop one partition window, or narrow one window (halve its span),
+* clear the global loss behaviour,
+* drop one per-link loss or delay override,
+* remove one non-coordinator processor (shrinking ``n``, remapping the
+  surviving pids in the plan and vote vector),
+* lower the fault budget ``t``
+
+— probes every candidate in parallel through :mod:`repro.engine`
+(byte-identical to serial probing at any worker count), and greedily
+recurses into the smallest candidate that still violates safety.  Every
+accepted step strictly decreases the size measure :func:`case_size`, so
+the loop terminates; the result is a *locally* minimal case — no single
+remaining reduction preserves the violation — which for the planted
+``broken-commit`` bug lands on one- or two-entry plans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Iterator
+
+from repro.engine.executor import run_trials
+from repro.errors import ConfigurationError
+from repro.faults.campaign import TrialCase, execute_trial_case
+from repro.counterexample.replay import violated_properties
+from repro.faults.plan import FaultPlan
+
+
+def case_fails(case: TrialCase) -> bool:
+    """Whether executing the case violates any safety property."""
+    result = execute_trial_case(case)
+    return bool(violated_properties(result["tracks"]))
+
+
+def case_size(case: TrialCase) -> tuple[int, int, int, int]:
+    """Lexicographic size measure the shrinker strictly decreases.
+
+    ``(plan entries, n, t, total partition span)`` — every reduction
+    operator lowers this tuple, so greedy descent terminates.
+    """
+    span = sum(
+        window.heal_cycle - window.start_cycle
+        for window in case.plan.partitions
+    )
+    return (case.plan.entry_count, case.n, case.t, span)
+
+
+# -- reduction operators -----------------------------------------------------
+
+
+def _without_index(items: tuple, index: int) -> tuple:
+    return items[:index] + items[index + 1 :]
+
+
+def _plan_candidates(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Strictly-smaller single-step reductions of one plan."""
+    base = plan.to_dict()
+
+    def rebuild(**changes: Any) -> FaultPlan:
+        doc = dict(base)
+        doc.update(changes)
+        return FaultPlan.from_dict(doc)
+
+    for index in range(len(plan.crashes)):
+        yield rebuild(
+            crashes=_without_index(tuple(base["crashes"]), index)
+        )
+    for index in range(len(plan.partitions)):
+        yield rebuild(
+            partitions=_without_index(tuple(base["partitions"]), index)
+        )
+    for index, window in enumerate(plan.partitions):
+        span = window.heal_cycle - window.start_cycle
+        if span > 1:
+            narrowed = dict(base["partitions"][index])
+            narrowed["heal_cycle"] = window.start_cycle + span // 2
+            partitions = list(base["partitions"])
+            partitions[index] = narrowed
+            yield rebuild(partitions=partitions)
+    if not plan.loss.clean:
+        yield rebuild(loss={"drop": 0.0, "duplicate": 0.0, "reorder": 0.0})
+    for index in range(len(plan.link_loss)):
+        yield rebuild(
+            link_loss=_without_index(tuple(base["link_loss"]), index)
+        )
+    for index in range(len(plan.link_delays)):
+        yield rebuild(
+            link_delays=_without_index(tuple(base["link_delays"]), index)
+        )
+
+
+def _remap_pid(pid: int, removed: int) -> int:
+    return pid - 1 if pid > removed else pid
+
+
+def _plan_without_pid(plan: FaultPlan, removed: int) -> FaultPlan:
+    """The plan with processor ``removed`` gone and higher pids shifted."""
+    return FaultPlan(
+        n=plan.n - 1,
+        seed=plan.seed,
+        crashes=tuple(
+            type(c)(pid=_remap_pid(c.pid, removed), cycle=c.cycle)
+            for c in plan.crashes
+            if c.pid != removed
+        ),
+        partitions=tuple(
+            type(w)(
+                groups=tuple(
+                    tuple(
+                        sorted(_remap_pid(p, removed) for p in g if p != removed)
+                    )
+                    for g in w.groups
+                ),
+                start_cycle=w.start_cycle,
+                heal_cycle=w.heal_cycle,
+            )
+            for w in plan.partitions
+        ),
+        loss=plan.loss,
+        link_loss=tuple(
+            (_remap_pid(s, removed), _remap_pid(r, removed), loss)
+            for s, r, loss in plan.link_loss
+            if s != removed and r != removed
+        ),
+        link_delays=tuple(
+            type(d)(
+                sender=_remap_pid(d.sender, removed),
+                recipient=_remap_pid(d.recipient, removed),
+                min_cycles=d.min_cycles,
+                max_cycles=d.max_cycles,
+            )
+            for d in plan.link_delays
+            if d.sender != removed and d.recipient != removed
+        ),
+    )
+
+
+def _case_candidates(case: TrialCase) -> list[TrialCase]:
+    """All valid strictly-smaller single-step reductions of one case."""
+    candidates: list[TrialCase] = []
+
+    def offer(make) -> None:
+        try:
+            candidate = make()
+        except ConfigurationError:
+            return
+        if case_size(candidate) < case_size(case):
+            candidates.append(candidate)
+
+    for plan in _plan_candidates(case.plan):
+        offer(lambda plan=plan: case.replace(plan=plan))
+    if case.n > 2:
+        for removed in range(1, case.n):  # never the coordinator
+            offer(
+                lambda removed=removed: case.replace(
+                    n=case.n - 1,
+                    t=min(case.t, case.n - 2),
+                    votes=tuple(
+                        vote
+                        for pid, vote in enumerate(case.votes)
+                        if pid != removed
+                    ),
+                    plan=_plan_without_pid(case.plan, removed),
+                )
+            )
+    if case.t > 0:
+        offer(lambda: case.replace(t=case.t - 1))
+    return candidates
+
+
+# -- parallel probing --------------------------------------------------------
+
+
+def _probe_candidate(payloads: tuple[str, ...], index: int) -> dict[str, Any]:
+    """Engine payload: does candidate ``index`` still violate safety?
+
+    Candidates travel as JSON strings so the partial-bound argument is
+    a small picklable tuple; ``index`` rides the engine's seed slot.
+    """
+    case = TrialCase.from_dict(json.loads(payloads[index]))
+    return {"fails": case_fails(case)}
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run.
+
+    Attributes:
+        original: the case the shrinker started from.
+        minimal: the locally-minimal case still violating safety.
+        rounds: greedy descent steps accepted.
+        probes: candidate executions performed in total.
+        history: per-round records (candidates probed, size chosen).
+    """
+
+    original: TrialCase
+    minimal: TrialCase
+    rounds: int = 0
+    probes: int = 0
+    history: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "original": self.original.to_dict(),
+            "minimal": self.minimal.to_dict(),
+            "original_size": list(case_size(self.original)),
+            "minimal_size": list(case_size(self.minimal)),
+            "original_entries": self.original.plan.entry_count,
+            "minimal_entries": self.minimal.plan.entry_count,
+            "rounds": self.rounds,
+            "probes": self.probes,
+            "history": self.history,
+        }
+
+
+def shrink_case(
+    case: TrialCase,
+    workers: int | None = None,
+    max_rounds: int = 64,
+) -> ShrinkResult:
+    """Greedily minimize a violating case; see the module docstring.
+
+    Raises:
+        ConfigurationError: when the starting case does not violate
+            safety (there is nothing to preserve while shrinking).
+    """
+    if not case_fails(case):
+        raise ConfigurationError(
+            "shrink_case needs a violating case; this one satisfies "
+            "every safety property"
+        )
+    result = ShrinkResult(original=case, minimal=case)
+    current = case
+    for _ in range(max_rounds):
+        candidates = _case_candidates(current)
+        if not candidates:
+            break
+        payloads = tuple(
+            json.dumps(c.to_dict(), sort_keys=True) for c in candidates
+        )
+        verdicts = run_trials(
+            partial(_probe_candidate, payloads),
+            trials=len(candidates),
+            base_seed=0,
+            workers=workers,
+        )
+        result.probes += len(candidates)
+        failing = [
+            candidate
+            for candidate, verdict in zip(candidates, verdicts)
+            if verdict["fails"]
+        ]
+        if not failing:
+            break
+        current = min(failing, key=case_size)
+        result.rounds += 1
+        result.history.append(
+            {
+                "candidates": len(candidates),
+                "still_failing": len(failing),
+                "chosen_size": list(case_size(current)),
+            }
+        )
+    result.minimal = current
+    return result
+
+
+def render_shrink_summary(result: ShrinkResult) -> str:
+    """A short human-readable digest of one shrink run."""
+    original = result.original.plan
+    minimal = result.minimal.plan
+    lines = [
+        f"shrink: {original.entry_count}-entry plan (n={result.original.n}, "
+        f"t={result.original.t}) -> {minimal.entry_count}-entry plan "
+        f"(n={result.minimal.n}, t={result.minimal.t}) "
+        f"in {result.rounds} rounds / {result.probes} probes",
+        f"  crashes: {[(c.pid, c.cycle) for c in minimal.crashes]}",
+        f"  partitions: "
+        f"{[(list(map(list, w.groups)), w.start_cycle, w.heal_cycle) for w in minimal.partitions]}",
+    ]
+    if not minimal.loss.clean:
+        lines.append(
+            f"  loss: drop={minimal.loss.drop:.3f} "
+            f"duplicate={minimal.loss.duplicate:.3f} "
+            f"reorder={minimal.loss.reorder:.3f}"
+        )
+    if minimal.link_loss:
+        lines.append(f"  link_loss overrides: {len(minimal.link_loss)}")
+    if minimal.link_delays:
+        lines.append(f"  link_delay overrides: {len(minimal.link_delays)}")
+    return "\n".join(lines)

@@ -55,17 +55,35 @@ _CHUNKS_PER_WORKER = 4
 _default_workers_override: int | None = None
 
 
+def workers_from_env(name: str, default: int) -> int:
+    """Parse a worker-count environment variable, strictly.
+
+    Unset (or blank) values fall back to ``default``; anything else must
+    be an integer >= 1.  Zero, negative, and non-integer values are
+    rejected with a :class:`~repro.errors.ConfigurationError` naming the
+    variable — silently clamping ``REPRO_WORKERS=0`` to 1 used to mask
+    typos in CI configs.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        workers = int(raw.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(
+            f"{name} must be >= 1, got {workers}; unset it to use the "
+            f"default ({default})"
+        )
+    return workers
+
+
 def default_workers() -> int:
     """The machine-derived worker count: ``REPRO_WORKERS`` or cpu count."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"REPRO_WORKERS must be an integer, got {env!r}"
-            ) from exc
-    return os.cpu_count() or 1
+    return workers_from_env("REPRO_WORKERS", os.cpu_count() or 1)
 
 
 def set_default_workers(workers: int | None) -> None:

@@ -62,6 +62,16 @@ CAMPAIGN_VOTE_STREAM = 9_700_417
 #: fault campaigns.
 CAMPAIGN_SHAPE_STREAM = 9_999_991
 
+#: Keyed stream of one transport envelope's fault randomness (first-send
+#: verdict and delay, retransmission attempts, backoff jitter); keyed by
+#: ``(recipient, seq)`` so concurrent retransmit loops never contend on
+#: one shared generator (see :mod:`repro.runtime.transport`).
+ENVELOPE_STREAM = 11_939_999
+
+#: Keyed stream of one envelope's acknowledgement randomness (reverse
+#: link verdict and ack delay), keyed like :data:`ENVELOPE_STREAM`.
+ACK_STREAM = 13_466_917
+
 
 def trial_seed(base_seed: int, index: int) -> int:
     """Seed of trial ``index`` in a batch anchored at ``base_seed``."""
@@ -77,6 +87,25 @@ def derive(seed: int, stream: int) -> int:
     derivation is a plain offset so existing tables replay unchanged.
     """
     return seed + stream
+
+
+def derive_keyed(seed: int, stream: int, *keys: int) -> int:
+    """Seed of one keyed random stream within a trial.
+
+    Where :func:`derive` names a fixed per-trial stream, this derives one
+    stream *per key tuple* — e.g. per transport envelope — so concurrent
+    consumers each own an independent generator and the draw order of one
+    cannot perturb another.  The mix is a fixed-odd-multiplier LCG step
+    per key: deterministic, collision-sparse, and independent of
+    ``PYTHONHASHSEED``.
+    """
+    value = (seed + stream) & _MASK64
+    for key in keys:
+        value = (value * 6_364_136_223_846_793_005 + key + 1) & _MASK64
+    return value
+
+
+_MASK64 = (1 << 64) - 1
 
 
 def coin_seed(seed: int) -> int:

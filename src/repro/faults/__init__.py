@@ -21,6 +21,9 @@ into one reproducible, machine-readable report.
 from repro.faults.campaign import (
     CAMPAIGN_SCHEMA,
     CampaignConfig,
+    TrialCase,
+    case_from_config,
+    execute_trial_case,
     render_campaign_summary,
     run_campaign,
     run_campaign_trial,
@@ -47,9 +50,16 @@ from repro.faults.safety import (
     Violation,
 )
 from repro.faults.sim_compile import FaultPlanAdversary, compile_to_adversary
+from repro.faults.variants import (
+    PROGRAM_VARIANTS,
+    BrokenCommitProgram,
+    make_programs,
+    resolve_variant,
+)
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
+    "BrokenCommitProgram",
     "CampaignConfig",
     "CrashFault",
     "FaultPlan",
@@ -57,17 +67,23 @@ __all__ = [
     "LIVENESS_PROPERTIES",
     "LinkDelay",
     "LinkLoss",
+    "PROGRAM_VARIANTS",
     "PartitionWindow",
     "PlanLinkFaults",
     "SAFETY_PROPERTIES",
     "SafetyMonitor",
     "SafetyReport",
+    "TrialCase",
     "Violation",
+    "case_from_config",
     "cluster_from_plan",
     "compile_to_adversary",
     "compile_to_runtime",
+    "execute_trial_case",
+    "make_programs",
     "plan_reliability",
     "render_campaign_summary",
+    "resolve_variant",
     "run_campaign",
     "run_campaign_trial",
     "write_campaign_report",

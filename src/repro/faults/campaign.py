@@ -20,6 +20,7 @@ violation ever found is replayable: feed the plan dict back through
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 from dataclasses import dataclass
@@ -27,18 +28,18 @@ from functools import partial
 from pathlib import Path
 from typing import Any
 
-from repro.core.commit import CommitProgram
 from repro.engine.executor import run_trials
 from repro.engine.seeds import (
     CAMPAIGN_SHAPE_STREAM,
     CAMPAIGN_VOTE_STREAM,
     derive,
 )
-from repro.errors import ConfigurationError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime_compile import cluster_from_plan
 from repro.faults.safety import SafetyMonitor
 from repro.faults.sim_compile import compile_to_adversary
+from repro.faults.variants import make_programs, resolve_variant
 from repro.runtime.cluster import NONTERMINATED, TERMINATED
 from repro.runtime.virtualtime import run_virtual
 from repro.sim.scheduler import Simulation
@@ -69,6 +70,10 @@ class CampaignConfig:
             more than ``t`` crashes (the graceful-degradation regime).
         all_commit_fraction: fraction of trials voting all-COMMIT; the
             rest draw random vote vectors.
+        program: protocol variant to run, from
+            :data:`repro.faults.variants.PROGRAM_VARIANTS` ("commit" is
+            the paper's Protocol 2; "broken-commit" is the planted-bug
+            fixture the counterexample pipeline validates against).
     """
 
     n: int = 5
@@ -82,6 +87,7 @@ class CampaignConfig:
     tick_interval: float = 0.002
     over_budget_fraction: float = 0.25
     all_commit_fraction: float = 0.6
+    program: str = "commit"
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -107,6 +113,7 @@ class CampaignConfig:
                 f"all_commit_fraction out of [0, 1]: "
                 f"{self.all_commit_fraction}"
             )
+        resolve_variant(self.program)
 
     @property
     def resolved_t(self) -> int:
@@ -125,7 +132,95 @@ class CampaignConfig:
             "tick_interval": self.tick_interval,
             "over_budget_fraction": self.over_budget_fraction,
             "all_commit_fraction": self.all_commit_fraction,
+            "program": self.program,
         }
+
+
+@dataclass(frozen=True)
+class TrialCase:
+    """One fully-specified trial: everything needed to re-execute it.
+
+    A campaign *draws* cases from ``(config, seed)``; the counterexample
+    pipeline (:mod:`repro.counterexample`) *replays* and *shrinks* them.
+    Both paths meet here: a case serializes losslessly via
+    :meth:`to_dict`/:meth:`from_dict`, and :func:`execute_trial_case`
+    is the single authority on how a case runs on each track — so a
+    replayed case exercises exactly the code a campaign trial did.
+
+    Attributes mirror the campaign knobs they are drawn from; ``votes``
+    and ``plan`` are pinned values rather than distributions.
+    """
+
+    n: int
+    t: int
+    K: int
+    votes: tuple[int, ...]
+    plan: FaultPlan
+    seed: int
+    tracks: tuple[str, ...] = TRACKS
+    max_steps: int = 20_000
+    deadline: float = 8.0
+    tick_interval: float = 0.002
+    program: str = "commit"
+
+    def __post_init__(self) -> None:
+        if len(self.votes) != self.n:
+            raise ConfigurationError(
+                f"need one vote per processor: n={self.n}, "
+                f"got {len(self.votes)} votes"
+            )
+        for track in self.tracks:
+            if track not in TRACKS:
+                raise ConfigurationError(
+                    f"unknown track {track!r}; choose from {TRACKS}"
+                )
+        resolve_variant(self.program)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.plan.within_budget(self.t)
+
+    @property
+    def expect_termination(self) -> bool:
+        return self.plan.guarantees_termination(self.t)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "t": self.t,
+            "K": self.K,
+            "votes": list(self.votes),
+            "plan": self.plan.to_dict(),
+            "seed": self.seed,
+            "tracks": list(self.tracks),
+            "max_steps": self.max_steps,
+            "deadline": self.deadline,
+            "tick_interval": self.tick_interval,
+            "program": self.program,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "TrialCase":
+        try:
+            return cls(
+                n=doc["n"],
+                t=doc["t"],
+                K=doc["K"],
+                votes=tuple(doc["votes"]),
+                plan=FaultPlan.from_dict(doc["plan"]),
+                seed=doc["seed"],
+                tracks=tuple(doc["tracks"]),
+                max_steps=doc["max_steps"],
+                deadline=doc["deadline"],
+                tick_interval=doc["tick_interval"],
+                program=doc.get("program", "commit"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(f"malformed trial case: {doc!r}") from exc
+
+    def replace(self, **changes: Any) -> "TrialCase":
+        """A copy with fields replaced (shrink operators use this)."""
+        return dataclasses.replace(self, **changes)
 
 
 def _draw_votes(config: CampaignConfig, seed: int) -> list[int]:
@@ -150,36 +245,38 @@ def _draw_plan(config: CampaignConfig, seed: int) -> FaultPlan:
     )
 
 
-def _make_programs(config: CampaignConfig, votes: list[int]) -> list[CommitProgram]:
-    t = config.resolved_t
-    return [
-        CommitProgram(
-            pid=pid,
-            n=config.n,
-            t=t,
-            initial_vote=vote,
-            K=config.K,
-            allow_sub_resilience=True,
-        )
-        for pid, vote in enumerate(votes)
-    ]
-
-
-def _run_sim_track(
-    config: CampaignConfig, plan: FaultPlan, votes: list[int], seed: int
-) -> dict[str, Any]:
-    adversary = compile_to_adversary(plan, K=config.K)
-    simulation = Simulation(
-        programs=_make_programs(config, votes),
-        adversary=adversary,
-        K=config.K,
+def case_from_config(config: CampaignConfig, seed: int) -> TrialCase:
+    """Draw trial ``seed``'s fully-pinned case from a campaign config."""
+    return TrialCase(
+        n=config.n,
         t=config.resolved_t,
+        K=config.K,
+        votes=tuple(_draw_votes(config, seed)),
+        plan=_draw_plan(config, seed),
         seed=seed,
+        tracks=config.tracks,
         max_steps=config.max_steps,
+        deadline=config.deadline,
+        tick_interval=config.tick_interval,
+        program=config.program,
+    )
+
+
+def _run_sim_track(case: TrialCase) -> dict[str, Any]:
+    adversary = compile_to_adversary(case.plan, K=case.K)
+    simulation = Simulation(
+        programs=make_programs(
+            case.program, case.n, case.t, case.votes, case.K
+        ),
+        adversary=adversary,
+        K=case.K,
+        t=case.t,
+        seed=case.seed,
+        max_steps=case.max_steps,
     )
     result = simulation.run()
     run = result.run
-    decisions = [run.decisions[pid] for pid in range(config.n)]
+    decisions = [run.decisions[pid] for pid in range(case.n)]
     return {
         "outcome": TERMINATED if result.terminated else NONTERMINATED,
         "decisions": decisions,
@@ -188,17 +285,17 @@ def _run_sim_track(
     }
 
 
-def _run_runtime_track(
-    config: CampaignConfig, plan: FaultPlan, votes: list[int]
-) -> dict[str, Any]:
+def _run_runtime_track(case: TrialCase) -> dict[str, Any]:
     cluster = cluster_from_plan(
-        programs=_make_programs(config, votes),
-        plan=plan,
-        tick_interval=config.tick_interval,
-        K=config.K,
+        programs=make_programs(
+            case.program, case.n, case.t, case.votes, case.K
+        ),
+        plan=case.plan,
+        tick_interval=case.tick_interval,
+        K=case.K,
     )
-    result = run_virtual(cluster.run(deadline=config.deadline))
-    decisions = [result.decisions()[pid] for pid in range(config.n)]
+    result = run_virtual(cluster.run(deadline=case.deadline))
+    decisions = [result.decisions()[pid] for pid in range(case.n)]
     stats = result.transport_stats
     return {
         "outcome": result.outcome,
@@ -214,27 +311,26 @@ def _run_runtime_track(
     }
 
 
-def run_campaign_trial(config: CampaignConfig, seed: int) -> dict[str, Any]:
-    """Run one seeded plan on every configured track and check safety."""
-    plan = _draw_plan(config, seed)
-    votes = _draw_votes(config, seed)
-    t = config.resolved_t
-    within_budget = plan.within_budget(t)
-    expect_termination = plan.guarantees_termination(t)
-    monitor = SafetyMonitor(n=config.n, t=t, votes=votes)
+def execute_trial_case(case: TrialCase) -> dict[str, Any]:
+    """Run one pinned case on every configured track and check safety.
+
+    This is the single execution authority shared by campaigns, replay,
+    and the shrinker: identical cases produce identical result dicts.
+    """
+    monitor = SafetyMonitor(n=case.n, t=case.t, votes=list(case.votes))
     tracks: dict[str, Any] = {}
-    for track in config.tracks:
+    for track in case.tracks:
         if track == "sim":
-            outcome = _run_sim_track(config, plan, votes, seed)
+            outcome = _run_sim_track(case)
         else:
-            outcome = _run_runtime_track(config, plan, votes)
+            outcome = _run_runtime_track(case)
         report = monitor.check(
             decisions={
                 pid: bit for pid, bit in enumerate(outcome["decisions"])
             },
             crashed=set(outcome["crashed"]),
             terminated=outcome["outcome"] == TERMINATED,
-            expect_termination=expect_termination,
+            expect_termination=case.expect_termination,
             benign=False,
         )
         outcome["safety"] = report.to_dict()
@@ -247,12 +343,23 @@ def run_campaign_trial(config: CampaignConfig, seed: int) -> dict[str, Any]:
                 outcome=outcome["outcome"],
             )
     return {
-        "seed": seed,
-        "plan": plan.to_dict(),
-        "votes": votes,
-        "within_budget": within_budget,
-        "expect_termination": expect_termination,
+        "within_budget": case.within_budget,
+        "expect_termination": case.expect_termination,
         "tracks": tracks,
+    }
+
+
+def run_campaign_trial(config: CampaignConfig, seed: int) -> dict[str, Any]:
+    """Run one seeded plan on every configured track and check safety."""
+    case = case_from_config(config, seed)
+    result = execute_trial_case(case)
+    return {
+        "seed": seed,
+        "plan": case.plan.to_dict(),
+        "votes": list(case.votes),
+        "within_budget": result["within_budget"],
+        "expect_termination": result["expect_termination"],
+        "tracks": result["tracks"],
     }
 
 

@@ -206,6 +206,23 @@ class FaultPlan:
     def crash_count(self) -> int:
         return len(self.crashes)
 
+    @property
+    def entry_count(self) -> int:
+        """How many discrete fault ingredients the plan contains.
+
+        One per crash, partition window, per-link loss override, and
+        per-link delay override, plus one when the global loss is not
+        clean.  This is the size notion the counterexample shrinker
+        minimises and reports ("reduced to a 2-entry plan").
+        """
+        return (
+            len(self.crashes)
+            + len(self.partitions)
+            + len(self.link_loss)
+            + len(self.link_delays)
+            + (0 if self.loss.clean else 1)
+        )
+
     def within_budget(self, t: int) -> bool:
         """Whether the plan stays inside the fault budget ``t``."""
         return self.crash_count <= t
@@ -214,19 +231,34 @@ class FaultPlan:
         """Whether the paper obliges this schedule to terminate.
 
         True when the plan is within the fault budget *and* the
-        coordinator survives long enough to fan out the GO message
-        (crashing it at cycle 0 kills the transaction before any
-        processor learns it exists — nobody is then required to decide,
-        so such schedules are excluded from the nonblocking claim, like
-        the paper's processors that never receive the transaction).
-        Both compilers preserve eventual delivery (finite holds, healing
-        partitions, retransmission), so no further conditions apply.
+        coordinator's GO fan-out is guaranteed to escape.  Two schedule
+        shapes void that guarantee: crashing the coordinator at cycle 0
+        (the transaction dies before any processor learns it exists),
+        and crashing it while a partition window that opened before the
+        crash severs it from a peer — retransmission dies with the
+        coordinator, so a fan-out the partition swallowed is lost
+        forever and nobody is left holding a GO to relay.  In both
+        regimes nobody is required to decide, like the paper's
+        processors that never receive the transaction.  Outside them,
+        both compilers preserve eventual delivery (finite holds,
+        healing partitions, retransmission while the sender lives).
         """
         if not self.within_budget(t):
             return False
-        return all(
-            not (c.pid == 0 and c.cycle < 1) for c in self.crashes
+        coordinator_crash = next(
+            (c.cycle for c in self.crashes if c.pid == 0), None
         )
+        if coordinator_crash is None:
+            return True
+        if coordinator_crash < 1:
+            return False
+        for window in self.partitions:
+            if window.start_cycle < coordinator_crash and any(
+                window.severs(0, pid, window.start_cycle)
+                for pid in range(1, self.n)
+            ):
+                return False
+        return True
 
     def loss_for(self, sender: int, recipient: int) -> LinkLoss:
         """The loss behaviour of one directed link."""
@@ -382,6 +414,17 @@ class FaultPlan:
             members = rng.sample(range(n), rng.randint(1, n - 1))
             start = rng.randint(0, 2 * K)
             duration = rng.randint(1, 2 * K)
+            if not over_budget:
+                # Within-budget plans must keep the termination
+                # guarantee: a window opening before a coordinator
+                # crash could swallow its entire GO fan-out (see
+                # guarantees_termination), so shift the window to open
+                # no earlier than the crash.
+                coordinator_crash = next(
+                    (c.cycle for c in crashes if c.pid == 0), None
+                )
+                if coordinator_crash is not None:
+                    start = max(start, coordinator_crash)
             partitions = (
                 PartitionWindow(
                     groups=(tuple(sorted(members)),),

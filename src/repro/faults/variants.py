@@ -1,0 +1,136 @@
+"""Protocol variants a campaign can host, including intentionally broken ones.
+
+The fault campaign's job is to *detect* safety violations, but a
+detector is only trustworthy if it demonstrably fires on a buggy
+protocol.  This module keeps a small registry of program variants a
+:class:`~repro.faults.campaign.CampaignConfig` can select by name:
+
+* ``commit`` — the paper's Protocol 2 (:class:`CommitProgram`), the
+  default and the thing the repo exists to validate;
+* ``broken-commit`` — :class:`BrokenCommitProgram`, a deliberately
+  faulty variant carrying the classic two-phase-commit mistake: on a
+  vote-collection timeout it *unilaterally decides its own vote* instead
+  of feeding 0 into the agreement subprotocol.  Under any schedule that
+  makes one commit-voting processor time out while another learns of an
+  abort vote (a single crash or partition window suffices), the cluster
+  splits into COMMIT and ABORT — violating agreement and abort validity.
+
+The broken variant is the end-to-end fixture for the counterexample
+pipeline (:mod:`repro.counterexample`): campaigns against it must find a
+violation, the shrinker must reduce the violating FaultPlan to one or
+two entries, and replay must reproduce the violating run byte-for-byte.
+Variant names travel inside campaign configs and replay artifacts, so
+entries must stay picklable module-level classes with stable names.
+"""
+
+from __future__ import annotations
+
+from repro.core.agreement import AgreementStats, agreement_script
+from repro.core.coins import CoinList, flip_coin_list
+from repro.core.commit import CommitProgram, _is_go, _is_vote
+from repro.core.messages import GoMessage, VoteMessage
+from repro.errors import ConfigurationError
+from repro.sim.process import Program
+from repro.sim.waits import MessageCount, WithTimeout
+from repro.types import Decision
+
+
+class BrokenCommitProgram(CommitProgram):
+    """Protocol 2 with a planted decide-own-vote-on-timeout bug.
+
+    Lines 1-11 match :class:`CommitProgram`.  The bug replaces lines
+    12-15: when the vote collection at line 8 times out, the processor
+    skips Protocol 1 entirely and decides whatever its own vote happens
+    to be.  A processor still holding vote 1 then decides COMMIT even
+    though some other processor may have voted (or flipped to) 0 and
+    decided ABORT — exactly the disagreement the agreement subprotocol
+    exists to prevent.
+    """
+
+    def run(self):
+        vote = int(self.initial_vote)
+        if self.is_coordinator:
+            go = GoMessage(
+                coins=tuple(flip_coin_list(self.flip, self.coin_count).bits)
+            )
+            self.broadcast(go)
+        else:
+            yield MessageCount(_is_go, 1, key=("go",))
+            go = self.board.by_key(("go",))[0].payload
+        coins = CoinList.from_bits(go.coins)
+        self.set_piggyback(lambda recipient: (go,))
+        self.broadcast(go)
+
+        go_wait = WithTimeout(
+            MessageCount(_is_go, self.n, key=("go",)), ticks=2 * self.K
+        )
+        yield go_wait
+        if go_wait.timed_out(self.board, self.clock):
+            vote = 0
+        self.broadcast(VoteMessage(vote=vote))
+
+        vote_wait = WithTimeout(
+            MessageCount(_is_vote, self.n, key=("vote",)), ticks=2 * self.K
+        )
+        yield vote_wait
+        if vote_wait.timed_out(self.board, self.clock):
+            # THE BUG: a timed-out processor decides unilaterally instead
+            # of entering Protocol 1 with input 0.
+            decision = Decision.from_bit(vote)
+            self.decide(int(decision))
+            return decision
+        commit_voters = {
+            entry.sender
+            for entry in self.board.by_key(("vote",))
+            if entry.payload.vote == 1
+        }
+        x_input = 1 if len(commit_voters) >= self.n else 0
+        value = yield from agreement_script(
+            self,
+            t=self.t,
+            initial_value=x_input,
+            coins=coins,
+            halting=self.halting,
+            record_decision=False,
+            stats=AgreementStats(),
+            allow_sub_resilience=self.allow_sub_resilience,
+        )
+        decision = Decision.from_bit(value)
+        self.decide(int(decision))
+        return decision
+
+
+#: Registered program variants, by the name campaign configs carry.
+PROGRAM_VARIANTS: dict[str, type[CommitProgram]] = {
+    "commit": CommitProgram,
+    "broken-commit": BrokenCommitProgram,
+}
+
+
+def resolve_variant(name: str) -> type[CommitProgram]:
+    """Look up a variant class; raises on unknown names."""
+    try:
+        return PROGRAM_VARIANTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown program variant {name!r}; choose from "
+            f"{sorted(PROGRAM_VARIANTS)}"
+        ) from None
+
+
+def make_programs(
+    variant: str, n: int, t: int, votes: list[int] | tuple[int, ...], K: int
+) -> list[Program]:
+    """Instantiate one program per pid for the named variant."""
+    cls = resolve_variant(variant)
+    return [
+        cls(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=K,
+            allow_sub_resilience=True,
+        )
+        for pid, vote in enumerate(votes)
+    ]

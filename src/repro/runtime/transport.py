@@ -23,6 +23,14 @@ loss, the transport implements the classic reliability pair:
 
 First sends, retransmissions, and fault-injected duplicates are counted
 *distinctly* in :class:`TransportStats`.
+
+Transport randomness is **schedule-independent**: every envelope owns a
+private generator derived from ``(seed, recipient, seq)`` (see
+:func:`repro.engine.seeds.derive_keyed`), and acknowledgements own a
+second one.  Concurrent retransmit loops therefore never contend on one
+shared generator, so the jitter and verdict streams an envelope sees do
+not depend on how the event loop happens to interleave coroutines —
+replay artifacts stay byte-identical even if task wakeup order shifts.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import itertools
 import random
 from dataclasses import dataclass, fields
 
+from repro.engine.seeds import ACK_STREAM, ENVELOPE_STREAM, derive_keyed
 from repro.errors import NodeCrashedError
 from repro.runtime.delays import DelayModel, FixedDelay
 from repro.sim.message import Payload
@@ -169,6 +178,7 @@ class AsyncTransport:
             raise ValueError(f"need at least one node, got n={n}")
         self.n = n
         self.delay_model = delay_model if delay_model is not None else FixedDelay()
+        self.seed = seed
         self.rng = random.Random(seed)
         self.faults = faults
         self.reliability = reliability
@@ -208,10 +218,11 @@ class AsyncTransport:
             return
         seq = next(self._seq)
         self.stats.sent += 1
-        self._transmit(sender, recipient, payloads, seq)
+        rng = self._envelope_rng(ENVELOPE_STREAM, recipient, seq)
+        self._transmit(sender, recipient, payloads, seq, rng)
         if self.reliability is not None:
             self._spawn(
-                self._retransmit_loop(sender, recipient, payloads, seq)
+                self._retransmit_loop(sender, recipient, payloads, seq, rng)
             )
 
     # -- transmission attempts ----------------------------------------------
@@ -221,11 +232,23 @@ class AsyncTransport:
         self._pending_tasks.add(task)
         task.add_done_callback(self._pending_tasks.discard)
 
-    def _link_verdict(self, sender: int, recipient: int) -> LinkVerdict:
+    def _envelope_rng(self, stream: int, recipient: int, seq: int) -> random.Random:
+        """The private generator of one envelope's randomness stream.
+
+        Keyed by ``(recipient, seq)`` so every envelope (and its
+        acknowledgement, under a second stream offset) draws from its own
+        generator: the consumption order of one coroutine cannot shift
+        the values any other observes, whatever the task interleaving.
+        """
+        return random.Random(derive_keyed(self.seed, stream, recipient, seq))
+
+    def _link_verdict(
+        self, sender: int, recipient: int, rng: random.Random
+    ) -> LinkVerdict:
         if self.faults is None:
             return CLEAN_LINK
         now = asyncio.get_running_loop().time()
-        return self.faults.verdict(sender, recipient, now, self.rng)
+        return self.faults.verdict(sender, recipient, now, rng)
 
     def _transmit(
         self,
@@ -233,16 +256,17 @@ class AsyncTransport:
         recipient: int,
         payloads: tuple[Payload, ...],
         seq: int,
+        rng: random.Random,
     ) -> None:
         """One attempt to move an envelope across the (lossy) link."""
-        verdict = self._link_verdict(sender, recipient)
+        verdict = self._link_verdict(sender, recipient, rng)
         if verdict.drop:
             self.stats.dropped_by_faults += 1
         else:
             copies = 1 + max(0, verdict.duplicates)
             self.stats.duplicated += copies - 1
             for _ in range(copies):
-                delay = self.delay_model.sample(self.rng) + verdict.extra_delay
+                delay = self.delay_model.sample(rng) + verdict.extra_delay
                 self._spawn(
                     self._deliver_later(sender, recipient, payloads, seq, delay)
                 )
@@ -279,11 +303,12 @@ class AsyncTransport:
 
     def _send_ack(self, sender: int, recipient: int, seq: int) -> None:
         """Race an acknowledgement back across the reverse lossy link."""
-        verdict = self._link_verdict(recipient, sender)
+        rng = self._envelope_rng(ACK_STREAM, recipient, seq)
+        verdict = self._link_verdict(recipient, sender, rng)
         if verdict.drop:
             self.stats.acks_dropped += 1
             return
-        delay = self.delay_model.sample(self.rng) + verdict.extra_delay
+        delay = self.delay_model.sample(rng) + verdict.extra_delay
         asyncio.get_running_loop().call_later(delay, self._acked.add, seq)
 
     async def _retransmit_loop(
@@ -292,14 +317,21 @@ class AsyncTransport:
         recipient: int,
         payloads: tuple[Payload, ...],
         seq: int,
+        rng: random.Random,
     ) -> None:
-        """Retransmit ``seq`` under backoff until acked, crash, or close."""
+        """Retransmit ``seq`` under backoff until acked, crash, or close.
+
+        ``rng`` is the envelope's private stream (shared with the first
+        transmission attempt), so backoff jitter and retry verdicts are a
+        pure function of ``(seed, recipient, seq)`` — concurrent loops
+        drawing in any interleaving produce identical streams.
+        """
         config = self.reliability
         assert config is not None
         timeout = config.base_timeout
         attempt = 0
         while True:
-            jittered = timeout * (1 + config.jitter * self.rng.uniform(-1, 1))
+            jittered = timeout * (1 + config.jitter * rng.uniform(-1, 1))
             await asyncio.sleep(jittered)
             if (
                 self.closed
@@ -315,7 +347,7 @@ class AsyncTransport:
                 return
             attempt += 1
             self.stats.retransmitted += 1
-            self._transmit(sender, recipient, payloads, seq)
+            self._transmit(sender, recipient, payloads, seq, rng)
             timeout = min(timeout * 2, config.max_backoff)
 
     async def drain(self) -> None:

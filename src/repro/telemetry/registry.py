@@ -298,6 +298,18 @@ class MetricsRegistry:
                     for raw in bounds_raw
                 )
                 histogram = self.histogram(name, help_text, buckets=bounds)
+                if histogram.bounds != tuple(sorted(bounds)):
+                    # ``histogram()`` returns the already-registered family
+                    # and ignores the requested buckets, so a snapshot
+                    # recorded against different bounds must be rejected —
+                    # folding its bucket counts into foreign bounds would
+                    # silently corrupt the distribution.
+                    raise ConfigurationError(
+                        f"histogram {name!r}: snapshot buckets "
+                        f"{[_format_bound(b) for b in sorted(bounds)]} do not "
+                        f"match registered buckets "
+                        f"{[_format_bound(b) for b in histogram.bounds]}"
+                    )
                 for sample in samples:
                     histogram.merge_sample(
                         sample["labels"],

@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import AnalysisError
 from repro.sim.message import Envelope, MessageId, Payload, RawPayload
@@ -39,6 +39,77 @@ TRACE_SCHEMA = "repro.run-trace"
 
 #: Format version; bump on breaking changes.
 TRACE_VERSION = 1
+
+
+# -- generic JSONL documents -------------------------------------------------
+#
+# Every schema-versioned artifact in the repo (run traces here, replay
+# artifacts in :mod:`repro.counterexample`) shares one wire shape: a
+# JSONL file whose first record is a ``{"record": "header", "schema":
+# ..., "version": ...}`` line.  These helpers centralise the
+# deterministic writer (sorted keys, one record per line) and the
+# strict reader (line-numbered errors, header/schema/version checks).
+
+
+def write_jsonl_records(
+    records: Iterable[dict[str, Any]], path: str | Path
+) -> Path:
+    """Write records as deterministic JSON Lines (sorted keys)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def read_jsonl_records(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL file back into its records.
+
+    Raises:
+        AnalysisError: on unreadable files or invalid JSON, with the
+            offending line number.
+    """
+    source = Path(path)
+    records: list[dict[str, Any]] = []
+    try:
+        handle = source.open("r", encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {source}: {exc}") from exc
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"{source}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+    return records
+
+
+def check_header(
+    records: Sequence[dict[str, Any]], schema: str, version: int
+) -> dict[str, Any]:
+    """Validate and return the header record of a JSONL document.
+
+    Raises:
+        AnalysisError: when the document is empty, the first record is
+            not a header of ``schema``, or the version differs.
+    """
+    if not records:
+        raise AnalysisError(f"empty document: no {schema} header record")
+    header = records[0]
+    if header.get("record") != "header" or header.get("schema") != schema:
+        raise AnalysisError(f"not a {schema} header: {header!r}")
+    if header.get("version") != version:
+        raise AnalysisError(
+            f"unsupported {schema} version {header.get('version')!r} "
+            f"(expected {version})"
+        )
+    return header
 
 # -- payload codec -----------------------------------------------------------
 
@@ -195,11 +266,7 @@ def run_to_records(run: Run) -> list[dict[str, Any]]:
 
 def export_run_jsonl(run: Run, path: str | Path) -> Path:
     """Write a run as JSON Lines; returns the path written."""
-    target = Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        for record in run_to_records(run):
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-    return target
+    return write_jsonl_records(run_to_records(run), path)
 
 
 # -- import ------------------------------------------------------------------
@@ -291,17 +358,4 @@ def run_from_records(records: Iterable[dict[str, Any]]) -> Run:
 def import_run_jsonl(path: str | Path) -> Run:
     """Read a run back from a JSONL file written by
     :func:`export_run_jsonl`."""
-    source = Path(path)
-    records: list[dict[str, Any]] = []
-    with source.open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise AnalysisError(
-                    f"{source}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-    return run_from_records(records)
+    return run_from_records(read_jsonl_records(path))

@@ -1,0 +1,130 @@
+"""Tests for the delta-debugging FaultPlan minimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counterexample.replay import first_violating_case
+from repro.counterexample.shrink import (
+    ShrinkResult,
+    _case_candidates,
+    case_fails,
+    case_size,
+    render_shrink_summary,
+    shrink_case,
+)
+from repro.errors import ConfigurationError
+from repro.faults.campaign import CampaignConfig, TrialCase
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    LinkDelay,
+    LinkLoss,
+    PartitionWindow,
+)
+
+BROKEN = CampaignConfig(
+    n=4, t=1, plans=8, base_seed=0, program="broken-commit"
+)
+
+
+def _noisy_case() -> TrialCase:
+    # The deterministic planted-bug trigger (crash pid 2 at cycle 2)
+    # buried under unrelated noise the shrinker should strip.
+    return TrialCase(
+        n=4,
+        t=1,
+        K=4,
+        votes=(1, 0, 1, 1),
+        plan=FaultPlan(
+            n=4,
+            crashes=(CrashFault(pid=2, cycle=2),),
+            partitions=(
+                PartitionWindow(
+                    groups=((0, 1),), start_cycle=20, heal_cycle=24
+                ),
+            ),
+            loss=LinkLoss(duplicate=0.1),
+            link_delays=(
+                LinkDelay(sender=3, recipient=0, min_cycles=1, max_cycles=2),
+            ),
+        ),
+        seed=0,
+        program="broken-commit",
+    )
+
+
+class TestSizeAndCandidates:
+    def test_size_strictly_decreases_across_candidates(self):
+        case = _noisy_case()
+        for candidate in _case_candidates(case):
+            assert case_size(candidate) < case_size(case)
+
+    def test_every_ingredient_has_a_dropping_candidate(self):
+        case = _noisy_case()
+        entry_counts = {
+            c.plan.entry_count for c in _case_candidates(case)
+        }
+        # 4-entry plan: each single-ingredient drop must be on offer.
+        assert case.plan.entry_count - 1 in entry_counts
+
+    def test_n_shrink_remaps_surviving_pids(self):
+        case = _noisy_case()
+        smaller = [c for c in _case_candidates(case) if c.n == case.n - 1]
+        assert smaller
+        for candidate in smaller:
+            assert len(candidate.votes) == candidate.n
+            assert candidate.plan.n == candidate.n
+            for crash in candidate.plan.crashes:
+                assert 0 <= crash.pid < candidate.n
+
+
+class TestShrinkCase:
+    def test_rejects_non_violating_case(self):
+        healthy = _noisy_case().replace(program="commit")
+        with pytest.raises(ConfigurationError, match="violating"):
+            shrink_case(healthy)
+
+    def test_minimal_case_still_fails_and_is_locally_minimal(self):
+        result = shrink_case(_noisy_case())
+        assert isinstance(result, ShrinkResult)
+        assert case_fails(result.minimal)
+        assert case_size(result.minimal) < case_size(result.original)
+        # Local minimality: no single remaining reduction still fails.
+        for candidate in _case_candidates(result.minimal):
+            assert not case_fails(candidate)
+
+    def test_noise_is_stripped(self):
+        result = shrink_case(_noisy_case())
+        # The planted bug needs at most the crash; every byte of noise
+        # (partition, duplication, delay override) must be gone.
+        assert result.minimal.plan.entry_count <= 2
+
+    def test_parallel_probing_matches_serial(self):
+        serial = shrink_case(_noisy_case(), workers=1)
+        parallel = shrink_case(_noisy_case(), workers=3)
+        assert serial.minimal == parallel.minimal
+        assert serial.history == parallel.history
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        result = shrink_case(_noisy_case(), workers=1)
+        doc = result.to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["minimal_entries"] <= doc["original_entries"]
+
+    def test_render_summary_mentions_entry_counts(self):
+        result = shrink_case(_noisy_case(), workers=1)
+        text = render_shrink_summary(result)
+        assert f"{result.minimal.plan.entry_count}-entry plan" in text
+
+
+class TestEndToEnd:
+    def test_campaign_finding_shrinks_to_two_entries_or_fewer(self):
+        found = first_violating_case(BROKEN)
+        assert found is not None
+        case, _result = found
+        result = shrink_case(case)
+        assert case_fails(result.minimal)
+        assert result.minimal.plan.entry_count <= 2

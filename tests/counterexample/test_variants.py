@@ -1,0 +1,97 @@
+"""Tests for the program-variant registry and the planted-bug fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import CrashAt
+from repro.adversary.crash import ScheduledCrashAdversary
+from repro.adversary.standard import SynchronousAdversary
+from repro.core.commit import CommitProgram
+from repro.errors import ConfigurationError
+from repro.faults.variants import (
+    PROGRAM_VARIANTS,
+    BrokenCommitProgram,
+    make_programs,
+    resolve_variant,
+)
+from repro.sim.scheduler import Simulation
+
+N, T, K = 5, 2, 4
+
+
+class TestRegistry:
+    def test_commit_resolves_to_protocol_two(self):
+        assert resolve_variant("commit") is CommitProgram
+
+    def test_broken_commit_resolves_to_fixture(self):
+        assert resolve_variant("broken-commit") is BrokenCommitProgram
+
+    def test_unknown_variant_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError, match="broken-commit"):
+            resolve_variant("fixed-commit")
+
+    def test_registry_names_are_stable(self):
+        # Artifact and campaign schemas embed these names; renaming them
+        # breaks replay of archived counterexamples.
+        assert set(PROGRAM_VARIANTS) == {"commit", "broken-commit"}
+
+    def test_make_programs_one_per_pid(self):
+        programs = make_programs("broken-commit", N, T, [1, 0, 1, 1, 0], K)
+        assert len(programs) == N
+        assert all(isinstance(p, BrokenCommitProgram) for p in programs)
+        assert [p.pid for p in programs] == list(range(N))
+        assert [int(p.initial_vote) for p in programs] == [1, 0, 1, 1, 0]
+
+
+def _run(programs, adversary, seed=0):
+    return Simulation(
+        programs=programs,
+        adversary=adversary,
+        K=K,
+        t=T,
+        seed=seed,
+        max_steps=20_000,
+    ).run()
+
+
+class TestBrokenCommitProgram:
+    def test_behaves_like_protocol_two_on_clean_schedules(self):
+        # Without a vote-phase timeout the planted bug never triggers, so
+        # the variant is indistinguishable from the correct protocol.
+        for votes in ([1] * N, [1, 0, 1, 1, 1]):
+            broken = _run(
+                make_programs("broken-commit", N, T, votes, K),
+                SynchronousAdversary(seed=0),
+            )
+            correct = _run(
+                make_programs("commit", N, T, votes, K),
+                SynchronousAdversary(seed=0),
+            )
+            assert broken.run.decisions == correct.run.decisions
+
+    def test_crash_with_mixed_votes_splits_the_decision(self):
+        # Crash the 0-voter mid-protocol: survivors that time out on the
+        # vote collection unilaterally decide their own vote 1 (COMMIT)
+        # while the bug's victimless path still aborts somewhere —
+        # violating agreement/abort validity.  Searched over a few crash
+        # schedules because the exact split is schedule-dependent.
+        for seed in range(8):
+            votes = [1, 0, 1, 1, 1]
+            result = _run(
+                make_programs("broken-commit", N, T, votes, K),
+                ScheduledCrashAdversary(
+                    crash_plan=(CrashAt(pid=1, cycle=seed),), seed=seed
+                ),
+                seed=seed,
+            )
+            decided = {
+                bit
+                for bit in result.run.decisions.values()
+                if bit is not None
+            }
+            if 1 in decided:
+                # A commit decision with a 0 vote on the table: the bug
+                # fired.  (Agreement may or may not also split.)
+                return
+        pytest.fail("planted bug never produced a commit with a 0 vote")

@@ -14,6 +14,7 @@ from repro.engine.executor import (
     resolve_workers,
     run_trials,
     set_default_workers,
+    workers_from_env,
 )
 from repro.engine.spec import SeededFactory, chunk_seeds
 from repro.errors import ConfigurationError
@@ -138,6 +139,54 @@ class TestWorkerResolution:
         monkeypatch.setenv("REPRO_WORKERS", "zebra")
         with pytest.raises(ConfigurationError):
             default_workers()
+
+
+class TestWorkersFromEnv:
+    """Strict parsing of worker-count environment variables.
+
+    Zero and negative counts are configuration typos, not requests for
+    serial execution; they must be rejected loudly instead of clamped.
+    """
+
+    def test_unset_and_blank_fall_back_to_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env("REPRO_WORKERS", 4) == 4
+        for blank in ("", "   ", "\t"):
+            monkeypatch.setenv("REPRO_WORKERS", blank)
+            assert workers_from_env("REPRO_WORKERS", 4) == 4
+
+    def test_whitespace_padded_integer_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", " 3 ")
+        assert workers_from_env("REPRO_WORKERS", 1) == 3
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-8"])
+    def test_zero_and_negative_rejected(self, raw, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+            workers_from_env("REPRO_WORKERS", 1)
+
+    @pytest.mark.parametrize("raw", ["zebra", "2.5", "1e3", "two"])
+    def test_non_integer_rejected_naming_the_variable(
+        self, raw, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(
+            ConfigurationError, match="REPRO_WORKERS.*integer"
+        ):
+            workers_from_env("REPRO_WORKERS", 1)
+
+    def test_bench_workers_use_the_same_parser(self, monkeypatch):
+        # benchmarks/conftest.py resolves REPRO_BENCH_WORKERS through
+        # this exact helper, so the strictness applies to both paths.
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+        with pytest.raises(
+            ConfigurationError, match="REPRO_BENCH_WORKERS"
+        ):
+            workers_from_env("REPRO_BENCH_WORKERS", 1)
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "2")
+        assert workers_from_env("REPRO_BENCH_WORKERS", 1) == 2
+        monkeypatch.delenv("REPRO_BENCH_WORKERS")
+        assert workers_from_env("REPRO_BENCH_WORKERS", 1) == 1
 
 
 class TestSeededFactory:

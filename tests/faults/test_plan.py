@@ -94,6 +94,46 @@ class TestQueries:
         follower = FaultPlan(n=5, crashes=(CrashFault(pid=3, cycle=0),))
         assert follower.guarantees_termination(2)
 
+    def test_guarantees_termination_excludes_stranded_coordinator(self):
+        # A partition that severs the coordinator BEFORE its crash can
+        # strand the GO fan-out: retransmission dies with the sender and
+        # nobody relays, so participants legitimately block forever.
+        stranded = FaultPlan(
+            n=5,
+            crashes=(CrashFault(pid=0, cycle=5),),
+            partitions=(
+                PartitionWindow(
+                    groups=((1, 2, 3, 4),), start_cycle=0, heal_cycle=8
+                ),
+            ),
+        )
+        assert stranded.within_budget(2)
+        assert not stranded.guarantees_termination(2)
+        # Severing only after the crash cycle is fine: the fan-out (and
+        # its retransmissions up to the crash) already escaped.
+        late_window = FaultPlan(
+            n=5,
+            crashes=(CrashFault(pid=0, cycle=5),),
+            partitions=(
+                PartitionWindow(
+                    groups=((1, 2, 3, 4),), start_cycle=5, heal_cycle=8
+                ),
+            ),
+        )
+        assert late_window.guarantees_termination(2)
+        # A pre-crash window that never severs the coordinator (it sits
+        # inside the listed group) does not threaten the fan-out either.
+        coordinator_grouped = FaultPlan(
+            n=5,
+            crashes=(CrashFault(pid=0, cycle=5),),
+            partitions=(
+                PartitionWindow(
+                    groups=((0, 1, 2, 3, 4),), start_cycle=0, heal_cycle=8
+                ),
+            ),
+        )
+        assert coordinator_grouped.guarantees_termination(2)
+
     def test_last_disruption_cycle(self):
         plan = FaultPlan(
             n=4,

@@ -167,6 +167,103 @@ class TestDedup:
         assert transport.stats.duplicates_dropped == 0
 
 
+class CoinFlipLoss(LinkFaultPolicy):
+    """Drop forward transmissions with probability 1/2, drawn from the
+    envelope's own randomness stream."""
+
+    def verdict(self, sender, recipient, now, rng):
+        if sender == 0 and rng.random() < 0.5:
+            return LinkVerdict(drop=True)
+        return LinkVerdict()
+
+
+class TestScheduleIndependence:
+    """Envelope randomness must not depend on task wakeup order.
+
+    Each envelope draws loss verdicts, delays, and retransmit jitter
+    from its own keyed generator, so a competing coroutine that (a)
+    consumes the transport's shared ``rng`` and (b) injects extra event
+    loop wakeups between transport timers must leave every counter and
+    every delivery untouched.
+    """
+
+    def _run_lossy(self, perturb):
+        async def scenario():
+            import asyncio
+
+            transport = AsyncTransport(
+                n=2,
+                delay_model=FixedDelay(0.001),
+                seed=11,
+                faults=CoinFlipLoss(),
+                reliability=Reliability(
+                    base_timeout=0.01, max_backoff=0.1, jitter=0.5
+                ),
+            )
+            if perturb:
+
+                async def chatter():
+                    while not transport.closed:
+                        transport.rng.random()
+                        await asyncio.sleep(0.0007)
+
+                competitor = asyncio.get_running_loop().create_task(chatter())
+            for index in range(5):
+                transport.send(0, 1, (RawPayload(f"m{index}"),))
+                await asyncio.sleep(0.003)
+            await settle(transport)
+            if perturb:
+                competitor.cancel()
+            return transport
+
+        return run_virtual(scenario())
+
+    @staticmethod
+    def _deliveries(transport):
+        inbox = transport.inboxes[1]
+        messages = []
+        while not inbox.empty():
+            messages.append(inbox.get_nowait())
+        return [(m.sender, m.seq, m.payloads) for m in messages]
+
+    def test_competing_rng_consumer_does_not_shift_schedule(self):
+        baseline = self._run_lossy(perturb=False)
+        perturbed = self._run_lossy(perturb=True)
+        assert perturbed.stats == baseline.stats
+        assert self._deliveries(perturbed) == self._deliveries(baseline)
+        # The scenario is only probative if the link actually lost
+        # something: a retransmission path that never ran proves nothing.
+        assert baseline.stats.dropped_by_faults > 0
+        assert baseline.stats.retransmitted > 0
+
+    def test_envelope_streams_ignore_shared_generator(self):
+        from repro.engine.seeds import ACK_STREAM, ENVELOPE_STREAM
+
+        fresh = AsyncTransport(n=2, seed=7)
+        drained = AsyncTransport(n=2, seed=7)
+        for _ in range(17):
+            drained.rng.random()
+        for stream in (ENVELOPE_STREAM, ACK_STREAM):
+            for seq in range(4):
+                assert (
+                    fresh._envelope_rng(stream, 1, seq).random()
+                    == drained._envelope_rng(stream, 1, seq).random()
+                )
+
+    def test_envelope_streams_are_distinct_per_envelope(self):
+        from repro.engine.seeds import ENVELOPE_STREAM
+
+        transport = AsyncTransport(n=3, seed=7)
+        draws = {
+            (recipient, seq): transport._envelope_rng(
+                ENVELOPE_STREAM, recipient, seq
+            ).random()
+            for recipient in range(3)
+            for seq in range(8)
+        }
+        assert len(set(draws.values())) == len(draws)
+
+
 class TestValidation:
     def test_reliability_rejects_bad_config(self):
         import pytest

@@ -195,3 +195,83 @@ class TestMetricKinds:
         assert isinstance(registry.counter("a"), Counter)
         assert isinstance(registry.gauge("b"), Gauge)
         assert isinstance(registry.histogram("c"), Histogram)
+
+
+class TestMergeSnapshot:
+    """Edge cases of folding worker snapshots into a parent registry."""
+
+    def test_registered_but_empty_histogram_survives_merge(self):
+        # A worker that registered a family but never observed still
+        # exports its bucket bounds; after the merge the parent must
+        # hold the family with those bounds so later merges (from
+        # workers that did observe) land in matching buckets.
+        worker = MetricsRegistry()
+        worker.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.metrics()["latency_seconds"]
+        assert isinstance(merged, Histogram)
+        assert merged.bounds == (0.1, 1.0)
+        assert merged.samples() == {}
+
+        busy = MetricsRegistry()
+        busy.histogram(
+            "latency_seconds", "latency", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        parent.merge_snapshot(busy.snapshot())
+        cell = parent.metrics()["latency_seconds"].cell()
+        assert cell.count == 1
+        assert cell.bucket_counts == [0, 1]
+
+    def test_mismatched_bucket_bounds_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("latency_seconds", buckets=(0.1, 1.0))
+        worker = MetricsRegistry()
+        worker.histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        ).observe(5.0)
+        with pytest.raises(ConfigurationError, match="do not match"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_mismatched_bounds_rejected_even_without_samples(self):
+        # The family-level bounds travel in the snapshot, so the
+        # conflict is detectable before any observation arrives.
+        parent = MetricsRegistry()
+        parent.histogram("latency_seconds", buckets=(0.1, 1.0))
+        worker = MetricsRegistry()
+        worker.histogram("latency_seconds", buckets=(0.5,))
+        with pytest.raises(ConfigurationError, match="do not match"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_gauge_merge_is_last_write_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("depth").set(1.0)
+        first = MetricsRegistry()
+        first.gauge("depth").set(5.0)
+        second = MetricsRegistry()
+        second.gauge("depth").set(2.0)
+        # Merge order decides, not magnitude: the chunk merged last is
+        # the serial run's most recent ``set``.
+        parent.merge_snapshot(first.snapshot())
+        parent.merge_snapshot(second.snapshot())
+        assert parent.gauge("depth").value() == 2.0
+
+    def test_counter_and_histogram_cells_add(self):
+        parent = MetricsRegistry()
+        parent.counter("trials_total").inc(2, mode="serial")
+        parent.histogram("cost", buckets=(1.0, 10.0)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.counter("trials_total").inc(3, mode="serial")
+        worker.histogram("cost", buckets=(1.0, 10.0)).observe(4.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("trials_total").value(mode="serial") == 5
+        cell = parent.metrics()["cost"].cell()
+        assert cell.count == 2
+        assert cell.bucket_counts == [1, 1]
+
+    def test_unknown_metric_kind_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            parent.merge_snapshot(
+                {"weird": {"type": "summary", "samples": []}}
+            )

@@ -269,3 +269,186 @@ class TestFaultsCampaign:
     def test_campaign_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["faults"])
+
+
+class TestFaultsExitCodes:
+    """Campaign exit codes: 0 clean, 1 safety, 2 liveness-only (opt-in)."""
+
+    @staticmethod
+    def _fabricate(monkeypatch, safety, liveness):
+        def fake_run_campaign(config, workers=None):
+            return {
+                "schema": "repro.fault-campaign v1",
+                "config": config.to_dict(),
+                "summary": {
+                    "safety_violations": safety,
+                    "liveness_violations": liveness,
+                },
+                "trials": [],
+            }
+
+        import repro.faults.campaign as campaign
+
+        monkeypatch.setattr(campaign, "run_campaign", fake_run_campaign)
+
+    ARGS = ["faults", "campaign", "--plans", "1", "--json"]
+
+    def test_liveness_only_passes_by_default(self, monkeypatch, capsys):
+        self._fabricate(monkeypatch, safety=0, liveness=3)
+        assert main(self.ARGS) == 0
+        capsys.readouterr()
+
+    def test_fail_on_liveness_returns_two(self, monkeypatch, capsys):
+        self._fabricate(monkeypatch, safety=0, liveness=3)
+        assert main(self.ARGS + ["--fail-on-liveness"]) == 2
+        capsys.readouterr()
+
+    def test_safety_outranks_liveness(self, monkeypatch, capsys):
+        self._fabricate(monkeypatch, safety=1, liveness=3)
+        assert main(self.ARGS + ["--fail-on-liveness"]) == 1
+        capsys.readouterr()
+
+    def test_clean_campaign_returns_zero(self, monkeypatch, capsys):
+        self._fabricate(monkeypatch, safety=0, liveness=0)
+        assert main(self.ARGS + ["--fail-on-liveness"]) == 0
+        capsys.readouterr()
+
+
+@pytest.fixture(scope="module")
+def broken_artifact_dir(tmp_path_factory):
+    """One broken-variant campaign, artifacts cut once for the module."""
+    target = tmp_path_factory.mktemp("artifacts")
+    code = main(
+        [
+            "faults",
+            "campaign",
+            "--variant",
+            "broken-commit",
+            "--plans",
+            "6",
+            "--seed",
+            "0",
+            "--tracks",
+            "sim",
+            "--workers",
+            "1",
+            "--artifact-dir",
+            str(target),
+        ]
+    )
+    assert code == 1  # the planted bug must trip the safety oracle
+    return target
+
+
+class TestFaultsCounterexamplePipeline:
+    def test_campaign_cuts_replay_artifacts(self, broken_artifact_dir):
+        artifacts = sorted(broken_artifact_dir.glob("counterexample-*.jsonl"))
+        assert artifacts
+
+    def test_replay_verb_confirms_byte_identical(
+        self, broken_artifact_dir, capsys
+    ):
+        artifact = sorted(broken_artifact_dir.iterdir())[0]
+        code = main(["faults", "replay", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+
+    def test_replay_verb_json(self, broken_artifact_dir, capsys):
+        artifact = sorted(broken_artifact_dir.iterdir())[0]
+        code = main(["faults", "replay", str(artifact), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["match"] is True
+        assert report["properties"]
+
+    def test_replay_verb_flags_tampering(
+        self, broken_artifact_dir, tmp_path, capsys
+    ):
+        artifact = sorted(broken_artifact_dir.iterdir())[0]
+        lines = artifact.read_text().splitlines()
+        tampered = []
+        for line in lines:
+            record = json.loads(line)
+            if record["record"] == "expected":
+                record["result"]["decisions"] = [
+                    None for _ in record["result"]["decisions"]
+                ]
+            tampered.append(json.dumps(record))
+        bad = tmp_path / "tampered.jsonl"
+        bad.write_text("\n".join(tampered) + "\n")
+        code = main(["faults", "replay", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+
+    def test_shrink_verb_minimizes_artifact(
+        self, broken_artifact_dir, tmp_path, capsys
+    ):
+        artifact = sorted(broken_artifact_dir.iterdir())[0]
+        minimal = tmp_path / "minimal.jsonl"
+        code = main(
+            [
+                "faults",
+                "shrink",
+                "--artifact",
+                str(artifact),
+                "--workers",
+                "1",
+                "--max-entries",
+                "2",
+                "--out",
+                str(minimal),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        # The minimal artifact is itself replayable.
+        assert main(["faults", "replay", str(minimal)]) == 0
+        capsys.readouterr()
+
+    def test_shrink_verb_enforces_max_entries(
+        self, broken_artifact_dir, capsys
+    ):
+        artifact = sorted(broken_artifact_dir.iterdir())[0]
+        code = main(
+            [
+                "faults",
+                "shrink",
+                "--artifact",
+                str(artifact),
+                "--workers",
+                "1",
+                "--max-entries",
+                "0",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--max-entries" in err
+
+    def test_shrink_scan_without_violation_returns_three(self, capsys):
+        code = main(
+            [
+                "faults",
+                "shrink",
+                "--variant",
+                "commit",
+                "--plans",
+                "2",
+                "--workers",
+                "1",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "nothing to shrink" in err
+
+    def test_diff_verb_is_consistent_on_correct_protocol(self, capsys):
+        code = main(
+            ["faults", "diff", "--plans", "2", "--workers", "1", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["schema"] == "repro.fault-differential v1"
+        assert report["summary"]["findings"] == 0
