@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.adversary.base import Adversary
-from repro.errors import SchedulingError
-from repro.sim.decisions import Decision
+from repro.errors import ConfigurationError, SchedulingError
+from repro.sim.decisions import CrashDecision, Decision, StepDecision
 from repro.sim.pattern import PatternView
 
 
@@ -46,6 +46,7 @@ class ScriptedAdversary(Adversary):
     def decide(self, view: PatternView) -> Decision:
         if not self.exhausted:
             decision = self._script[self._cursor]
+            self._validate(decision, view, self._cursor)
             self._cursor += 1
             return decision
         if self._fallback is not None:
@@ -53,6 +54,41 @@ class ScriptedAdversary(Adversary):
         raise SchedulingError(
             f"scripted adversary exhausted after {len(self._script)} decisions"
         )
+
+    @staticmethod
+    def _validate(decision: Decision, view: PatternView, index: int) -> None:
+        """Reject decisions the pattern cannot honour, naming the script slot.
+
+        Emitted model-checker schedules reference concrete pids and message
+        ids; a stale or hand-mangled script should fail here with the
+        offending index, not deep inside the scheduler.
+
+        Raises:
+            ConfigurationError: on an unknown pid, a decision targeting an
+                already-crashed processor, or delivery of message ids not
+                pending for the recipient.
+        """
+        pid = decision.pid
+        if not isinstance(pid, int) or pid < 0 or pid >= view.n:
+            raise ConfigurationError(
+                f"script[{index}]: unknown pid {pid!r} (n={view.n})"
+            )
+        if pid in view.crashed():
+            what = (
+                "crashes" if isinstance(decision, CrashDecision) else "steps"
+            )
+            raise ConfigurationError(
+                f"script[{index}]: {what} pid {pid}, which already crashed"
+            )
+        if isinstance(decision, StepDecision) and decision.deliver:
+            pending = set(view.pending_ids(pid))
+            missing = [int(m) for m in decision.deliver if m not in pending]
+            if missing:
+                raise ConfigurationError(
+                    f"script[{index}]: delivers message ids {missing} that "
+                    f"are not pending for pid {pid} (out-of-range or "
+                    "already-delivered message ids)"
+                )
 
 
 class FunctionAdversary(Adversary):

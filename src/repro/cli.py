@@ -26,10 +26,21 @@ Commands:
   by scanning a campaign) to a locally-minimal FaultPlan that still
   violates safety;
 * ``faults diff`` — run the cross-track differential oracle and report
-  semantic divergence between the simulator and the runtime.
+  semantic divergence between the simulator and the runtime;
+* ``mc explore`` — bounded exhaustive model checking of one protocol
+  variant with sleep-set partial-order reduction; exits 1 on any safety
+  violation and cuts per-class counterexample artifacts with
+  ``--artifact-dir``;
+* ``mc certify`` — run a canned certification preset (exhaustive
+  safety sweep plus planted-bug detection with replay cross-check) and
+  exit 1 unless every phase passes.
 
 The global ``--log-level`` flag configures the ``repro`` logging channel
 (see :mod:`repro.telemetry.log`); it must precede the subcommand.
+
+Every command reports through one exit-code scheme, shown in
+:data:`EXIT_CODES` (also printed by ``repro --help`` and documented in
+``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -59,6 +70,22 @@ from repro.types import Decision
 
 #: Adversaries constructible from the command line, by name.
 ADVERSARY_CHOICES = ("synchronous", "ontime", "late", "random", "crash")
+
+#: The one exit-code scheme every subcommand reports through.  Shown in
+#: ``repro --help`` and mirrored in ``docs/FAULTS.md``.
+EXIT_CODES = """\
+exit codes (all commands):
+  0  success — clean run, verified replay, zero findings, certified
+  1  findings — safety violation (faults campaign, mc explore),
+     replay mismatch (faults replay), semantic divergence (faults
+     diff), minimal plan over --max-entries (faults shrink),
+     inconsistent decisions (run-commit), failed phase (mc certify)
+  2  usage or input error — bad arguments, unknown experiment or
+     preset, unreadable trace/schedule/artifact, liveness-only
+     failure under faults campaign --fail-on-liveness
+  3  nothing to shrink — faults shrink scanned its plans without
+     finding any safety violation
+"""
 
 
 def build_adversary(
@@ -462,6 +489,98 @@ def cmd_faults_diff(args) -> int:
     return 0 if report["summary"]["findings"] == 0 else 1
 
 
+def cmd_mc_explore(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.mc import (
+        MCConfig,
+        explore,
+        render_explore_summary,
+        write_violation_artifacts,
+    )
+
+    registry = None
+    if args.stats:
+        from repro.telemetry.registry import enable_telemetry
+
+        registry = enable_telemetry()
+        registry.reset()
+    t = args.t if args.t is not None else (args.n - 1) // 2
+    try:
+        config = MCConfig(
+            n=args.n,
+            t=t,
+            K=args.K,
+            program=args.variant,
+            votes=tuple(args.votes) if args.votes is not None else None,
+            seed=args.seed,
+            max_cycles=args.max_cycles,
+            crash_budget=args.crash_budget,
+            delay_budget=args.delay_budget,
+            max_late=args.max_late,
+            max_skew=args.max_skew,
+            order=args.order,
+            por=not args.no_por,
+            split_depth=args.split_depth,
+            max_states=args.max_states,
+            stop_on_first=args.first,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = explore(config, workers=args.workers)
+    document = report.to_dict()
+    if registry is not None:
+        document["telemetry"] = registry.snapshot()
+    written = []
+    if args.artifact_dir and report.violations:
+        written = write_violation_artifacts(
+            config, report.violations, args.artifact_dir
+        )
+        document["artifacts"] = [str(path) for path in written]
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(render_explore_summary(report))
+        if written:
+            print(
+                f"{len(written)} counterexample artifact(s) written to "
+                f"{args.artifact_dir}"
+            )
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(document, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"exploration report written to {target}")
+    return 1 if report.violations else 0
+
+
+def cmd_mc_certify(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.mc import render_certify_summary, run_certify
+
+    try:
+        report = run_certify(args.preset, workers=args.workers)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_certify_summary(report))
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"certify report written to {target}")
+    return 0 if report["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.telemetry.log import LOG_LEVELS
 
@@ -471,6 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Transaction Commit in a Realistic Fault Model (PODC 1986) — "
             "reproduction toolkit"
         ),
+        epilog=EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--log-level",
@@ -848,6 +969,180 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report document instead of the summary",
     )
     diff_parser.set_defaults(fn=cmd_faults_diff)
+
+    mc_parser = sub.add_parser(
+        "mc",
+        help="bounded exhaustive model checking (see: mc explore, mc certify)",
+    )
+    mc_sub = mc_parser.add_subparsers(dest="mc_command", required=True)
+    explore_parser = mc_sub.add_parser(
+        "explore",
+        help=(
+            "exhaust every adversary choice (scheduling, crashes, "
+            "withholding) within configured bounds, checking safety at "
+            "every state"
+        ),
+    )
+    explore_parser.add_argument(
+        "--variant",
+        default="commit",
+        help=(
+            "protocol variant to check: commit (the paper's Protocol 2) "
+            "or broken-commit (the planted-bug fixture)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--n", type=int, default=3, help="processors per run"
+    )
+    explore_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    explore_parser.add_argument(
+        "--K", type=int, default=2, help="on-time bound"
+    )
+    explore_parser.add_argument(
+        "--votes",
+        type=_parse_votes,
+        default=None,
+        help=(
+            "check one vote vector, e.g. 1,0,1 "
+            "(default: sweep all 2**n vectors)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--seed", type=int, default=0, help="random-tape seed of every run"
+    )
+    explore_parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=10,
+        help="per-processor step bound (the exploration depth driver)",
+    )
+    explore_parser.add_argument(
+        "--crash-budget",
+        type=int,
+        default=1,
+        help="fail-stop crashes available to the adversary",
+    )
+    explore_parser.add_argument(
+        "--delay-budget",
+        type=int,
+        default=0,
+        help="total withholding steps for guaranteed envelopes",
+    )
+    explore_parser.add_argument(
+        "--max-late",
+        type=int,
+        default=0,
+        help="distinct guaranteed envelopes that may ever be withheld",
+    )
+    explore_parser.add_argument(
+        "--max-skew",
+        type=int,
+        default=None,
+        help=(
+            "cap on a processor's clock lead over the slowest running "
+            "processor (default: unbounded; only meaningful with "
+            "--order free)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--order",
+        choices=("rr", "free"),
+        default="rr",
+        help=(
+            "stepping order: rr (canonical slowest-first round-robin, "
+            "default) or free (adversary picks the next processor; "
+            "grows ~20x per cycle — pair with --max-skew and shallow "
+            "--max-cycles)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--no-por",
+        action="store_true",
+        help="disable sleep-set partial-order reduction (baseline mode)",
+    )
+    explore_parser.add_argument(
+        "--first",
+        action="store_true",
+        help="stop at the first violation instead of exhausting the space",
+    )
+    explore_parser.add_argument(
+        "--split-depth",
+        type=int,
+        default=1,
+        help=(
+            "DFS depth at which subtrees become parallel engine jobs "
+            "(fixed per config, so reports are byte-identical at any "
+            "worker count)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--max-states",
+        type=int,
+        default=2_000_000,
+        help="per-job arrival valve; exploration truncates instead of hanging",
+    )
+    explore_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for subtree jobs (default: cpu count via "
+            "REPRO_WORKERS/os.cpu_count; 1 forces serial)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help=(
+            "write one replay artifact per violated-property class here "
+            "(replayable via faults replay, shrinkable via faults shrink)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--out", default=None, help="write the exploration report JSON here"
+    )
+    explore_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary",
+    )
+    explore_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="embed a telemetry snapshot in the report",
+    )
+    explore_parser.set_defaults(fn=cmd_mc_explore)
+
+    certify_parser = mc_sub.add_parser(
+        "certify",
+        help=(
+            "run a canned certification preset: exhaustive safety sweep "
+            "(with and without reduction) plus planted-bug detection "
+            "with a campaign-path replay cross-check"
+        ),
+    )
+    certify_parser.add_argument(
+        "--preset",
+        default="small-commit",
+        help="preset name (default: small-commit)",
+    )
+    certify_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the exploration phases",
+    )
+    certify_parser.add_argument(
+        "--out", default=None, help="write the certify report JSON here"
+    )
+    certify_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary",
+    )
+    certify_parser.set_defaults(fn=cmd_mc_certify)
 
     return parser
 

@@ -15,7 +15,18 @@ operators —
   surviving pids in the plan and vote vector),
 * lower the fault budget ``t``
 
-— probes every candidate in parallel through :mod:`repro.engine`
+Model-checker counterexamples (cases carrying a scripted ``schedule``,
+see :mod:`repro.mc`) get schedule operators instead of plan operators:
+
+* drop one scripted decision,
+* drop the tail half of the schedule,
+* clear one step's delivery set
+
+— a candidate whose mutilated script is no longer applicable (it
+references a message that is never sent, or steps a crashed processor)
+simply counts as non-violating and is discarded.
+
+Candidates are probed in parallel through :mod:`repro.engine`
 (byte-identical to serial probing at any worker count), and greedily
 recurses into the smallest candidate that still violates safety.  Every
 accepted step strictly decreases the size measure :func:`case_size`, so
@@ -32,29 +43,53 @@ from functools import partial
 from typing import Any, Iterator
 
 from repro.engine.executor import run_trials
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.faults.campaign import TrialCase, execute_trial_case
 from repro.counterexample.replay import violated_properties
 from repro.faults.plan import FaultPlan
+from repro.sim.decisions import StepDecision
 
 
 def case_fails(case: TrialCase) -> bool:
-    """Whether executing the case violates any safety property."""
-    result = execute_trial_case(case)
+    """Whether executing the case violates any safety property.
+
+    A case whose scripted schedule is not applicable (shrink operators
+    can cut a send that a later scripted delivery references, or leave
+    a step of a processor that an earlier entry crashes) counts as
+    non-violating: it is not a counterexample to anything.
+    """
+    try:
+        result = execute_trial_case(case)
+    except (SchedulingError, ConfigurationError):
+        return False
     return bool(violated_properties(result["tracks"]))
 
 
-def case_size(case: TrialCase) -> tuple[int, int, int, int]:
+def case_size(case: TrialCase) -> tuple[int, int, int, int, int, int]:
     """Lexicographic size measure the shrinker strictly decreases.
 
-    ``(plan entries, n, t, total partition span)`` — every reduction
-    operator lowers this tuple, so greedy descent terminates.
+    ``(plan entries, schedule length, scheduled deliveries, n, t,
+    total partition span)`` — every reduction operator lowers this
+    tuple, so greedy descent terminates.  Unscheduled cases contribute
+    ``(0, 0)`` for the schedule components, preserving the plan-first
+    ordering the plan operators decrease.
     """
     span = sum(
         window.heal_cycle - window.start_cycle
         for window in case.plan.partitions
     )
-    return (case.plan.entry_count, case.n, case.t, span)
+    schedule = case.schedule or ()
+    deliveries = sum(
+        len(d.deliver) for d in schedule if isinstance(d, StepDecision)
+    )
+    return (
+        case.plan.entry_count,
+        len(schedule),
+        deliveries,
+        case.n,
+        case.t,
+        span,
+    )
 
 
 # -- reduction operators -----------------------------------------------------
@@ -147,6 +182,22 @@ def _plan_without_pid(plan: FaultPlan, removed: int) -> FaultPlan:
     )
 
 
+def _schedule_candidates(
+    schedule: tuple, case: TrialCase
+) -> Iterator[TrialCase]:
+    """Strictly-smaller single-step reductions of a scripted schedule."""
+    for index in range(len(schedule)):
+        yield case.replace(schedule=_without_index(schedule, index))
+    if len(schedule) >= 2:
+        yield case.replace(schedule=schedule[: len(schedule) // 2])
+    for index, decision in enumerate(schedule):
+        if isinstance(decision, StepDecision) and decision.deliver:
+            cleared = StepDecision(pid=decision.pid, deliver=())
+            yield case.replace(
+                schedule=schedule[:index] + (cleared,) + schedule[index + 1 :]
+            )
+
+
 def _case_candidates(case: TrialCase) -> list[TrialCase]:
     """All valid strictly-smaller single-step reductions of one case."""
     candidates: list[TrialCase] = []
@@ -158,6 +209,13 @@ def _case_candidates(case: TrialCase) -> list[TrialCase]:
             return
         if case_size(candidate) < case_size(case):
             candidates.append(candidate)
+
+    if case.schedule is not None:
+        # A scheduled case's plan is already empty and its meaning lives
+        # entirely in the script; only schedule operators apply.
+        for candidate in _schedule_candidates(case.schedule, case):
+            offer(lambda candidate=candidate: candidate)
+        return candidates
 
     for plan in _plan_candidates(case.plan):
         offer(lambda plan=plan: case.replace(plan=plan))
@@ -279,6 +337,17 @@ def shrink_case(
 
 def render_shrink_summary(result: ShrinkResult) -> str:
     """A short human-readable digest of one shrink run."""
+    if result.original.schedule is not None:
+        minimal_schedule = result.minimal.schedule or ()
+        return "\n".join(
+            [
+                f"shrink: {len(result.original.schedule)}-decision "
+                f"schedule -> {len(minimal_schedule)}-decision schedule "
+                f"in {result.rounds} rounds / {result.probes} probes",
+                f"  schedule: "
+                f"{[(type(d).__name__, d.pid) for d in minimal_schedule]}",
+            ]
+        )
     original = result.original.plan
     minimal = result.minimal.plan
     lines = [

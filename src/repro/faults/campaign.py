@@ -28,6 +28,8 @@ from functools import partial
 from pathlib import Path
 from typing import Any
 
+from repro.adversary.base import CycleAdversary, DeliverAll
+from repro.adversary.scripted import ScriptedAdversary
 from repro.engine.executor import run_trials
 from repro.engine.seeds import (
     CAMPAIGN_SHAPE_STREAM,
@@ -42,6 +44,12 @@ from repro.faults.sim_compile import compile_to_adversary
 from repro.faults.variants import make_programs, resolve_variant
 from repro.runtime.cluster import NONTERMINATED, TERMINATED
 from repro.runtime.virtualtime import run_virtual
+from repro.sim.decisions import (
+    CrashDecision,
+    Decision,
+    decision_from_dict,
+    decision_to_dict,
+)
 from repro.sim.scheduler import Simulation
 from repro.telemetry import registry as telemetry
 
@@ -148,7 +156,13 @@ class TrialCase:
     replayed case exercises exactly the code a campaign trial did.
 
     Attributes mirror the campaign knobs they are drawn from; ``votes``
-    and ``plan`` are pinned values rather than distributions.
+    and ``plan`` are pinned values rather than distributions.  A case
+    carrying a ``schedule`` (emitted by the model checker in
+    :mod:`repro.mc`) pins the *exact* decision sequence of the sim
+    track instead of a FaultPlan distribution: the scripted prefix is
+    replayed verbatim, then a fair deliver-all fallback completes the
+    run so the final state is well-defined.  Scheduled cases are
+    sim-only — the decision sequence has no runtime-track analogue.
     """
 
     n: int
@@ -162,6 +176,7 @@ class TrialCase:
     deadline: float = 8.0
     tick_interval: float = 0.002
     program: str = "commit"
+    schedule: tuple[Decision, ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.votes) != self.n:
@@ -174,18 +189,38 @@ class TrialCase:
                 raise ConfigurationError(
                     f"unknown track {track!r}; choose from {TRACKS}"
                 )
+        if self.schedule is not None and self.tracks != ("sim",):
+            raise ConfigurationError(
+                "scheduled cases are sim-only: a scripted decision "
+                f"sequence cannot drive tracks {self.tracks!r}"
+            )
         resolve_variant(self.program)
 
     @property
+    def scheduled_crashes(self) -> int:
+        """Crash decisions in the scripted schedule (0 if unscheduled)."""
+        if self.schedule is None:
+            return 0
+        return sum(
+            1 for d in self.schedule if isinstance(d, CrashDecision)
+        )
+
+    @property
     def within_budget(self) -> bool:
+        if self.schedule is not None:
+            return self.scheduled_crashes <= self.t
         return self.plan.within_budget(self.t)
 
     @property
     def expect_termination(self) -> bool:
+        if self.schedule is not None:
+            # A scripted prefix may starve or withhold arbitrarily; no
+            # termination obligation can be read off it.
+            return False
         return self.plan.guarantees_termination(self.t)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "n": self.n,
             "t": self.t,
             "K": self.K,
@@ -198,10 +233,14 @@ class TrialCase:
             "tick_interval": self.tick_interval,
             "program": self.program,
         }
+        if self.schedule is not None:
+            doc["schedule"] = [decision_to_dict(d) for d in self.schedule]
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "TrialCase":
         try:
+            schedule = doc.get("schedule")
             return cls(
                 n=doc["n"],
                 t=doc["t"],
@@ -214,6 +253,11 @@ class TrialCase:
                 deadline=doc["deadline"],
                 tick_interval=doc["tick_interval"],
                 program=doc.get("program", "commit"),
+                schedule=(
+                    tuple(decision_from_dict(d) for d in schedule)
+                    if schedule is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError) as exc:
             raise AnalysisError(f"malformed trial case: {doc!r}") from exc
@@ -263,7 +307,16 @@ def case_from_config(config: CampaignConfig, seed: int) -> TrialCase:
 
 
 def _run_sim_track(case: TrialCase) -> dict[str, Any]:
-    adversary = compile_to_adversary(case.plan, K=case.K)
+    if case.schedule is not None:
+        # The scripted prefix is the counterexample; the deliver-all
+        # fallback (which never consults cycle bookkeeping) completes
+        # the run deterministically once the script runs out.
+        adversary = ScriptedAdversary(
+            case.schedule,
+            then=CycleAdversary(seed=case.seed, delivery=DeliverAll()),
+        )
+    else:
+        adversary = compile_to_adversary(case.plan, K=case.K)
     simulation = Simulation(
         programs=make_programs(
             case.program, case.n, case.t, case.votes, case.K

@@ -1,0 +1,98 @@
+"""Turning checker violations into counterexample-pipeline artifacts.
+
+A :class:`~repro.mc.explorer.ViolationRecord` is a decision path; the
+campaign/counterexample layers speak :class:`TrialCase`.  The bridge is
+the case's ``schedule`` field: the violating path rides into the case
+verbatim, ``execute_trial_case`` replays it through a
+:class:`~repro.adversary.scripted.ScriptedAdversary`, and the standard
+``repro faults replay`` / ``repro faults shrink`` commands work on the
+emitted artifact unchanged.
+
+Two deliberate semantic gaps between checking and replay:
+
+* the checker flags a violation at the *first* state on the path where
+  it holds, while replay runs the scripted prefix and then lets a fair
+  deliver-all fallback finish the run — so the replayed run's violated
+  set can be a superset of the record's (agreement and abort validity
+  are absorbing, never a subset);
+* commit validity is never flagged on replay (cases execute with
+  ``benign=False``, matching campaign trials), so artifacts are only
+  cut for agreement / abort-validity records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.counterexample.replay import write_artifact
+from repro.faults.campaign import TrialCase, execute_trial_case
+from repro.faults.plan import FaultPlan
+from repro.mc.config import MCConfig
+from repro.mc.explorer import ViolationRecord
+
+
+def case_from_violation(
+    config: MCConfig, record: ViolationRecord
+) -> TrialCase:
+    """The sim-only scheduled :class:`TrialCase` replaying one violation."""
+    return TrialCase(
+        n=config.n,
+        t=config.t,
+        K=config.K,
+        votes=record.votes,
+        plan=FaultPlan(n=config.n),
+        seed=config.seed,
+        tracks=("sim",),
+        max_steps=config.artifact_max_steps,
+        program=config.program,
+        schedule=record.schedule,
+    )
+
+
+def write_violation_artifact(
+    config: MCConfig, record: ViolationRecord, path: str | Path
+) -> Path:
+    """Execute one violation's case and write its replay artifact."""
+    case = case_from_violation(config, record)
+    result = execute_trial_case(case)
+    return write_artifact(case, result, path)
+
+
+def write_violation_artifacts(
+    config: MCConfig,
+    violations: list[ViolationRecord],
+    out_dir: str | Path,
+) -> list[Path]:
+    """One artifact per distinct violated-property class, shortest path.
+
+    Emitting every violating path would flood the directory with
+    thousands of near-identical interleavings; one representative per
+    property class (ties broken by shortest schedule, then discovery
+    order) is what a human debugs and what CI replays.  File names are
+    deterministic: ``mc-counterexample-<props>.jsonl``.
+    """
+    best: dict[tuple[str, ...], ViolationRecord] = {}
+    for record in violations:
+        cls = tuple(sorted(record.properties))
+        kept = best.get(cls)
+        if kept is None or len(record.schedule) < len(kept.schedule):
+            best[cls] = record
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for cls in sorted(best):
+        name = "mc-counterexample-" + "-".join(
+            prop.replace("_", "") for prop in cls
+        )
+        written.append(
+            write_violation_artifact(
+                config, best[cls], out / f"{name}.jsonl"
+            )
+        )
+    return written
+
+
+def summarize_artifacts(paths: list[Path]) -> list[dict[str, Any]]:
+    """Small manifest entries for rendered output and CI logs."""
+    return [{"path": str(p)} for p in paths]

@@ -1,0 +1,206 @@
+"""Model-checker configuration: the bounds that make exploration finite.
+
+The paper's claims quantify over *all* admissible runs; a bounded
+checker explores the finite fragment cut out by four knobs:
+
+* ``max_cycles`` — no processor takes more than this many steps (the
+  paper's clock, bounded);
+* ``crash_budget`` — at most this many fail-stop crashes are injected;
+* ``delay_budget`` — total number of (step, withheld guaranteed
+  envelope) pairs the adversary may buy.  With 0, every pending
+  guaranteed envelope is delivered whenever its recipient steps —
+  lateness then only arises from scheduling order (starvation) or from
+  non-guaranteed envelopes, which a crashed sender's final-step
+  messages are and which may be withheld for free (the paper's crash
+  semantics);
+* ``max_late`` — at most this many distinct guaranteed envelopes are
+  ever withheld;
+* ``max_skew`` — no running processor's clock may lead the slowest
+  running processor's by this much or more (``None`` = unbounded).
+  Relative-speed freedom is the dominant source of interleavings, and
+  the schedules it adds beyond a small skew differ only in how far one
+  processor races ahead between two observations; bounding it is what
+  makes deep ``free``-order exploration tractable;
+* ``order`` — ``"free"`` explores every next-processor choice (the
+  semantic baseline: the adversary owns the interleaving); ``"rr"``
+  pins stepping to the canonical slowest-first round-robin and leaves
+  the adversary only crash points and delivery subsets.  ``"rr"`` is a
+  *reduction with an assumption*: it covers schedule effects that can
+  be expressed through delivery timing and crash placement, not
+  relative-speed races — the trade is spelled out in
+  ``docs/MODELCHECK.md``.  ``"rr"`` is the default because ``"free"``
+  interleaving grows roughly twentyfold per protocol cycle and is only
+  practical for shallow bounds (pair it with ``max_skew``).
+
+Exhaustiveness claims are always relative to these bounds; the
+semantics of each is documented in ``docs/MODELCHECK.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.faults.variants import resolve_variant
+
+
+@dataclass(frozen=True)
+class MCConfig:
+    """One bounded-exhaustive exploration, fully pinned.
+
+    Attributes:
+        n: number of processors.
+        t: the protocol instance's fault budget.
+        K: the protocols' on-time bound.
+        program: protocol variant from
+            :data:`repro.faults.variants.PROGRAM_VARIANTS`.
+        votes: one vote vector to check, or ``None`` to sweep all
+            ``2**n`` vectors.
+        seed: random-tape seed of every explored run (the protocols
+            under test are deterministic given the tape, so one seed
+            suffices; exploration quantifies over the adversary).
+        max_cycles: per-processor step bound.
+        crash_budget: fail-stop crashes available to the adversary.
+        delay_budget: total withholding steps for guaranteed envelopes.
+        max_late: distinct guaranteed envelopes that may ever be
+            withheld.
+        max_skew: cap on any running processor's clock lead over the
+            slowest running processor (``None`` = unbounded).
+        order: ``"free"`` (adversary picks the next processor) or
+            ``"rr"`` (canonical slowest-first round-robin stepping).
+        por: enable sleep-set partial-order reduction.
+        split_depth: DFS depth at which the tree is cut into
+            independent engine jobs.  Fixed per config — never derived
+            from the worker count — so reports are byte-identical at
+            any parallelism.
+        max_states: per-job arrival valve; exploration marks itself
+            ``truncated`` instead of running away.
+        stop_on_first: stop sweeping further vote vectors (and cut each
+            subtree's DFS) once a violation is recorded.
+        artifact_max_steps: ``max_steps`` stamped into emitted
+            :class:`~repro.faults.campaign.TrialCase` artifacts.
+    """
+
+    n: int = 3
+    t: int = 1
+    K: int = 2
+    program: str = "commit"
+    votes: tuple[int, ...] | None = None
+    seed: int = 0
+    max_cycles: int = 10
+    crash_budget: int = 1
+    delay_budget: int = 0
+    max_late: int = 0
+    max_skew: int | None = None
+    order: str = "rr"
+    por: bool = True
+    split_depth: int = 1
+    max_states: int = 2_000_000
+    stop_on_first: bool = False
+    artifact_max_steps: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"model checking needs n >= 2, got {self.n}")
+        if not 0 <= self.t < self.n:
+            raise ConfigurationError(
+                f"t must satisfy 0 <= t < n, got t={self.t}, n={self.n}"
+            )
+        if self.K < 1:
+            raise ConfigurationError(f"K must be >= 1, got {self.K}")
+        if self.max_cycles < 1:
+            raise ConfigurationError(
+                f"max_cycles must be >= 1, got {self.max_cycles}"
+            )
+        if self.crash_budget < 0 or self.crash_budget >= self.n:
+            raise ConfigurationError(
+                f"crash_budget must be in [0, n), got {self.crash_budget}"
+            )
+        if self.delay_budget < 0:
+            raise ConfigurationError(
+                f"delay_budget must be >= 0, got {self.delay_budget}"
+            )
+        if self.max_late < 0:
+            raise ConfigurationError(
+                f"max_late must be >= 0, got {self.max_late}"
+            )
+        if self.max_skew is not None and self.max_skew < 1:
+            raise ConfigurationError(
+                f"max_skew must be >= 1 (or None for unbounded), "
+                f"got {self.max_skew}"
+            )
+        if self.order not in ("free", "rr"):
+            raise ConfigurationError(
+                f"order must be 'free' or 'rr', got {self.order!r}"
+            )
+        if self.split_depth < 0:
+            raise ConfigurationError(
+                f"split_depth must be >= 0, got {self.split_depth}"
+            )
+        if self.max_states < 1:
+            raise ConfigurationError(
+                f"max_states must be >= 1, got {self.max_states}"
+            )
+        if self.votes is not None and len(self.votes) != self.n:
+            raise ConfigurationError(
+                f"need one vote per processor: n={self.n}, "
+                f"got {len(self.votes)} votes"
+            )
+        resolve_variant(self.program)
+
+    @property
+    def max_depth_bound(self) -> int:
+        """Longest possible decision path under the bounds."""
+        return self.n * self.max_cycles + self.crash_budget
+
+    def vote_vectors(self) -> tuple[tuple[int, ...], ...]:
+        """The vote vectors this exploration sweeps, in fixed order."""
+        if self.votes is not None:
+            return (tuple(self.votes),)
+        return tuple(product((0, 1), repeat=self.n))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "t": self.t,
+            "K": self.K,
+            "program": self.program,
+            "votes": list(self.votes) if self.votes is not None else None,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+            "crash_budget": self.crash_budget,
+            "delay_budget": self.delay_budget,
+            "max_late": self.max_late,
+            "max_skew": self.max_skew,
+            "order": self.order,
+            "por": self.por,
+            "split_depth": self.split_depth,
+            "max_states": self.max_states,
+            "stop_on_first": self.stop_on_first,
+            "artifact_max_steps": self.artifact_max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "MCConfig":
+        votes = doc.get("votes")
+        return cls(
+            n=doc["n"],
+            t=doc["t"],
+            K=doc["K"],
+            program=doc["program"],
+            votes=tuple(votes) if votes is not None else None,
+            seed=doc["seed"],
+            max_cycles=doc["max_cycles"],
+            crash_budget=doc["crash_budget"],
+            delay_budget=doc["delay_budget"],
+            max_late=doc["max_late"],
+            max_skew=doc.get("max_skew"),
+            order=doc.get("order", "free"),
+            por=doc["por"],
+            split_depth=doc["split_depth"],
+            max_states=doc["max_states"],
+            stop_on_first=doc["stop_on_first"],
+            artifact_max_steps=doc["artifact_max_steps"],
+        )

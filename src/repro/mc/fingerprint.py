@@ -1,0 +1,93 @@
+"""Canonical state fingerprinting for visited-set deduplication.
+
+Two explored prefixes reach *the same state* exactly when no program
+can ever behave differently from here on.  A program's future depends
+only on its generator position plus what it can still observe: its
+bulletin board (in receipt order — protocols read ``by_key(...)[0]``),
+its clock, and its random tape.  The generator position is itself a
+deterministic function of (program, board-with-receive-clocks, clock),
+and the tape position equals the clock with the seed fixed per
+exploration, so neither needs to be captured separately.  The
+fingerprint therefore records, per processor:
+
+* lifecycle status, clock, and decision;
+* the board, in receipt order, as ``(sender, payload, receive_clock)``;
+* the pending buffer as ``(sender, send_clock, payloads, guaranteed)``,
+  **sorted** — message ids and send-event indices are *excluded*
+  because they vary across commuting interleavings while
+  ``(sender, send_clock)`` already identifies an envelope uniquely
+  within one recipient's buffer (a sender emits at most one envelope
+  per recipient per step).
+
+Sorting the buffers abstracts the *relative order* of a step's
+simultaneous deliveries away: the registered protocol variants consume
+messages as per-key multisets (identical GO payloads; count- and
+set-based vote and agreement handling), so permuting same-step
+deliveries from distinct senders cannot change any future behaviour.
+This is the checker's one protocol assumption — exhaustiveness is
+claimed *up to same-step delivery-order symmetry* — and it is stated,
+with the per-variant justification, in ``docs/MODELCHECK.md``.  The
+abstraction errs toward completeness only: a reported counterexample is
+always a concrete replayable schedule.
+
+The adversary's remaining budgets (delay spent, late-envelope set) are
+folded into the digest so a state reached with less budget left is not
+mistaken for one with more.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.scheduler import Simulation
+
+#: Late-envelope key: ``(sender, send_clock, recipient)``.
+LateKey = tuple[int, int, int]
+
+
+def canonical_state(sim: Simulation) -> tuple:
+    """The observable state of one simulation, as a canonical tuple.
+
+    Injective on everything a protocol can ever observe: boards,
+    decisions, clocks, statuses (hence the crash set), and pending
+    buffers.  See the module docstring for what is deliberately
+    abstracted away.
+    """
+    per_pid = []
+    for pid in range(sim.n):
+        proc = sim.processes[pid]
+        board = tuple(
+            (entry.sender, repr(entry.payload), entry.receive_clock)
+            for entry in proc.board.entries()
+        )
+        pending = sorted(
+            (
+                env.sender,
+                env.send_clock,
+                tuple(repr(p) for p in env.payloads),
+                env.guaranteed,
+            )
+            for env in sim.buffers[pid]
+        )
+        per_pid.append(
+            (
+                proc.status.name,
+                proc.clock,
+                proc.decision,
+                board,
+                tuple(pending),
+            )
+        )
+    return tuple(per_pid)
+
+
+def state_digest(
+    sim: Simulation,
+    delay_spent: int = 0,
+    late_keys: frozenset[LateKey] = frozenset(),
+) -> bytes:
+    """A 16-byte digest of the canonical state plus remaining budgets."""
+    payload = repr(
+        (canonical_state(sim), delay_spent, tuple(sorted(late_keys)))
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).digest()

@@ -1,0 +1,197 @@
+"""Certify presets: canned verification runs with a pass/fail verdict.
+
+``repro mc certify --preset small-commit`` is the checker's one-command
+self-proof.  It must demonstrate *both* directions on the smallest
+interesting instance (n=3, t=1):
+
+* **protocol-2-safe** — the paper's Protocol 2 survives a bounded
+  exhaustive sweep (every vote vector, every crash/withholding schedule
+  within the bounds) with zero safety violations, once with sleep-set
+  reduction and once without.  Both arrival counts are recorded and the
+  phase additionally fails if reduction did not visit strictly fewer
+  states — the reduction claim is continuously re-proved, not assumed.
+* **planted-bug-found** — the ``broken-commit`` fixture (premature
+  decision on timeout) is caught deterministically within the *same*
+  bounds, and the first counterexample's scheduled
+  :class:`~repro.faults.campaign.TrialCase` re-violates safety when
+  executed through the ordinary campaign path — the checker's word is
+  checked against the pipeline it feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import execute_trial_case
+from repro.mc.config import MCConfig
+from repro.mc.explorer import explore, violation_classes
+
+#: Schema tag of the certify report document.
+CERTIFY_SCHEMA = "repro.mc-certify v1"
+
+
+@dataclass(frozen=True)
+class CertifyPreset:
+    """One canned certification: a safe config and a buggy twin."""
+
+    name: str
+    description: str
+    safe_config: MCConfig
+    bug_config: MCConfig
+
+
+_SMALL = dict(
+    n=3,
+    t=1,
+    K=2,
+    max_cycles=10,
+    crash_budget=1,
+    delay_budget=0,
+    max_late=0,
+    order="rr",
+)
+
+CERTIFY_PRESETS: dict[str, CertifyPreset] = {
+    "small-commit": CertifyPreset(
+        name="small-commit",
+        description=(
+            "n=3 t=1 K=2: Protocol 2 exhaustively safe under one crash "
+            "and crash-loss withholding; broken-commit caught"
+        ),
+        safe_config=MCConfig(program="commit", **_SMALL),
+        bug_config=MCConfig(
+            program="broken-commit", stop_on_first=True, **_SMALL
+        ),
+    ),
+}
+
+
+def _phase(name: str, passed: bool, detail: dict[str, Any]) -> dict[str, Any]:
+    return {"phase": name, "passed": passed, **detail}
+
+
+def _certify_safe(
+    preset: CertifyPreset, workers: int | None
+) -> dict[str, Any]:
+    config = preset.safe_config
+    reduced = explore(config, workers=workers)
+    baseline = explore(
+        MCConfig.from_dict({**config.to_dict(), "por": False}),
+        workers=workers,
+    )
+    por_arrivals = reduced.stats.states_visited
+    base_arrivals = baseline.stats.states_visited
+    passed = (
+        not reduced.violations
+        and not baseline.violations
+        and reduced.exhaustive
+        and baseline.exhaustive
+        and por_arrivals < base_arrivals
+    )
+    return _phase(
+        "protocol-2-safe",
+        passed,
+        {
+            "violations": len(reduced.violations),
+            "violations_unreduced": len(baseline.violations),
+            "exhaustive": reduced.exhaustive and baseline.exhaustive,
+            "states_visited_por": por_arrivals,
+            "states_visited_baseline": base_arrivals,
+            "sleep_pruned": reduced.stats.pruned_sleep,
+            "reduction_effective": por_arrivals < base_arrivals,
+        },
+    )
+
+
+def _certify_bug(
+    preset: CertifyPreset, workers: int | None
+) -> dict[str, Any]:
+    report = explore(preset.bug_config, workers=workers)
+    found = bool(report.violations)
+    replay_violates = False
+    first_properties: list[str] = []
+    schedule_length = 0
+    if found:
+        # Local import: artifacts imports campaign which is heavier than
+        # the explorer needs; only the bug phase pays for it.
+        from repro.mc.artifacts import case_from_violation
+
+        record = min(
+            report.violations, key=lambda v: len(v.schedule)
+        )
+        first_properties = list(record.properties)
+        schedule_length = len(record.schedule)
+        case = case_from_violation(preset.bug_config, record)
+        result = execute_trial_case(case)
+        replay_violates = any(
+            v["property"] != "nonblocking"
+            for v in result["tracks"]["sim"]["safety"]["violations"]
+        )
+    return _phase(
+        "planted-bug-found",
+        found and replay_violates,
+        {
+            "violations": len(report.violations),
+            "classes": sorted(
+                "+".join(c) for c in violation_classes(report.violations)
+            ),
+            "example_properties": first_properties,
+            "example_schedule_length": schedule_length,
+            "replay_violates": replay_violates,
+        },
+    )
+
+
+def run_certify(name: str, workers: int | None = None) -> dict[str, Any]:
+    """Run one preset end to end; ``passed`` is the overall verdict."""
+    preset = CERTIFY_PRESETS.get(name)
+    if preset is None:
+        raise ConfigurationError(
+            f"unknown certify preset {name!r}; "
+            f"choose from {sorted(CERTIFY_PRESETS)}"
+        )
+    phases = [
+        _certify_safe(preset, workers),
+        _certify_bug(preset, workers),
+    ]
+    return {
+        "schema": CERTIFY_SCHEMA,
+        "preset": preset.name,
+        "description": preset.description,
+        "config": preset.safe_config.to_dict(),
+        "phases": phases,
+        "passed": all(p["passed"] for p in phases),
+    }
+
+
+def render_certify_summary(report: dict[str, Any]) -> str:
+    """A short human-readable digest of one certification."""
+    lines = [
+        f"mc certify [{report['preset']}]: {report['description']}",
+    ]
+    for phase in report["phases"]:
+        verdict = "PASS" if phase["passed"] else "FAIL"
+        lines.append(f"  {phase['phase']}: {verdict}")
+        if phase["phase"] == "protocol-2-safe":
+            lines.append(
+                f"    violations: {phase['violations']} (reduced) / "
+                f"{phase['violations_unreduced']} (unreduced); "
+                f"exhaustive: {phase['exhaustive']}"
+            )
+            lines.append(
+                f"    states visited: {phase['states_visited_por']} with "
+                f"reduction vs {phase['states_visited_baseline']} without "
+                f"({phase['sleep_pruned']} transitions slept)"
+            )
+        else:
+            lines.append(
+                f"    violations: {phase['violations']}; classes: "
+                f"{phase['classes']}; replay re-violates: "
+                f"{phase['replay_violates']}"
+            )
+    lines.append(
+        f"  verdict: {'CERTIFIED' if report['passed'] else 'FAILED'}"
+    )
+    return "\n".join(lines)

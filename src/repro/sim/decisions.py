@@ -12,8 +12,9 @@ broadcast).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
+from repro.errors import ConfigurationError
 from repro.sim.message import MessageId
 from repro.sim.pattern import PatternView
 
@@ -47,6 +48,45 @@ class CrashDecision:
 
 #: Union of decisions an adversary may return.
 Decision = StepDecision | CrashDecision
+
+
+def decision_to_dict(decision: Decision) -> dict[str, Any]:
+    """Serialize one decision to a JSON-safe dict.
+
+    Schedules travel inside replay artifacts (the model checker emits
+    violating paths as scripted ``TrialCase`` schedules), so the wire
+    form must be stable: ``{"kind": "step", "pid": p, "deliver": [...]}``
+    or ``{"kind": "crash", "pid": p}``.
+    """
+    if isinstance(decision, CrashDecision):
+        return {"kind": "crash", "pid": decision.pid}
+    if isinstance(decision, StepDecision):
+        return {
+            "kind": "step",
+            "pid": decision.pid,
+            "deliver": [int(mid) for mid in decision.deliver],
+        }
+    raise ConfigurationError(f"unknown decision type: {decision!r}")
+
+
+def decision_from_dict(doc: dict[str, Any]) -> Decision:
+    """Rebuild a decision from :func:`decision_to_dict` output.
+
+    Raises:
+        ConfigurationError: on an unknown ``kind`` or malformed fields.
+    """
+    try:
+        kind = doc["kind"]
+        if kind == "crash":
+            return CrashDecision(pid=int(doc["pid"]))
+        if kind == "step":
+            return StepDecision(
+                pid=int(doc["pid"]),
+                deliver=tuple(MessageId(int(m)) for m in doc["deliver"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed decision: {doc!r}") from exc
+    raise ConfigurationError(f"unknown decision kind {kind!r} in {doc!r}")
 
 
 @runtime_checkable

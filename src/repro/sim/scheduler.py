@@ -281,6 +281,33 @@ class Simulation:
                 best = delta
         return best
 
+    def max_delivery_lag(self, delivered_only: bool = False) -> int:
+        """Worst per-processor step count any envelope has sat undelivered.
+
+        For delivered envelopes this is the step count between send and
+        receive events; for still-pending envelopes it is measured against
+        the current event (a lower bound on their eventual lag — once it
+        exceeds ``K`` the envelope is late no matter when it arrives).  A
+        run prefix is on time in the paper's sense iff this stays <= K,
+        which is how the model checker recognises benign runs where
+        commit validity must bite.  With ``delivered_only`` pending
+        envelopes are skipped: at a terminal state every pending envelope
+        is addressed to a returned (or crashed) processor, whose receipt
+        can no longer influence anything.
+        """
+        worst = 0
+        for env in self._envelopes.values():
+            if env.receive_event is not None:
+                end = env.receive_event
+            elif delivered_only:
+                continue
+            else:
+                end = self.event_count
+            lag = self.max_steps_between(env.send_event, end)
+            if lag > worst:
+                worst = lag
+        return worst
+
     # -- run loop ---------------------------------------------------------------
 
     def running_pids(self) -> list[int]:

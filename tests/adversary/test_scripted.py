@@ -4,8 +4,8 @@ import pytest
 
 from repro.adversary.scripted import FunctionAdversary, ScriptedAdversary
 from repro.adversary.standard import SynchronousAdversary
-from repro.errors import SchedulingError
-from repro.sim.decisions import StepDecision
+from repro.errors import ConfigurationError, SchedulingError
+from repro.sim.decisions import CrashDecision, StepDecision
 from tests.conftest import make_commit_simulation
 
 
@@ -35,6 +35,51 @@ class TestScriptedAdversary:
         result = sim.run()
         assert result.terminated
         assert result.run.events[0].actor == 1
+
+
+class TestScriptedValidation:
+    """Unreplayable scripts fail loudly, naming the offending slot."""
+
+    def test_unknown_pid_rejected(self):
+        adversary = ScriptedAdversary([StepDecision(pid=9)])
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        with pytest.raises(ConfigurationError, match=r"script\[0\].*pid 9"):
+            adversary.decide(sim.view)
+
+    def test_negative_pid_rejected(self):
+        adversary = ScriptedAdversary([CrashDecision(pid=-1)])
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        with pytest.raises(ConfigurationError, match=r"unknown pid"):
+            adversary.decide(sim.view)
+
+    def test_stepping_a_crashed_pid_rejected(self):
+        adversary = ScriptedAdversary(
+            [CrashDecision(pid=1), StepDecision(pid=1)]
+        )
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        sim.apply(adversary.decide(sim.view))
+        with pytest.raises(
+            ConfigurationError, match=r"script\[1\].*already crashed"
+        ):
+            adversary.decide(sim.view)
+
+    def test_out_of_range_message_ids_rejected(self):
+        adversary = ScriptedAdversary(
+            [StepDecision(pid=0, deliver=(999,))]
+        )
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        with pytest.raises(
+            ConfigurationError, match=r"script\[0\].*\[999\].*not pending"
+        ):
+            adversary.decide(sim.view)
+
+    def test_valid_script_unaffected_by_validation(self):
+        adversary = ScriptedAdversary(
+            [StepDecision(pid=0)], then=SynchronousAdversary()
+        )
+        sim, _ = make_commit_simulation([1] * 3, t=1, adversary=adversary)
+        result = sim.run()
+        assert result.terminated
 
 
 class TestFunctionAdversary:

@@ -128,3 +128,61 @@ class TestEndToEnd:
         result = shrink_case(case)
         assert case_fails(result.minimal)
         assert result.minimal.plan.entry_count <= 2
+
+
+class TestScheduledCaseSize:
+    """The size measure orders scheduled cases by their script."""
+
+    def _case(self, schedule):
+        from repro.faults.campaign import TrialCase
+        from repro.faults.plan import FaultPlan
+
+        return TrialCase(
+            n=3,
+            t=1,
+            K=2,
+            votes=(0, 1, 0),
+            plan=FaultPlan(n=3),
+            seed=0,
+            tracks=("sim",),
+            program="broken-commit",
+            schedule=schedule,
+        )
+
+    def test_fewer_decisions_is_smaller(self):
+        from repro.counterexample.shrink import case_size
+        from repro.sim.decisions import StepDecision
+
+        short = self._case((StepDecision(pid=0),))
+        long = self._case((StepDecision(pid=0), StepDecision(pid=1)))
+        assert case_size(short) < case_size(long)
+
+    def test_fewer_deliveries_is_smaller_at_equal_length(self):
+        from repro.counterexample.shrink import case_size
+        from repro.sim.decisions import StepDecision
+
+        lean = self._case((StepDecision(pid=0, deliver=()),))
+        full = self._case((StepDecision(pid=0, deliver=(1, 2)),))
+        assert case_size(lean) < case_size(full)
+
+    def test_schedule_candidates_strictly_shrink(self):
+        from repro.counterexample.shrink import _case_candidates, case_size
+        from repro.sim.decisions import CrashDecision, StepDecision
+
+        case = self._case(
+            (
+                StepDecision(pid=0, deliver=(1,)),
+                CrashDecision(pid=0),
+                StepDecision(pid=1, deliver=()),
+            )
+        )
+        candidates = _case_candidates(case)
+        assert candidates
+        assert all(
+            case_size(candidate) < case_size(case)
+            for candidate in candidates
+        )
+        # Scheduled cases only ever offer schedule reductions.
+        assert all(
+            candidate.schedule is not None for candidate in candidates
+        )

@@ -105,3 +105,70 @@ class TestDeterminism:
             CampaignConfig(n=5, plans=4, base_seed=501), workers=1
         )
         assert other["trials"] != quick_report["trials"]
+
+
+class TestScheduledCases:
+    """TrialCases carrying a model-checker decision schedule."""
+
+    def _scheduled_case(self, **changes):
+        from repro.faults.campaign import TrialCase
+        from repro.faults.plan import FaultPlan
+        from repro.sim.decisions import CrashDecision, StepDecision
+
+        fields = dict(
+            n=3,
+            t=1,
+            K=2,
+            votes=(0, 1, 0),
+            plan=FaultPlan(n=3),
+            seed=0,
+            tracks=("sim",),
+            program="broken-commit",
+            schedule=(
+                StepDecision(pid=0, deliver=()),
+                CrashDecision(pid=0),
+                StepDecision(pid=1, deliver=()),
+            ),
+        )
+        fields.update(changes)
+        return TrialCase(**fields)
+
+    def test_round_trips_through_dict(self):
+        from repro.faults.campaign import TrialCase
+
+        case = self._scheduled_case()
+        doc = case.to_dict()
+        assert "schedule" in doc
+        assert TrialCase.from_dict(doc) == case
+
+    def test_unscheduled_dict_omits_the_key(self):
+        case = self._scheduled_case(schedule=None)
+        assert "schedule" not in case.to_dict()  # v1 artifact back-compat
+
+    def test_scheduled_cases_are_sim_only(self):
+        with pytest.raises(ConfigurationError, match="sim-only"):
+            self._scheduled_case(tracks=("sim", "runtime"))
+
+    def test_budget_counts_scripted_crashes(self):
+        from repro.sim.decisions import CrashDecision
+
+        case = self._scheduled_case()
+        assert case.scheduled_crashes == 1
+        assert case.within_budget
+        over = self._scheduled_case(
+            schedule=(CrashDecision(pid=0), CrashDecision(pid=1))
+        )
+        assert over.scheduled_crashes == 2
+        assert not over.within_budget
+
+    def test_scheduled_cases_never_expect_termination(self):
+        assert not self._scheduled_case().expect_termination
+
+    def test_execute_runs_script_then_fallback(self):
+        from repro.faults.campaign import execute_trial_case
+
+        result = execute_trial_case(self._scheduled_case())
+        sim = result["tracks"]["sim"]
+        assert 0 in sim["crashed"]
+        # The deliver-all fallback completes the run after the script.
+        assert sim["outcome"] in (TERMINATED, NONTERMINATED)

@@ -1,0 +1,93 @@
+"""Checker violations must flow through the counterexample pipeline."""
+
+import pytest
+
+from repro.counterexample import shrink_case, verify_replay
+from repro.counterexample.shrink import case_fails, case_size
+from repro.faults.campaign import execute_trial_case
+from repro.mc import (
+    MCConfig,
+    case_from_violation,
+    explore,
+    write_violation_artifacts,
+)
+
+CONFIG = MCConfig(
+    n=3,
+    t=1,
+    K=2,
+    max_cycles=10,
+    crash_budget=1,
+    order="rr",
+    program="broken-commit",
+    votes=(0, 1, 0),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return explore(CONFIG)
+
+
+class TestCaseFromViolation:
+    def test_case_is_sim_only_and_scheduled(self, report):
+        case = case_from_violation(CONFIG, report.violations[0])
+        assert case.tracks == ("sim",)
+        assert case.schedule == report.violations[0].schedule
+        assert case.program == "broken-commit"
+        assert case.plan.entry_count == 0
+
+    def test_case_respects_the_crash_budget(self, report):
+        case = case_from_violation(CONFIG, report.violations[0])
+        assert case.scheduled_crashes <= CONFIG.crash_budget
+        assert case.within_budget
+        assert not case.expect_termination
+
+    def test_replaying_the_case_re_violates_safety(self, report):
+        case = case_from_violation(CONFIG, report.violations[0])
+        result = execute_trial_case(case)
+        violated = {
+            v["property"]
+            for v in result["tracks"]["sim"]["safety"]["violations"]
+            if v["property"] != "nonblocking"
+        }
+        assert violated  # the checker's word survives the campaign path
+
+
+class TestArtifacts:
+    def test_one_artifact_per_class_with_stable_names(
+        self, report, tmp_path
+    ):
+        written = write_violation_artifacts(
+            CONFIG, report.violations, tmp_path
+        )
+        assert written
+        names = [path.name for path in written]
+        assert all(name.startswith("mc-counterexample-") for name in names)
+        assert "mc-counterexample-abortvalidity.jsonl" in names
+        again = write_violation_artifacts(
+            CONFIG, report.violations, tmp_path / "again"
+        )
+        assert [path.name for path in again] == names  # deterministic
+
+    def test_artifacts_replay_byte_identically(self, report, tmp_path):
+        written = write_violation_artifacts(
+            CONFIG, report.violations, tmp_path
+        )
+        for path in written:
+            verification = verify_replay(path)
+            assert verification["match"], path.name
+
+
+class TestScheduledShrink:
+    def test_shrinks_the_schedule_and_still_fails(self, report, tmp_path):
+        record = min(report.violations, key=lambda v: len(v.schedule))
+        case = case_from_violation(CONFIG, record)
+        assert case_fails(case)
+        result = shrink_case(case, workers=2)
+        minimal = result.minimal
+        assert minimal.schedule is not None
+        assert len(minimal.schedule) <= len(case.schedule)
+        assert case_size(minimal) <= case_size(case)
+        assert case_fails(minimal)
+        assert result.rounds >= 1  # something actually shrank

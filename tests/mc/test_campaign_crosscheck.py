@@ -1,0 +1,83 @@
+"""Cross-check: the checker subsumes the randomized campaign's findings.
+
+A 500-seed randomized fault campaign against ``broken-commit`` at
+n=3, t=1, K=2 surfaces some set of violated-property classes.  Every
+one of those classes must also be found by ``mc explore`` within the
+same bounds — the exhaustive sweep may know *more* than 500 random
+samples, never less.  This is the empirical containment argument for
+trusting a clean exhaustive sweep over a clean campaign.
+"""
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.mc import MCConfig, explore, violation_classes
+
+N, T, K = 3, 1, 2
+PLANS = 500
+
+
+def _campaign_classes(report):
+    classes = set()
+    for trial in report["trials"]:
+        violated = tuple(
+            sorted(
+                {
+                    violation["property"]
+                    for violation in trial["tracks"]["sim"]["safety"][
+                        "violations"
+                    ]
+                    if violation["property"] != "nonblocking"
+                }
+            )
+        )
+        if violated:
+            classes.add(violated)
+    return classes
+
+
+@pytest.fixture(scope="module")
+def campaign_classes():
+    config = CampaignConfig(
+        n=N,
+        t=T,
+        K=K,
+        plans=PLANS,
+        base_seed=0,
+        tracks=("sim",),
+        program="broken-commit",
+    )
+    return _campaign_classes(run_campaign(config))
+
+
+@pytest.fixture(scope="module")
+def checker_classes():
+    config = MCConfig(
+        n=N,
+        t=T,
+        K=K,
+        program="broken-commit",
+        max_cycles=10,
+        crash_budget=1,
+        order="rr",
+    )
+    report = explore(config)
+    assert report.exhaustive
+    return violation_classes(report.violations)
+
+
+def test_campaign_finds_something(campaign_classes):
+    # The cross-check is vacuous if random sampling finds nothing.
+    assert campaign_classes
+
+
+def test_checker_finds_every_campaign_class(
+    campaign_classes, checker_classes, capsys
+):
+    print(f"campaign classes: {sorted(campaign_classes)}")
+    print(f"checker classes:  {sorted(checker_classes)}")
+    missing = campaign_classes - checker_classes
+    assert not missing, (
+        f"random campaign surfaced violation classes the exhaustive "
+        f"checker missed within the same bounds: {sorted(missing)}"
+    )

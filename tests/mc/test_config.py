@@ -1,0 +1,79 @@
+"""Tests for MCConfig validation, serialization, and derived bounds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc import MCConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = MCConfig()
+        assert config.n == 3
+        assert config.order == "rr"
+        assert config.por
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"n": 1},
+            {"t": 3},
+            {"t": -1},
+            {"K": 0},
+            {"max_cycles": 0},
+            {"crash_budget": -1},
+            {"crash_budget": 3},
+            {"delay_budget": -1},
+            {"max_late": -1},
+            {"max_skew": 0},
+            {"order": "sideways"},
+            {"split_depth": -1},
+            {"max_states": 0},
+            {"votes": (1, 1)},
+            {"program": "no-such-variant"},
+        ],
+    )
+    def test_bad_values_rejected(self, changes):
+        with pytest.raises(ConfigurationError):
+            MCConfig(**changes)
+
+    def test_max_skew_none_is_unbounded(self):
+        assert MCConfig(max_skew=None).max_skew is None
+        assert MCConfig(max_skew=1).max_skew == 1
+
+
+class TestDerived:
+    def test_max_depth_bound(self):
+        config = MCConfig(n=3, max_cycles=4, crash_budget=1)
+        assert config.max_depth_bound == 13
+
+    def test_vote_vectors_sweep_all(self):
+        vectors = MCConfig(n=3).vote_vectors()
+        assert len(vectors) == 8
+        assert len(set(vectors)) == 8
+
+    def test_vote_vectors_pinned(self):
+        assert MCConfig(votes=(1, 0, 1)).vote_vectors() == ((1, 0, 1),)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        config = MCConfig(
+            program="broken-commit",
+            votes=(0, 1, 1),
+            max_cycles=6,
+            delay_budget=2,
+            max_late=1,
+            max_skew=2,
+            order="free",
+            por=False,
+            stop_on_first=True,
+        )
+        assert MCConfig.from_dict(config.to_dict()) == config
+
+    def test_missing_order_defaults_to_free(self):
+        # Documents that older serialized configs (pre-``order``) meant
+        # full interleaving freedom.
+        doc = MCConfig().to_dict()
+        del doc["order"]
+        assert MCConfig.from_dict(doc).order == "free"

@@ -1,0 +1,131 @@
+"""Tests for the bounded exhaustive explorer and its reductions."""
+
+import json
+
+from repro.mc import (
+    MCConfig,
+    explore,
+    render_explore_summary,
+    violation_classes,
+)
+
+#: The certify-preset bounds, pinned to one vote vector for speed.
+SMALL = dict(n=3, t=1, K=2, max_cycles=10, crash_budget=1, order="rr")
+
+
+def small_config(**changes):
+    return MCConfig(**{**SMALL, **changes})
+
+
+class TestSafeExploration:
+    def test_commit_single_vector_is_exhaustively_safe(self):
+        report = explore(small_config(program="commit", votes=(1, 1, 1)))
+        assert report.exhaustive
+        assert not report.violations
+        assert report.stats.terminal_states > 0
+        assert report.stats.states_visited > report.stats.terminal_states
+        summary = render_explore_summary(report)
+        assert "SAFE" in summary
+        assert "exhaustively" in summary
+
+    def test_abort_vote_vector_is_safe_too(self):
+        report = explore(small_config(program="commit", votes=(1, 0, 1)))
+        assert report.exhaustive
+        assert not report.violations
+
+
+class TestBugFinding:
+    def test_broken_commit_found_deterministically(self):
+        config = small_config(program="broken-commit", votes=(0, 1, 0))
+        first = explore(config)
+        second = explore(config)
+        assert first.violations
+        assert ("abort_validity",) in violation_classes(first.violations)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+        summary = render_explore_summary(first)
+        assert "VIOLATIONS FOUND" in summary
+
+    def test_violation_records_carry_replayable_paths(self):
+        config = small_config(program="broken-commit", votes=(0, 1, 0))
+        report = explore(config)
+        record = report.violations[0]
+        assert record.votes == (0, 1, 0)
+        assert len(record.schedule) > 0
+        assert not record.benign
+
+    def test_stop_on_first_cuts_the_sweep(self):
+        config = small_config(program="broken-commit", votes=(0, 1, 0))
+        full = explore(config)
+        first = explore(
+            MCConfig.from_dict({**config.to_dict(), "stop_on_first": True})
+        )
+        assert first.violations
+        assert len(first.violations) <= len(full.violations)
+
+
+class TestReduction:
+    def test_por_visits_strictly_fewer_arrivals(self, capsys):
+        config = small_config(program="commit", votes=(1, 1, 1))
+        reduced = explore(config)
+        baseline = explore(
+            MCConfig.from_dict({**config.to_dict(), "por": False})
+        )
+        por_arrivals = reduced.stats.states_visited
+        base_arrivals = baseline.stats.states_visited
+        print(
+            f"arrivals: {por_arrivals} with reduction vs "
+            f"{base_arrivals} without "
+            f"({reduced.stats.pruned_sleep} transitions slept)"
+        )
+        assert reduced.stats.pruned_sleep > 0
+        assert por_arrivals < base_arrivals
+        # Reduction must never change the verdict, only the work.
+        assert bool(reduced.violations) == bool(baseline.violations)
+
+
+class TestDeterministicParallelism:
+    def test_reports_byte_identical_at_any_worker_count(self):
+        config = small_config(
+            program="broken-commit", votes=(0, 1, 0), split_depth=2
+        )
+        serial = explore(config, workers=1)
+        parallel = explore(config, workers=4)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+
+class TestBoundsValves:
+    def test_max_states_truncates_instead_of_hanging(self):
+        config = small_config(
+            program="commit", votes=(1, 1, 1), max_states=40
+        )
+        report = explore(config)
+        assert report.stats.truncated
+        assert not report.exhaustive
+        assert "TRUNCATED" in render_explore_summary(report)
+
+    def test_free_order_explores_all_interleavings_at_tiny_bounds(self):
+        rr = explore(
+            small_config(
+                program="commit",
+                votes=(1, 1, 1),
+                order="rr",
+                max_cycles=2,
+                crash_budget=0,
+            )
+        )
+        free = explore(
+            small_config(
+                program="commit",
+                votes=(1, 1, 1),
+                order="free",
+                max_cycles=2,
+                crash_budget=0,
+            )
+        )
+        assert rr.exhaustive and free.exhaustive
+        assert not free.violations
+        assert free.stats.states_visited > rr.stats.states_visited

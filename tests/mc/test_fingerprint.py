@@ -1,0 +1,142 @@
+"""Fingerprint properties: injectivity, determinism, and the one symmetry.
+
+The hypothesis test drives small simulations (n=3, short prefixes, a
+handful of messages) down random adversary paths and checks that the
+digest is *injective on the observable state*: whenever two reached
+states share a digest, their canonical tuples and budget components are
+identical.  The deterministic tests pin the two directions the digest
+must distinguish (budgets) and must NOT distinguish (same-step
+delivery-order symmetry).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mc import MCConfig, canonical_state, state_digest
+from repro.mc.choices import enumerate_choices
+from repro.mc.explorer import _SubtreeExplorer
+from repro.sim.decisions import StepDecision
+
+QUICK = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (votes, digest) -> (canonical tuple, delay_spent, sorted late keys),
+#: shared across every drawn example so collisions are checked globally.
+#: Injectivity is scoped per vote vector: the explorer keeps one visited
+#: set per vector (a program's not-yet-externalised vote is invisible to
+#: the fingerprint, by design — it never aliases across vectors because
+#: vectors never share a search).
+_SEEN: dict[tuple, tuple] = {}
+
+
+def _random_walk(config, votes, seed, depth):
+    """Walk ``depth`` random adversary choices; return (sim, budgets)."""
+    explorer = _SubtreeExplorer(config, votes)
+    sim = explorer.fresh_sim()
+    delay_spent, late_keys = 0, frozenset()
+    rng = random.Random(seed)
+    for _ in range(depth):
+        choices = enumerate_choices(sim, config, delay_spent, late_keys)
+        if not choices:
+            break
+        choice = rng.choice(choices)
+        delay_spent, late_keys = explorer.charge(
+            sim, choice.decision, delay_spent, late_keys
+        )
+        sim.apply(choice.decision)
+    return sim, delay_spent, late_keys
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    depth=st.integers(0, 8),
+    votes=st.tuples(*[st.integers(0, 1)] * 3),
+    order=st.sampled_from(["rr", "free"]),
+    crash_budget=st.integers(0, 1),
+)
+@QUICK
+def test_digest_injective_on_observable_state(
+    seed, depth, votes, order, crash_budget
+):
+    config = MCConfig(
+        n=3,
+        t=1,
+        K=2,
+        max_cycles=4,
+        crash_budget=crash_budget,
+        order=order,
+    )
+    sim, delay_spent, late_keys = _random_walk(config, votes, seed, depth)
+    digest = state_digest(sim, delay_spent, late_keys)
+    observable = (
+        canonical_state(sim),
+        delay_spent,
+        tuple(sorted(late_keys)),
+    )
+    previous = _SEEN.setdefault((votes, digest), observable)
+    assert previous == observable, (
+        "digest collision between observably different states"
+    )
+
+
+class TestDeterminism:
+    def test_same_prefix_same_digest(self):
+        config = MCConfig(order="rr")
+        a, spent_a, late_a = _random_walk(config, (1, 1, 1), seed=7, depth=6)
+        b, spent_b, late_b = _random_walk(config, (1, 1, 1), seed=7, depth=6)
+        assert state_digest(a, spent_a, late_a) == state_digest(
+            b, spent_b, late_b
+        )
+
+    def test_budgets_fold_into_digest(self):
+        config = MCConfig()
+        sim, _, _ = _random_walk(config, (1, 1, 1), seed=0, depth=0)
+        assert state_digest(sim, 0, frozenset()) != state_digest(
+            sim, 1, frozenset()
+        )
+        assert state_digest(sim, 0, frozenset()) != state_digest(
+            sim, 0, frozenset({(0, 1, 2)})
+        )
+
+
+class TestDeliveryOrderSymmetry:
+    def test_same_step_delivery_order_is_abstracted(self):
+        """p1 and p2 sending to p0 in either order is one fingerprint.
+
+        Each non-coordinator delivers only the coordinator's GO (the
+        other's rebroadcast stays pending), so swapping their steps
+        changes nothing observable — only the *insertion order* of
+        p0's pending buffer.  The sorted-buffer canonicalisation (see
+        repro.mc.fingerprint) must make the two runs one state.
+        """
+        config = MCConfig(order="free", crash_budget=0)
+
+        def step_delivering_from(sim, pid, senders):
+            sim.apply(
+                StepDecision(
+                    pid=pid,
+                    deliver=tuple(
+                        env.message_id
+                        for env in sim.buffers[pid]
+                        if env.sender in senders
+                    ),
+                )
+            )
+
+        def run(order):
+            explorer = _SubtreeExplorer(config, (1, 1, 1))
+            sim = explorer.fresh_sim()
+            step_delivering_from(sim, 0, set())  # GO fan-out
+            for pid in order:
+                step_delivering_from(sim, pid, {0})
+            return sim
+
+        forward = run([1, 2])
+        swapped = run([2, 1])
+        assert canonical_state(forward) == canonical_state(swapped)
+        assert state_digest(forward) == state_digest(swapped)

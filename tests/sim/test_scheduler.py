@@ -98,13 +98,10 @@ class TestRunLoop:
         assert 1 in result.run.faulty()
 
     def test_crashing_twice_rejected(self):
-        adversary = ScriptedAdversary(
-            [CrashDecision(pid=1), CrashDecision(pid=1)]
-        )
-        sim = Simulation(chatters(3), adversary, K=4, t=1)
-        sim.apply(adversary.decide(sim.view))
+        sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)
+        sim.apply(CrashDecision(pid=1))
         with pytest.raises(SchedulingError):
-            sim.apply(adversary.decide(sim.view))
+            sim.apply(CrashDecision(pid=1))
 
     def test_stepping_crashed_processor_rejected(self):
         sim = Simulation(chatters(3), SynchronousAdversary(), K=4, t=1)

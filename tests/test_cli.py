@@ -452,3 +452,112 @@ class TestFaultsCounterexamplePipeline:
         assert code == 0
         assert report["schema"] == "repro.fault-differential v1"
         assert report["summary"]["findings"] == 0
+
+
+class TestExitCodeTable:
+    def test_help_documents_every_exit_code(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes (all commands):" in out
+        assert "0  success" in out
+        assert "1  findings" in out
+        assert "2  usage or input error" in out
+        assert "3  nothing to shrink" in out
+        # The findings row names every exit-1 producer, old and new
+        # (normalised: the table wraps producers across lines).
+        out = " ".join(out.split())
+        for producer in (
+            "faults campaign",
+            "mc explore",
+            "faults replay",
+            "faults diff",
+            "faults shrink",
+            "run-commit",
+            "mc certify",
+        ):
+            assert producer in out
+
+
+class TestMcExploreVerb:
+    def test_safe_exploration_exits_zero(self, capsys):
+        code = main(
+            ["mc", "explore", "--votes", "1,1,1", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == "repro.mc-explore v1"
+        assert document["exhaustive"] is True
+        assert document["violations"] == []
+
+    def test_planted_bug_exits_one_and_cuts_artifacts(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "mc",
+                "explore",
+                "--variant",
+                "broken-commit",
+                "--votes",
+                "0,1,0",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATIONS FOUND" in out
+        artifacts = sorted(tmp_path.glob("mc-counterexample-*.jsonl"))
+        assert artifacts
+
+    def test_cut_artifact_replays_byte_identically(self, tmp_path, capsys):
+        main(
+            [
+                "mc",
+                "explore",
+                "--variant",
+                "broken-commit",
+                "--votes",
+                "0,1,0",
+                "--first",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        artifact = sorted(tmp_path.glob("mc-counterexample-*.jsonl"))[0]
+        code = main(["faults", "replay", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+
+    def test_bad_bounds_exit_two(self, capsys):
+        code = main(["mc", "explore", "--n", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "n >= 2" in err
+
+    def test_report_written_to_out(self, tmp_path, capsys):
+        target = tmp_path / "explore.json"
+        code = main(
+            ["mc", "explore", "--votes", "1,1,1", "--out", str(target)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro.mc-explore v1"
+
+
+class TestMcCertifyVerb:
+    def test_unknown_preset_exits_two(self, capsys):
+        code = main(["mc", "certify", "--preset", "no-such"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown certify preset" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["mc"])
