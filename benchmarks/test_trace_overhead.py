@@ -1,0 +1,126 @@
+"""Span-tracing overhead benchmark: disabled tracing must stay free.
+
+Mirrors the harness style of ``test_engine_speedup.py``: self-timed,
+interleaved A/B rounds (alternating disabled and enabled tracing so
+machine drift cancels), with everything observed written to
+``benchmarks/results/trace_overhead.json``.
+
+Two claims are asserted:
+
+* with tracing **disabled** (the default), the instrumented code paths
+  cost nothing measurable — the disabled runs must stay within a small
+  tolerance of the enabled runs' cost *floor* (the real guard: the
+  hot-path check is one module-global read, so disabled can never be
+  slower than enabled beyond noise);
+* with tracing **enabled**, the post-hoc span build stays affordable —
+  bounded by a generous multiplier, since recording replays the run
+  once more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+from repro.adversary.standard import OnTimeAdversary
+from repro.core.api import run_commit
+from repro.trace.spans import SpanRecorder, use_recorder
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Interleaved A/B rounds; best-of cancels scheduler noise.
+ROUNDS = 7
+
+#: Disabled tracing may not cost more than this multiple of enabled
+#: tracing's best time (it should in fact be *faster*; the bound only
+#: needs to absorb timer noise on loaded CI hosts).
+DISABLED_VS_ENABLED_CEILING = 1.10
+
+#: Enabled tracing replays the completed run into spans once; bound the
+#: total cost at this multiple of the untraced run.
+ENABLED_VS_DISABLED_CEILING = 3.0
+
+
+def _workload(seed: int, traced: bool) -> int:
+    outcome = run_commit(
+        [1, 1, 0, 1, 1],
+        K=4,
+        seed=seed,
+        adversary=OnTimeAdversary(K=4, seed=seed),
+        max_steps=50_000,
+    )
+    if traced:
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            # Re-run with the recorder installed so the scheduler's
+            # post-hoc record_run hook fires, as under --trace-spans.
+            outcome = run_commit(
+                [1, 1, 0, 1, 1],
+                K=4,
+                seed=seed,
+                adversary=OnTimeAdversary(K=4, seed=seed),
+                max_steps=50_000,
+            )
+        assert len(recorder) > 0
+    return outcome.run.event_count
+
+
+def _timed(traced: bool, seed: int) -> float:
+    start = time.perf_counter()
+    _workload(seed, traced)
+    return time.perf_counter() - start
+
+
+def test_trace_overhead():
+    # Warm-up, untimed: imports and allocator steady state.
+    _workload(0, traced=False)
+    _workload(0, traced=True)
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    for round_index in range(ROUNDS):
+        seed = 100 + round_index
+        disabled.append(_timed(False, seed))
+        enabled.append(_timed(True, seed))
+
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    # The enabled leg runs the simulation twice (untraced then traced),
+    # so its per-run cost floor is half its best total.
+    enabled_per_run = best_enabled / 2
+
+    document = {
+        "host": {"cpu_count": os.cpu_count() or 1},
+        "rounds": ROUNDS,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "best_disabled_seconds": best_disabled,
+        "best_enabled_seconds": best_enabled,
+        "median_disabled_seconds": statistics.median(disabled),
+        "median_enabled_seconds": statistics.median(enabled),
+        "enabled_per_run_seconds": enabled_per_run,
+        "disabled_vs_enabled_ratio": best_disabled / enabled_per_run,
+        "ceilings": {
+            "disabled_vs_enabled": DISABLED_VS_ENABLED_CEILING,
+            "enabled_vs_disabled": ENABLED_VS_DISABLED_CEILING,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "trace_overhead.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    assert best_disabled <= enabled_per_run * DISABLED_VS_ENABLED_CEILING, (
+        f"disabled tracing should be at most {DISABLED_VS_ENABLED_CEILING}x "
+        f"an enabled run ({best_disabled:.4f}s vs {enabled_per_run:.4f}s "
+        f"per run) — the off-switch is leaking overhead"
+    )
+    assert best_enabled <= best_disabled * 2 * ENABLED_VS_DISABLED_CEILING, (
+        f"enabled tracing cost {best_enabled:.4f}s vs {best_disabled:.4f}s "
+        f"untraced — post-hoc span building regressed"
+    )

@@ -33,10 +33,23 @@ Commands:
   ``--artifact-dir``;
 * ``mc certify`` — run a canned certification preset (exhaustive
   safety sweep plus planted-bug detection with replay cross-check) and
-  exit 1 unless every phase passes.
+  exit 1 unless every phase passes;
+* ``trace export`` — convert a span trace recorded with
+  ``--trace-spans`` to Chrome trace-event JSON (loadable in Perfetto /
+  ``chrome://tracing``) or re-validated span-trace JSONL;
+* ``trace summarize`` — print record counts, span kinds, and event
+  totals of a span trace;
+* ``trace critical-path`` — extract the longest causal message chain
+  ending at each decision and attribute the decision round to it.
+
+``run-commit``, ``faults campaign``, and ``mc explore`` accept
+``--trace-spans PATH`` (record a causal span trace of the run) and
+``--serve-metrics PORT`` (serve live ``/metrics`` + ``/healthz`` on a
+background thread for the duration of the command).
 
 The global ``--log-level`` flag configures the ``repro`` logging channel
 (see :mod:`repro.telemetry.log`); it must precede the subcommand.
+``--version`` prints the package version.
 
 Every command reports through one exit-code scheme, shown in
 :data:`EXIT_CODES` (also printed by ``repro --help`` and documented in
@@ -50,6 +63,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro import __version__
 from repro.adversary.base import Adversary, CrashAt
 from repro.adversary.crash import ScheduledCrashAdversary
 from repro.adversary.random_walk import RandomAdversary
@@ -85,6 +99,9 @@ exit codes (all commands):
      failure under faults campaign --fail-on-liveness
   3  nothing to shrink — faults shrink scanned its plans without
      finding any safety violation
+  4  no spans recorded — trace export/summarize/critical-path read a
+     valid span-trace file that contains no spans or events (the
+     traced command recorded nothing)
 """
 
 
@@ -129,6 +146,93 @@ def _parse_pids(text: str) -> list[int]:
     return [int(v) for v in text.split(",")]
 
 
+# -- observability plumbing (--trace-spans / --serve-metrics) ----------------
+
+
+def _start_metrics_server(args):
+    """Start the background /metrics endpoint when requested."""
+    port = getattr(args, "serve_metrics", None)
+    if port is None:
+        return None
+    from repro.telemetry.registry import enable_telemetry
+    from repro.telemetry.server import MetricsServer
+
+    enable_telemetry()
+    server = MetricsServer(port=port).start()
+    print(
+        f"serving metrics on {server.url}/metrics "
+        f"(health: {server.url}/healthz)",
+        file=sys.stderr,
+    )
+    return server
+
+
+def _start_tracing(args):
+    """Install a span recorder when --trace-spans was requested."""
+    if not getattr(args, "trace_spans", None):
+        return None
+    from repro.trace.spans import enable_tracing
+
+    return enable_tracing()
+
+
+def _finish_tracing(recorder, args) -> None:
+    """Uninstall the recorder and write the span-trace file."""
+    if recorder is None:
+        return
+    from repro.trace.export import write_span_trace
+    from repro.trace.spans import disable_tracing
+
+    disable_tracing()
+    path = write_span_trace(recorder, args.trace_spans)
+    if not getattr(args, "json", False):
+        counts = recorder.counts()
+        print(
+            f"span trace written to {path} "
+            f"({counts['spans']} spans, {counts['events']} events, "
+            f"{counts['edges']} edges)"
+        )
+
+
+def _with_observability(args, body) -> int:
+    """Run a command body under the requested tracing/metrics plumbing.
+
+    The span trace is written (and the metrics server stopped) even when
+    the body raises, so partial traces of failed runs survive.
+    """
+    server = _start_metrics_server(args)
+    recorder = _start_tracing(args)
+    try:
+        return body()
+    finally:
+        _finish_tracing(recorder, args)
+        if server is not None:
+            server.stop()
+
+
+def _add_observability_args(parser) -> None:
+    parser.add_argument(
+        "--trace-spans",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a causal span trace (repro.span-trace JSONL) of "
+            "this run; analyze with the trace subcommands"
+        ),
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live /metrics (Prometheus text) and /healthz on "
+            "this port for the duration of the command (0 picks a "
+            "free port; implies telemetry)"
+        ),
+    )
+
+
 def _print_outcome(outcome: ProtocolOutcome, args) -> None:
     run = outcome.run
     print(summarize_run(run))
@@ -149,6 +253,10 @@ def _print_outcome(outcome: ProtocolOutcome, args) -> None:
 
 
 def cmd_run_commit(args) -> int:
+    return _with_observability(args, lambda: _cmd_run_commit(args))
+
+
+def _cmd_run_commit(args) -> int:
     from repro.engine.executor import set_default_workers
 
     registry = None
@@ -327,6 +435,10 @@ def cmd_stats(args) -> int:
 
 
 def cmd_faults_campaign(args) -> int:
+    return _with_observability(args, lambda: _cmd_faults_campaign(args))
+
+
+def _cmd_faults_campaign(args) -> int:
     from repro.faults.campaign import (
         CampaignConfig,
         render_campaign_summary,
@@ -490,6 +602,10 @@ def cmd_faults_diff(args) -> int:
 
 
 def cmd_mc_explore(args) -> int:
+    return _with_observability(args, lambda: _cmd_mc_explore(args))
+
+
+def _cmd_mc_explore(args) -> int:
     from repro.errors import ConfigurationError
     from repro.mc import (
         MCConfig,
@@ -581,6 +697,136 @@ def cmd_mc_certify(args) -> int:
     return 0 if report["passed"] else 1
 
 
+def _load_span_trace(path: str):
+    """Read a span trace for the trace subcommands.
+
+    Returns ``(trace, records, exit_code)``; ``trace`` is ``None`` when
+    the file is unreadable/invalid (exit 2) or empty (exit 4).
+    """
+    from repro.errors import AnalysisError
+    from repro.telemetry.runio import read_jsonl_records
+    from repro.trace.export import trace_from_records
+
+    try:
+        records = read_jsonl_records(path)
+        trace = trace_from_records(records)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, None, 2
+    if trace.empty:
+        print(
+            f"no spans recorded in {path}: the traced command produced "
+            f"no spans or events",
+            file=sys.stderr,
+        )
+        return None, None, 4
+    return trace, records, 0
+
+
+def cmd_trace_export(args) -> int:
+    trace, records, code = _load_span_trace(args.trace)
+    if trace is None:
+        return code
+    if args.format == "chrome":
+        from repro.trace.export import write_chrome_trace
+
+        path = write_chrome_trace(trace, args.out)
+    else:
+        from repro.telemetry.runio import write_jsonl_records
+
+        path = write_jsonl_records(records, args.out)
+    print(f"{args.format} trace written to {path}")
+    return 0
+
+
+def cmd_trace_summarize(args) -> int:
+    trace, _records, code = _load_span_trace(args.trace)
+    if trace is None:
+        return code
+    from repro.trace.export import summarize_trace
+
+    summary = summarize_trace(trace)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    print(
+        f"span trace {args.trace}: {summary['spans']} spans, "
+        f"{summary['events']} events, {summary['edges']} causal edges"
+    )
+    print(f"  tracks: {', '.join(summary['tracks'])}")
+    for kind, count in summary["spans_by_kind"].items():
+        print(f"  spans {kind}: {count}")
+    for name, count in summary["events_by_name"].items():
+        print(f"  events {name}: {count}")
+    if summary["max_decision_round"] is not None:
+        print(
+            f"  trials: {summary['trials']} "
+            f"(max decision round {summary['max_decision_round']})"
+        )
+    else:
+        print(f"  trials: {summary['trials']}")
+    return 0
+
+
+def cmd_trace_critical_path(args) -> int:
+    trace, records, code = _load_span_trace(args.trace)
+    if trace is None:
+        return code
+    from repro.trace.critical_path import critical_paths_from_records
+
+    paths = critical_paths_from_records(records)
+    if args.json:
+        print(
+            json.dumps([path.to_dict() for path in paths], sort_keys=True)
+        )
+        return 0
+    if not paths:
+        print(
+            "no decide events in the trace; nothing to attribute "
+            "(was the traced run undecided?)"
+        )
+        return 0
+    for path in paths:
+        trial = f"trial {path.trial} " if path.trial is not None else ""
+        gap = (
+            f", timer gap {path.timer_gap}"
+            if path.timer_gap is not None
+            else ""
+        )
+        decision_round = (
+            path.decision_round
+            if path.decision_round is not None
+            else "?"
+        )
+        print(
+            f"{trial}[{path.track}] p{path.pid} decided "
+            f"{path.decision!r}: chain of {path.length} hops, "
+            f"round span {path.round_span}, "
+            f"decision round {decision_round}{gap}"
+        )
+        if args.hops:
+            for hop in path.hops:
+                label = (
+                    f"r{hop.round}" if hop.round is not None else "r?"
+                )
+                print(
+                    f"    {label} m{hop.message} "
+                    f"p{hop.sender} -> p{hop.recipient} "
+                    f"(sent {hop.send_time}, delivered "
+                    f"{hop.receive_time})"
+                )
+    round_spans = [p.round_span for p in paths]
+    decision_rounds = [
+        p.decision_round for p in paths if p.decision_round is not None
+    ]
+    if decision_rounds:
+        print(
+            f"run: max chain round span {max(round_spans)}, "
+            f"max decision round {max(decision_rounds)}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.telemetry.log import LOG_LEVELS
 
@@ -592,6 +838,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=EXIT_CODES,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--log-level",
@@ -662,6 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: cpu count via REPRO_WORKERS/os.cpu_count)"
         ),
     )
+    _add_observability_args(run_parser)
     run_parser.set_defaults(fn=cmd_run_commit)
 
     replay_parser = sub.add_parser(
@@ -823,6 +1075,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed a telemetry snapshot in the report",
     )
+    _add_observability_args(campaign_parser)
     campaign_parser.set_defaults(fn=cmd_faults_campaign)
 
     replay_artifact_parser = faults_sub.add_parser(
@@ -1113,6 +1366,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed a telemetry snapshot in the report",
     )
+    _add_observability_args(explore_parser)
     explore_parser.set_defaults(fn=cmd_mc_explore)
 
     certify_parser = mc_sub.add_parser(
@@ -1143,6 +1397,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report document instead of the summary",
     )
     certify_parser.set_defaults(fn=cmd_mc_certify)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="inspect span traces recorded with --trace-spans",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    export_parser = trace_sub.add_parser(
+        "export",
+        help=(
+            "convert a span trace to Chrome trace-event JSON (Perfetto / "
+            "chrome://tracing) or re-validated span-trace JSONL"
+        ),
+    )
+    export_parser.add_argument("trace", help="span-trace JSONL (--trace-spans)")
+    export_parser.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="output format (default: chrome)",
+    )
+    export_parser.add_argument(
+        "--out", required=True, help="output path for the converted trace"
+    )
+    export_parser.set_defaults(fn=cmd_trace_export)
+
+    summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="print record counts, span kinds, and event totals",
+    )
+    summarize_parser.add_argument(
+        "trace", help="span-trace JSONL (--trace-spans)"
+    )
+    summarize_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    summarize_parser.set_defaults(fn=cmd_trace_summarize)
+
+    critical_parser = trace_sub.add_parser(
+        "critical-path",
+        help=(
+            "extract the longest causal message chain ending at each "
+            "decision and attribute the decision round to it"
+        ),
+    )
+    critical_parser.add_argument(
+        "trace", help="span-trace JSONL (--trace-spans)"
+    )
+    critical_parser.add_argument(
+        "--hops",
+        action="store_true",
+        help="list every send→deliver hop along each chain",
+    )
+    critical_parser.add_argument(
+        "--json", action="store_true", help="emit the paths as JSON"
+    )
+    critical_parser.set_defaults(fn=cmd_trace_critical_path)
 
     return parser
 

@@ -52,6 +52,10 @@ from repro.sim.decisions import (
 )
 from repro.sim.scheduler import Simulation
 from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
+from repro.trace import spans as trace_spans
+
+_log = get_logger("faults.campaign")
 
 #: Schema tag of the campaign report document.
 CAMPAIGN_SCHEMA = "repro.fault-campaign v1"
@@ -371,6 +375,22 @@ def execute_trial_case(case: TrialCase) -> dict[str, Any]:
     and the shrinker: identical cases produce identical result dicts.
     """
     monitor = SafetyMonitor(n=case.n, t=case.t, votes=list(case.votes))
+    tracer = trace_spans.active_recorder()
+    trial_span = None
+    if tracer is not None:
+        # Campaign-track time axis is the trial index (= seed offset);
+        # sim/runtime child spans carry their own fine-grained axes.
+        trial_span = tracer.begin_span(
+            f"trial-{case.seed}",
+            kind="trial",
+            track="campaign",
+            start=case.seed,
+            seed=case.seed,
+            n=case.n,
+            t=case.t,
+            K=case.K,
+            within_budget=case.within_budget,
+        )
     tracks: dict[str, Any] = {}
     for track in case.tracks:
         if track == "sim":
@@ -395,6 +415,32 @@ def execute_trial_case(case: TrialCase) -> dict[str, Any]:
                 track=track,
                 outcome=outcome["outcome"],
             )
+            for violation in outcome["safety"]["violations"]:
+                telemetry.count(
+                    "campaign_violations_total",
+                    help="safety/liveness violations observed, "
+                    "by track and property",
+                    track=track,
+                    property=violation["property"],
+                )
+        if tracer is not None:
+            for violation in outcome["safety"]["violations"]:
+                tracer.point(
+                    "violation",
+                    track="campaign",
+                    time=case.seed,
+                    span=trial_span,
+                    violated_track=track,
+                    property=violation["property"],
+                )
+    if tracer is not None and trial_span is not None:
+        tracer.end_span(
+            trial_span,
+            case.seed + 1,
+            violations=sum(
+                len(data["safety"]["violations"]) for data in tracks.values()
+            ),
+        )
     return {
         "within_budget": case.within_budget,
         "expect_termination": case.expect_termination,
@@ -406,6 +452,14 @@ def run_campaign_trial(config: CampaignConfig, seed: int) -> dict[str, Any]:
     """Run one seeded plan on every configured track and check safety."""
     case = case_from_config(config, seed)
     result = execute_trial_case(case)
+    if telemetry.enabled():
+        # Live progress for the /metrics endpoint: counters merge
+        # additively when trials fan out to worker processes, and tick
+        # in real time on the serial path.
+        telemetry.count(
+            "campaign_plans_executed_total",
+            help="campaign plans completed so far",
+        )
     return {
         "seed": seed,
         "plan": case.plan.to_dict(),
@@ -486,17 +540,54 @@ def run_campaign(
     the engine reassembles trial records in seed order and the virtual
     clock removes wall-clock wobble, so serial and parallel campaigns
     serialize byte-identically.
+
+    With span tracing active the campaign runs serially regardless of
+    ``workers`` — recorders live in this process; worker-process spans
+    would be lost — and wraps the sweep in one campaign span.
     """
+    tracer = trace_spans.active_recorder()
+    if tracer is not None and workers != 1:
+        _log.info(
+            "span tracing active: forcing campaign workers=1 "
+            "(requested %r)",
+            workers,
+        )
+        workers = 1
+    if telemetry.enabled():
+        telemetry.set_gauge(
+            "campaign_plans_planned",
+            config.plans,
+            help="plans this campaign will execute",
+        )
+    campaign_span = None
+    if tracer is not None:
+        campaign_span = tracer.begin_span(
+            "campaign",
+            kind="campaign",
+            track="campaign",
+            start=config.base_seed,
+            plans=config.plans,
+            n=config.n,
+            program=config.program,
+        )
     records = run_trials(
         partial(run_campaign_trial, config),
         trials=config.plans,
         base_seed=config.base_seed,
         workers=workers,
     )
+    summary = _summarize(config, records)
+    if tracer is not None and campaign_span is not None:
+        tracer.end_span(
+            campaign_span,
+            config.base_seed + config.plans,
+            safety_violations=summary["safety_violations"],
+            liveness_violations=summary["liveness_violations"],
+        )
     return {
         "schema": CAMPAIGN_SCHEMA,
         "config": config.to_dict(),
-        "summary": _summarize(config, records),
+        "summary": summary,
         "trials": records,
     }
 

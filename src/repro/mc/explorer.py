@@ -62,6 +62,7 @@ from repro.sim.pattern import PatternView
 from repro.sim.scheduler import Simulation
 from repro.telemetry import registry as telemetry
 from repro.telemetry.registry import MetricsRegistry
+from repro.trace import spans as trace_spans
 
 #: Schema tag of the exploration report document.
 EXPLORE_SCHEMA = "repro.mc-explore v1"
@@ -288,6 +289,18 @@ class _SubtreeExplorer:
         stats = self.stats
         stats.states_visited += 1
         stats.max_depth = max(stats.max_depth, depth)
+        if telemetry.enabled():
+            # Live progress for the /metrics endpoint (the end-of-run
+            # mc_states_total counters only land after the search).
+            telemetry.count(
+                "mc_states_visited_total",
+                help="model-checker node arrivals so far (live)",
+            )
+            telemetry.set_gauge(
+                "mc_frontier_depth",
+                depth,
+                help="decision-path depth of the current arrival",
+            )
         crashed = sim.crashed_pids()
         terminal = sim.all_nonfaulty_done()
         benign = (
@@ -483,9 +496,21 @@ def explore(config: MCConfig, workers: int | None = None) -> ExploreReport:
     through :mod:`repro.engine`, and merges stats and violations in
     job order — the report is identical at any worker count.
     """
+    tracer = trace_spans.active_recorder()
+    if tracer is not None and workers != 1:
+        workers = 1  # recorders live in-process; keep subtree jobs here
     report = ExploreReport(config=config)
     config_json = json.dumps(config.to_dict(), sort_keys=True)
-    for votes in config.vote_vectors():
+    for vote_index, votes in enumerate(config.vote_vectors()):
+        vote_span = None
+        if tracer is not None:
+            vote_span = tracer.begin_span(
+                f"votes-{''.join(str(v) for v in votes)}",
+                kind="exploration",
+                track="mc",
+                start=vote_index,
+                votes=list(votes),
+            )
         splitter = _SubtreeExplorer(config, votes)
         jobs = splitter.split()
         vote_stats = splitter.stats
@@ -522,6 +547,24 @@ def explore(config: MCConfig, workers: int | None = None) -> ExploreReport:
         )
         report.stats.merge(vote_stats)
         report.violations.extend(vote_violations)
+        if tracer is not None and vote_span is not None:
+            for record in vote_violations:
+                tracer.point(
+                    "violation",
+                    track="mc",
+                    time=vote_index,
+                    span=vote_span,
+                    properties=",".join(record.properties),
+                    schedule_length=len(record.schedule),
+                )
+            tracer.end_span(
+                vote_span,
+                vote_index + 1,
+                states_visited=vote_stats.states_visited,
+                states_expanded=vote_stats.states_expanded,
+                max_depth=vote_stats.max_depth,
+                violations=len(vote_violations),
+            )
         if config.stop_on_first and report.violations:
             break
     if telemetry.enabled():

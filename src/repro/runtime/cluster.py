@@ -39,6 +39,7 @@ from repro.runtime.transport import (
 from repro.sim.process import Program
 from repro.telemetry import registry as telemetry
 from repro.telemetry.log import get_logger
+from repro.trace import spans as trace_spans
 from repro.types import Decision, ProcessStatus, Vote
 
 _log = get_logger("runtime.cluster")
@@ -170,6 +171,19 @@ class Cluster:
         instead of hanging the caller.
         """
         n = len(self.programs)
+        tracer = trace_spans.active_recorder()
+        loop = asyncio.get_running_loop()
+        cluster_span = None
+        if tracer is not None:
+            cluster_span = tracer.begin_span(
+                "cluster-run",
+                kind="trial",
+                track="runtime",
+                start=loop.time(),
+                n=n,
+                seed=self.seed,
+                crashes=len(self.crashes),
+            )
         transport = AsyncTransport(
             n=n,
             delay_model=self.delay_model,
@@ -255,6 +269,28 @@ class Cluster:
                 deadline,
                 [r.pid for r in result.nodes
                  if r.status is ProcessStatus.RUNNING],
+            )
+        if tracer is not None and cluster_span is not None:
+            now = loop.time()
+            for node_result in results:
+                if node_result.decision is not None:
+                    # Node results surface decisions only at collection
+                    # time, so decide events carry the run-end timestamp;
+                    # runtime critical paths are correspondingly coarse.
+                    tracer.point(
+                        "decide",
+                        track="runtime",
+                        time=now,
+                        span=cluster_span,
+                        pid=node_result.pid,
+                        decision=node_result.decision,
+                    )
+            tracer.end_span(
+                cluster_span,
+                now,
+                outcome=result.outcome,
+                delivered=transport.stats.delivered,
+                retransmitted=transport.stats.retransmitted,
             )
         if telemetry.enabled():
             telemetry.count(

@@ -44,6 +44,8 @@ from repro.engine.seeds import ACK_STREAM, ENVELOPE_STREAM, derive_keyed
 from repro.errors import NodeCrashedError
 from repro.runtime.delays import DelayModel, FixedDelay
 from repro.sim.message import Payload
+from repro.telemetry import registry as telemetry
+from repro.trace import spans as trace_spans
 
 
 @dataclass(frozen=True)
@@ -192,6 +194,12 @@ class AsyncTransport:
         self._seq = itertools.count()
         self._seen: list[set[tuple[int, int]]] = [set() for _ in range(n)]
         self._acked: set[int] = set()
+        # Resolved once per transport, like the scheduler's telemetry
+        # handle: tracing costs one None-check per send/deliver when off.
+        self._tracer = trace_spans.active_recorder()
+        self._trace_scope = (
+            self._tracer.new_scope() if self._tracer is not None else 0
+        )
 
     def crash(self, pid: int) -> None:
         """Fail-stop a node: all its future traffic is dropped."""
@@ -218,6 +226,15 @@ class AsyncTransport:
             return
         seq = next(self._seq)
         self.stats.sent += 1
+        if self._tracer is not None:
+            self._tracer.send(
+                track="runtime",
+                key=(self._trace_scope, seq),
+                time=asyncio.get_running_loop().time(),
+                sender=sender,
+                recipient=recipient,
+                seq=seq,
+            )
         rng = self._envelope_rng(ENVELOPE_STREAM, recipient, seq)
         self._transmit(sender, recipient, payloads, seq, rng)
         if self.reliability is not None:
@@ -230,7 +247,24 @@ class AsyncTransport:
     def _spawn(self, coro) -> None:
         task = asyncio.get_running_loop().create_task(coro)
         self._pending_tasks.add(task)
-        task.add_done_callback(self._pending_tasks.discard)
+        task.add_done_callback(self._task_done)
+        if telemetry.enabled():
+            telemetry.set_gauge(
+                "transport_in_flight",
+                len(self._pending_tasks),
+                help="transport tasks currently in flight "
+                "(deliveries and retransmit loops)",
+            )
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._pending_tasks.discard(task)
+        if telemetry.enabled():
+            telemetry.set_gauge(
+                "transport_in_flight",
+                len(self._pending_tasks),
+                help="transport tasks currently in flight "
+                "(deliveries and retransmit loops)",
+            )
 
     def _envelope_rng(self, stream: int, recipient: int, seq: int) -> random.Random:
         """The private generator of one envelope's randomness stream.
@@ -295,6 +329,15 @@ class AsyncTransport:
             return
         self._seen[recipient].add((sender, seq))
         self.stats.delivered += 1
+        if self._tracer is not None:
+            self._tracer.deliver(
+                track="runtime",
+                key=(self._trace_scope, seq),
+                time=asyncio.get_running_loop().time(),
+                sender=sender,
+                recipient=recipient,
+                seq=seq,
+            )
         await self.inboxes[recipient].put(
             WireMessage(sender=sender, payloads=payloads, seq=seq)
         )
@@ -347,6 +390,21 @@ class AsyncTransport:
                 return
             attempt += 1
             self.stats.retransmitted += 1
+            if telemetry.enabled():
+                telemetry.count(
+                    "transport_retransmissions_total",
+                    help="live retransmission attempts",
+                )
+            if self._tracer is not None:
+                self._tracer.point(
+                    "retransmit",
+                    track="runtime",
+                    time=asyncio.get_running_loop().time(),
+                    sender=sender,
+                    recipient=recipient,
+                    seq=seq,
+                    attempt=attempt,
+                )
             self._transmit(sender, recipient, payloads, seq, rng)
             timeout = min(timeout * 2, config.max_backoff)
 
@@ -362,8 +420,6 @@ class AsyncTransport:
 
     def record_telemetry(self) -> None:
         """Mirror the stats counters into the telemetry registry."""
-        from repro.telemetry import registry as telemetry
-
         if not telemetry.enabled():
             return
         for name, value in self.stats.as_dict().items():

@@ -39,6 +39,7 @@ from repro.sim.tape import TapeCollection
 from repro.sim.trace import Run, TraceEvent
 from repro.telemetry.log import get_logger
 from repro.telemetry.registry import MetricsRegistry, active_registry
+from repro.trace import spans as trace_spans
 from repro.types import ProcessStatus
 
 _log = get_logger("sim.scheduler")
@@ -369,9 +370,18 @@ class Simulation:
             telemetry.counter(
                 "sim_runs_total", "completed simulations, by outcome"
             ).inc(outcome=outcome.name.lower())
+        run = self.build_run()
+        recorder = trace_spans.active_recorder()
+        if recorder is not None:
+            # Spans are derived post-hoc from the already-built run, so
+            # tracing cannot perturb scheduling and recorded runs stay
+            # byte-identical to untraced ones.
+            from repro.trace.build import record_run
+
+            record_run(recorder, run, outcome=outcome.name.lower())
         return SimulationResult(
             outcome=outcome,
-            run=self.build_run(),
+            run=run,
             admissibility=self.monitor.report(self),
         )
 

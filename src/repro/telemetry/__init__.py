@@ -11,6 +11,10 @@ Three layers, all optional and all off by default:
   registry is enabled, at near-zero cost when it is not;
 * :mod:`repro.telemetry.log` — the ``repro`` :mod:`logging` channel
   (``--log-level`` on the CLI);
+* :mod:`repro.telemetry.server` — a stdlib background HTTP server
+  exposing the default registry at ``/metrics`` (Prometheus text) and
+  ``/healthz``, wired to ``--serve-metrics PORT`` on long-running CLI
+  commands;
 * :mod:`repro.telemetry.runio` / :mod:`repro.telemetry.summary` —
   schema-versioned JSONL export/import of full runs and the per-phase
   counter bundles and ``--json`` documents derived from them.
@@ -36,6 +40,7 @@ from repro.telemetry.registry import (
     set_registry,
     use_registry,
 )
+from repro.telemetry.server import MetricsServer, serving_metrics
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -44,6 +49,7 @@ __all__ = [
     "Histogram",
     "LOG_LEVELS",
     "MetricsRegistry",
+    "MetricsServer",
     "active_registry",
     "configure_logging",
     "count",
@@ -55,5 +61,6 @@ __all__ = [
     "observe",
     "set_gauge",
     "set_registry",
+    "serving_metrics",
     "use_registry",
 ]

@@ -1,0 +1,151 @@
+"""A stdlib-only live metrics endpoint: ``/metrics`` and ``/healthz``.
+
+Long-running commands (``faults campaign``, ``mc explore``, soak loops)
+were previously dark while executing — telemetry existed only as an
+end-of-run snapshot.  :class:`MetricsServer` runs a
+:class:`~http.server.ThreadingHTTPServer` on a daemon thread and
+renders the process-wide default registry on every scrape, so a
+``curl localhost:PORT/metrics`` (or a Prometheus scraper) observes
+campaign/exploration progress counters *while* the run is in flight.
+
+No third-party dependencies: the exposition text comes from
+:meth:`~repro.telemetry.registry.MetricsRegistry.render_prometheus`,
+which is already format-compatible.  Port 0 binds an ephemeral port
+(the bound port is available as :attr:`MetricsServer.port`), which is
+what the tests use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator
+
+from repro.telemetry import registry as telemetry
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics``, ``/healthz``, and 404 for everything else."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            registry = self.server.registry or telemetry.get_registry()
+            body = registry.render_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(
+                404, "text/plain; charset=utf-8", b"not found\n"
+            )
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapers are chatty)."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    registry: telemetry.MetricsRegistry | None = None
+
+
+class MetricsServer:
+    """A background HTTP server exposing the default metrics registry.
+
+    Usage::
+
+        server = MetricsServer(port=9464)
+        server.start()
+        try:
+            ...  # long-running work; scrape http://localhost:9464/metrics
+        finally:
+            server.stop()
+
+    or as a context manager.  ``registry`` overrides the scraped
+    registry (tests); by default every request renders the process-wide
+    default at scrape time, so metrics recorded after :meth:`start` are
+    visible.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: telemetry.MetricsRegistry | None = None,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._registry = registry
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._server is not None:
+            return self
+        server = _Server((self._host, self._requested_port), _MetricsHandler)
+        server.registry = self._registry
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name=f"repro-metrics:{server.server_address[1]}",
+            daemon=True,
+        )
+        thread.start()
+        self._server = server
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextlib.contextmanager
+def serving_metrics(
+    port: int = 0, host: str = "127.0.0.1"
+) -> Iterator[MetricsServer]:
+    """Context manager form used by the CLI's ``--serve-metrics``."""
+    server = MetricsServer(port=port, host=host)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()

@@ -1,0 +1,213 @@
+"""Derive the sim track's span tree from a completed run.
+
+The simulator never records spans while executing — that would risk
+perturbing the schedule and would duplicate what the
+:class:`~repro.sim.trace.Run` already captures.  Instead, when a
+recorder is active the scheduler calls :func:`record_run` *after* the
+run completes, and this module replays the run into spans:
+
+* one **trial** span covering the whole run (time axis = event index);
+* one **round** span per asynchronous round (Section 2.2 boundaries via
+  :class:`~repro.sim.rounds.RoundAnalyzer`), from the earliest to the
+  latest step any processor took in that round;
+* one **phase** span per (processor, round) — processor ``p``'s slice
+  of round ``r``;
+* ``send``/``deliver`` point events per envelope, joined by causal
+  edges keyed on the message id, each labelled with the sender's (resp.
+  recipient's) round at that clock reading;
+* ``decide`` and ``crash`` point events.
+
+Runs the round analyzer cannot label (non-convergent pathological
+schedules) still get the trial span, message events, and edges — only
+round/phase structure is omitted.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.errors import AnalysisError
+from repro.sim.rounds import RoundAnalyzer
+from repro.sim.trace import Run
+from repro.trace.spans import SpanRecorder
+
+
+def _steps_by_actor(run: Run) -> dict[int, tuple[list[int], list[int]]]:
+    """Per actor: parallel lists of (clock_after, event index) for steps."""
+    steps: dict[int, tuple[list[int], list[int]]] = {
+        pid: ([], []) for pid in range(run.n)
+    }
+    for event in run.events:
+        if event.kind == "step":
+            clocks, indexes = steps[event.actor]
+            clocks.append(event.clock_after)
+            indexes.append(event.index)
+    return steps
+
+
+def record_run(
+    recorder: SpanRecorder,
+    run: Run,
+    *,
+    track: str = "sim",
+    name: str = "sim-run",
+    **attrs: Any,
+) -> int:
+    """Record a completed run's span tree; returns the trial span id.
+
+    The trial span nests under whatever span is currently open on the
+    recorder (the campaign's trial span, for instance), or at the root
+    when recording a bare ``run_commit``.
+    """
+    scope = recorder.new_scope()
+    try:
+        rounds: RoundAnalyzer | None = RoundAnalyzer(run)
+    except AnalysisError:
+        rounds = None
+
+    trial_attrs: dict[str, Any] = {
+        "n": run.n,
+        "t": run.t,
+        "K": run.K,
+        "events": run.event_count,
+        "decided": sum(1 for v in run.decisions.values() if v is not None),
+    }
+    if rounds is not None:
+        trial_attrs["max_decision_round"] = rounds.max_decision_round()
+    trial_attrs.update(attrs)
+    trial = recorder.begin_span(
+        name, kind="trial", track=track, start=0, **trial_attrs
+    )
+
+    steps = _steps_by_actor(run)
+    # phase_spans[(pid, round)] -> span id, for parenting message events.
+    phase_spans: dict[tuple[int, int], int] = {}
+    if rounds is not None:
+        # Collect every (pid, round) phase as an event-index interval.
+        phases: dict[int, list[tuple[int, int, int]]] = {}
+        for pid in range(run.n):
+            clocks, indexes = steps[pid]
+            if not clocks:
+                continue
+            ends = rounds.boundaries(pid).ends
+            for r in range(1, len(ends)):
+                low, high = ends[r - 1], ends[r]
+                first = bisect.bisect_right(clocks, low)
+                last = bisect.bisect_right(clocks, high) - 1
+                if first > last:
+                    continue
+                phases.setdefault(r, []).append(
+                    (pid, indexes[first], indexes[last])
+                )
+        for r in sorted(phases):
+            entries = phases[r]
+            round_span = recorder.begin_span(
+                f"round-{r}",
+                kind="round",
+                track=track,
+                start=min(start for _, start, _ in entries),
+                parent=trial,
+                round=r,
+            )
+            recorder.end_span(
+                round_span, max(end for _, _, end in entries) + 1
+            )
+            for pid, start, end in entries:
+                span = recorder.begin_span(
+                    f"p{pid}/r{r}",
+                    kind="phase",
+                    track=track,
+                    start=start,
+                    parent=round_span,
+                    pid=pid,
+                    round=r,
+                )
+                recorder.end_span(span, end + 1)
+                phase_spans[(pid, r)] = span
+
+    def _round_at(pid: int, clock: int) -> int | None:
+        if rounds is None:
+            return None
+        try:
+            return rounds.round_at_clock(pid, clock)
+        except AnalysisError:
+            return None
+
+    def _phase_of(pid: int, round_number: int | None) -> int:
+        if round_number is None:
+            return trial
+        return phase_spans.get((pid, round_number), trial)
+
+    # Message events + causal edges, replayed in event order.  Within
+    # one step, delivers precede sends (a process reads its inbox before
+    # emitting), which keeps recorder ids aligned with causality.
+    sends_by_event: dict[int, list] = {}
+    delivers_by_event: dict[int, list] = {}
+    for env in run.envelopes.values():
+        sends_by_event.setdefault(env.send_event, []).append(env)
+        if env.receive_event is not None:
+            delivers_by_event.setdefault(env.receive_event, []).append(env)
+
+    decided: set[int] = set()
+    for event in run.events:
+        index = event.index
+        for env in sorted(
+            delivers_by_event.get(index, []), key=lambda e: e.message_id
+        ):
+            r = _round_at(env.recipient, event.clock_after)
+            recorder.deliver(
+                track=track,
+                key=(scope, int(env.message_id)),
+                time=index,
+                span=_phase_of(env.recipient, r),
+                message=int(env.message_id),
+                sender=env.sender,
+                recipient=env.recipient,
+                clock=event.clock_after,
+                round=r,
+            )
+        for env in sorted(
+            sends_by_event.get(index, []), key=lambda e: e.message_id
+        ):
+            r = _round_at(env.sender, env.send_clock)
+            recorder.send(
+                track=track,
+                key=(scope, int(env.message_id)),
+                time=index,
+                span=_phase_of(env.sender, r),
+                message=int(env.message_id),
+                sender=env.sender,
+                recipient=env.recipient,
+                clock=env.send_clock,
+                round=r,
+            )
+        if event.kind == "crash":
+            recorder.point(
+                "crash",
+                track=track,
+                time=index,
+                span=trial,
+                pid=event.actor,
+                clock=event.clock_after,
+            )
+        if (
+            event.decision_after is not None
+            and event.actor not in decided
+            and event.kind == "step"
+        ):
+            decided.add(event.actor)
+            r = _round_at(event.actor, event.clock_after)
+            recorder.point(
+                "decide",
+                track=track,
+                time=index,
+                span=_phase_of(event.actor, r),
+                pid=event.actor,
+                decision=event.decision_after,
+                clock=event.clock_after,
+                round=r,
+            )
+
+    recorder.end_span(trial, run.event_count)
+    return trial

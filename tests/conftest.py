@@ -26,6 +26,16 @@ def _isolated_telemetry():
     set_registry(previous)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tracing():
+    """Keep span tracing (repro.trace) from leaking across tests."""
+    from repro.trace import spans as trace_spans
+
+    trace_spans.disable_tracing()
+    yield
+    trace_spans.disable_tracing()
+
+
 def make_commit_simulation(
     votes,
     t=None,

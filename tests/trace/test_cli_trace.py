@@ -1,0 +1,157 @@
+"""CLI plumbing for span tracing: --trace-spans, --version, repro trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.export import recorder_to_records
+from repro.trace.spans import SpanRecorder
+from repro.telemetry.runio import write_jsonl_records
+
+
+def _traced_run(tmp_path, seed="7", votes="1,1,0,1,1"):
+    path = tmp_path / "spans.jsonl"
+    code = main(
+        [
+            "run-commit",
+            "--votes",
+            votes,
+            "--adversary",
+            "ontime",
+            "--seed",
+            seed,
+            "--trace-spans",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestTraceSpansFlag:
+    def test_run_commit_writes_span_trace(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        out = capsys.readouterr().out
+        assert path.exists()
+        assert "span trace written to" in out
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["schema"] == "repro.span-trace"
+
+    def test_tracing_uninstalled_after_command(self, tmp_path):
+        from repro.trace.spans import tracing_enabled
+
+        _traced_run(tmp_path)
+        assert not tracing_enabled()
+
+    def test_serve_metrics_announces_endpoint(self, tmp_path, capsys):
+        code = main(
+            [
+                "run-commit",
+                "--votes",
+                "1,1,1",
+                "--serve-metrics",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "serving metrics on http://" in capsys.readouterr().err
+
+
+class TestTraceSummarize:
+    def test_summarize_text(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans sim/trial: 1" in out
+        assert "causal edges" in out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trials"] == 1
+        assert doc["edges"] > 0
+
+    def test_empty_trace_exits_4(self, tmp_path, capsys):
+        path = write_jsonl_records(
+            recorder_to_records(SpanRecorder()), tmp_path / "empty.jsonl"
+        )
+        assert main(["trace", "summarize", str(path)]) == 4
+        assert "no spans recorded" in capsys.readouterr().err
+
+    def test_unreadable_trace_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert main(["trace", "summarize", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceExport:
+    def test_chrome_export(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        out_path = tmp_path / "trace.chrome.json"
+        code = main(
+            ["trace", "export", str(path), "--out", str(out_path)]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert {"M", "X", "i", "s", "f"} <= phases
+
+    def test_jsonl_reexport_is_byte_identical(self, tmp_path):
+        path = _traced_run(tmp_path)
+        out_path = tmp_path / "roundtrip.jsonl"
+        code = main(
+            [
+                "trace",
+                "export",
+                str(path),
+                "--format",
+                "jsonl",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.read_bytes() == path.read_bytes()
+
+
+class TestTraceCriticalPath:
+    def test_text_output_reports_round_attribution(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "decision round" in out
+        assert "max chain round span" in out
+
+    def test_json_round_span_equals_decision_round(self, tmp_path, capsys):
+        # ISSUE acceptance criterion, end to end through the CLI: on an
+        # E2-style K=4 on-time run the reported causal-chain round span
+        # equals the observed decision round.
+        path = _traced_run(tmp_path, votes="1,1,1,1,1")
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(path), "--json"]) == 0
+        paths = json.loads(capsys.readouterr().out)
+        assert paths
+        for doc in paths:
+            assert doc["round_span"] == doc["decision_round"]
+            assert doc["timer_gap"] == 0
+
+    def test_hops_listing(self, tmp_path, capsys):
+        path = _traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(path), "--hops"]) == 0
+        assert " -> p" in capsys.readouterr().out

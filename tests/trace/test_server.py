@@ -1,0 +1,80 @@
+"""The live metrics endpoint (repro.telemetry.server)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.telemetry.registry import MetricsRegistry, use_registry
+from repro.telemetry.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    serving_metrics,
+)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestMetricsServer:
+    def test_healthz(self):
+        with MetricsServer(port=0) as server:
+            status, _headers, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_metrics_renders_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter(
+            "campaign_plans_executed_total", help="plans done"
+        ).inc(3)
+        with MetricsServer(port=0, registry=registry) as server:
+            status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE campaign_plans_executed_total counter" in text
+        assert "campaign_plans_executed_total 3" in text
+
+    def test_scrape_sees_metrics_recorded_after_start(self):
+        registry = MetricsRegistry(enabled=True)
+        with MetricsServer(port=0, registry=registry) as server:
+            registry.counter("late_total", help="added post-start").inc()
+            _status, _headers, body = _get(f"{server.url}/metrics")
+        assert "late_total 1" in body.decode("utf-8")
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(port=0).start()
+        server.stop()
+        server.stop()
+
+    def test_serving_metrics_context_manager(self):
+        with serving_metrics(port=0) as server:
+            status, _headers, _body = _get(f"{server.url}/healthz")
+            assert status == 200
+
+
+class TestCampaignProgressMetrics:
+    def test_campaign_counters_scrapeable(self):
+        """A scrape after a sim campaign sees the progress counters the
+        campaign incremented live (per completed plan, not end-of-run)."""
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            run_campaign(
+                CampaignConfig(plans=3, n=5, base_seed=1, tracks=("sim",)),
+                workers=1,
+            )
+        with MetricsServer(port=0, registry=registry) as server:
+            _status, _headers, body = _get(f"{server.url}/metrics")
+        text = body.decode("utf-8")
+        assert "campaign_plans_executed_total 3" in text
+        assert "campaign_plans_planned 3" in text

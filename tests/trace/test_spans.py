@@ -1,0 +1,138 @@
+"""Unit tests for the span recorder (repro.trace.spans)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.spans import (
+    SpanRecorder,
+    active_recorder,
+    disable_tracing,
+    enable_tracing,
+    tracing_enabled,
+    use_recorder,
+)
+
+
+class TestSpans:
+    def test_ids_dense_from_one(self):
+        rec = SpanRecorder()
+        ids = [
+            rec.begin_span(f"s{i}", kind="k", track="t", start=i)
+            for i in range(4)
+        ]
+        assert ids == [1, 2, 3, 4]
+
+    def test_parent_defaults_to_innermost_open_span(self):
+        rec = SpanRecorder()
+        outer = rec.begin_span("outer", kind="k", track="t", start=0)
+        inner = rec.begin_span("inner", kind="k", track="t", start=1)
+        assert rec.spans[outer].parent is None
+        assert rec.spans[inner].parent == outer
+
+    def test_explicit_parent_does_not_consult_stack(self):
+        rec = SpanRecorder()
+        rec.begin_span("open", kind="k", track="t", start=0)
+        orphan = rec.begin_span(
+            "orphan", kind="k", track="t", start=1, parent=None
+        )
+        assert rec.spans[orphan].parent is None
+
+    def test_end_span_pops_stack_and_sets_end(self):
+        rec = SpanRecorder()
+        outer = rec.begin_span("outer", kind="k", track="t", start=0)
+        inner = rec.begin_span("inner", kind="k", track="t", start=1)
+        rec.end_span(inner, 5, extra="x")
+        assert rec.spans[inner].end == 5
+        assert rec.spans[inner].attrs["extra"] == "x"
+        assert rec.spans[inner].duration == 4
+        # Outer is the innermost open span again.
+        child = rec.begin_span("child", kind="k", track="t", start=2)
+        assert rec.spans[child].parent == outer
+
+    def test_end_span_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            SpanRecorder().end_span(99, 1.0)
+
+    def test_span_context_manager_closes(self):
+        rec = SpanRecorder()
+        with rec.span("s", kind="k", track="t", start=3, end=7) as span_id:
+            pass
+        assert rec.spans[span_id].end == 7
+
+    def test_open_span_has_no_duration(self):
+        rec = SpanRecorder()
+        span_id = rec.begin_span("s", kind="k", track="t", start=0)
+        assert rec.spans[span_id].duration is None
+
+
+class TestEvents:
+    def test_point_attaches_to_innermost_open_span(self):
+        rec = SpanRecorder()
+        span_id = rec.begin_span("s", kind="k", track="t", start=0)
+        event_id = rec.point("decide", track="t", time=1, pid=2)
+        event = rec.events[0]
+        assert event.id == event_id
+        assert event.span == span_id
+        assert event.attrs["pid"] == 2
+
+    def test_send_then_deliver_emits_edge(self):
+        rec = SpanRecorder()
+        src = rec.send(track="t", key=7, time=0)
+        dst = rec.deliver(track="t", key=7, time=1)
+        assert len(rec.edges) == 1
+        edge = rec.edges[0]
+        assert (edge.src, edge.dst, edge.kind) == (src, dst, "message")
+        assert edge.src < edge.dst
+
+    def test_unmatched_deliver_records_no_edge(self):
+        rec = SpanRecorder()
+        rec.deliver(track="t", key=1, time=0)
+        assert rec.edges == []
+        assert len(rec.events) == 1
+
+    def test_keys_are_namespaced_by_track(self):
+        rec = SpanRecorder()
+        rec.send(track="a", key=1, time=0)
+        rec.deliver(track="b", key=1, time=1)
+        assert rec.edges == []
+
+    def test_scopes_keep_trial_keys_apart(self):
+        # Message ids restart per run; a scope in the key prevents a
+        # deliver in trial 2 from linking to trial 1's send.
+        rec = SpanRecorder()
+        scope_a, scope_b = rec.new_scope(), rec.new_scope()
+        assert scope_a != scope_b
+        rec.send(track="t", key=(scope_a, 0), time=0)
+        rec.deliver(track="t", key=(scope_b, 0), time=1)
+        assert rec.edges == []
+        rec.deliver(track="t", key=(scope_a, 0), time=2)
+        assert len(rec.edges) == 1
+
+    def test_counts(self):
+        rec = SpanRecorder()
+        rec.begin_span("s", kind="k", track="t", start=0)
+        rec.send(track="t", key=1, time=0)
+        rec.deliver(track="t", key=1, time=1)
+        assert rec.counts() == {"spans": 1, "events": 2, "edges": 1}
+        assert len(rec) == 1
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_recorder() is None
+        assert not tracing_enabled()
+
+    def test_enable_disable(self):
+        recorder = enable_tracing()
+        assert active_recorder() is recorder
+        assert tracing_enabled()
+        assert disable_tracing() is recorder
+        assert active_recorder() is None
+
+    def test_use_recorder_restores_previous(self):
+        outer = enable_tracing()
+        inner = SpanRecorder()
+        with use_recorder(inner):
+            assert active_recorder() is inner
+        assert active_recorder() is outer
+        disable_tracing()
