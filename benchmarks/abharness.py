@@ -1,0 +1,97 @@
+"""Shared self-timed A/B benchmark harness.
+
+Every benchmark in this directory follows the same discipline: no
+pytest-benchmark dependency, interleaved A/B rounds so machine drift
+cancels, best-of aggregation so scheduler noise cancels, and a JSON
+artifact under ``benchmarks/results/`` recording everything observed.
+This module is that discipline, factored out of
+``test_engine_speedup.py`` and ``test_trace_overhead.py`` so new
+benchmarks (``test_sim_core.py``) cannot drift from it.
+
+Artifacts written through :func:`write_results` always carry the host
+fingerprint — core count, Python version, and numpy presence — because
+a speedup number is meaningless without knowing what produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import statistics
+import time
+from typing import Callable, Mapping
+
+#: Where all benchmark artifacts land (committed alongside the code).
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def host_metadata() -> dict:
+    """The host fingerprint stamped into every artifact."""
+    try:
+        import numpy
+
+        numpy_version: str | None = numpy.__version__
+    except Exception:
+        numpy_version = None
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+def timed(workload: Callable[[], object]) -> float:
+    """Wall-clock seconds of one call to ``workload``."""
+    start = time.perf_counter()
+    workload()
+    return time.perf_counter() - start
+
+
+def interleaved_rounds(
+    sides: Mapping[str, Callable[[int], object]], rounds: int
+) -> dict[str, list[float]]:
+    """Time each side once per round, alternating within the round.
+
+    ``sides`` maps a label to a workload taking the round index (use it
+    to vary seeds).  Interleaving means a load spike on the host hits
+    all sides of the comparison roughly equally instead of biasing
+    whichever side happened to run during it.
+    """
+    timings: dict[str, list[float]] = {name: [] for name in sides}
+    for round_index in range(rounds):
+        for name, workload in sides.items():
+            start = time.perf_counter()
+            workload(round_index)
+            timings[name].append(time.perf_counter() - start)
+    return timings
+
+
+def best_of(timings: Mapping[str, list[float]]) -> dict[str, float]:
+    """Per-side minimum — the noise-free estimate of each side's cost."""
+    return {name: min(values) for name, values in timings.items()}
+
+
+def timing_summary(timings: Mapping[str, list[float]]) -> dict:
+    """Raw rounds plus best/median per side, ready for an artifact."""
+    return {
+        name: {
+            "seconds": values,
+            "best_seconds": min(values),
+            "median_seconds": statistics.median(values),
+        }
+        for name, values in timings.items()
+    }
+
+
+def write_results(filename: str, document: dict) -> pathlib.Path:
+    """Write ``document`` (host fingerprint prepended) as a results file."""
+    stamped = {"host": host_metadata(), **document}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(
+        json.dumps(stamped, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,11 +1,12 @@
 """Engine speedup benchmark: serial vs parallel wall-clock.
 
-Self-timed (no pytest-benchmark dependency on purpose: the point is a
-single honest A/B wall-clock pair, not statistical rounds).  Runs a
-small set of experiments in quick mode at ``workers=1`` and
-``workers=4``, asserts the result tables are byte-identical, and writes
-everything observed — host core count, per-experiment timings, the
-speedup ratio, and the recorded single-trial hot-path numbers — into
+Built on :mod:`abharness` (self-timed, no pytest-benchmark dependency:
+the point is a single honest A/B wall-clock pair, not statistical
+rounds).  Runs a small set of experiments in quick mode at
+``workers=1`` and ``workers=4``, asserts the result tables are
+byte-identical, and writes everything observed — host fingerprint,
+per-experiment timings, the speedup ratio, and the recorded
+single-trial hot-path numbers — into
 ``benchmarks/results/engine.json``.
 
 The speedup *assertion* is gated on the host core count: trial-level
@@ -22,14 +23,12 @@ Set ``REPRO_BENCH_FULL=1`` to time the full (non-quick) workloads.
 
 from __future__ import annotations
 
-import json
 import os
-import pathlib
 import time
 
-from repro.experiments.registry import run_experiment
+from abharness import host_metadata, write_results
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+from repro.experiments.registry import run_experiment
 
 #: Experiments timed for the serial/parallel comparison: mid-size
 #: Monte-Carlo batches with distinct adversary mixes.
@@ -99,10 +98,9 @@ def test_engine_speedup():
     serial_total = sum(serial_timings.values())
     parallel_total = sum(parallel_timings.values())
     speedup = serial_total / parallel_total if parallel_total else float("inf")
-    cpu_count = os.cpu_count() or 1
+    cpu_count = host_metadata()["cpu_count"]
 
     document = {
-        "host": {"cpu_count": cpu_count},
         "quick": quick,
         "experiments": list(TIMED_EXPERIMENTS),
         "parallel_workers": PARALLEL_WORKERS,
@@ -114,11 +112,7 @@ def test_engine_speedup():
         "speedup_asserted": cpu_count >= 2,
         "hot_path": HOT_PATH_REFERENCE,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "engine.json"
-    path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    write_results("engine.json", document)
 
     if cpu_count >= 4:
         assert speedup >= 2.0, (

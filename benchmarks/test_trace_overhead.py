@@ -1,8 +1,8 @@
 """Span-tracing overhead benchmark: disabled tracing must stay free.
 
-Mirrors the harness style of ``test_engine_speedup.py``: self-timed,
-interleaved A/B rounds (alternating disabled and enabled tracing so
-machine drift cancels), with everything observed written to
+Built on :mod:`abharness`: self-timed, interleaved A/B rounds
+(alternating disabled and enabled tracing so machine drift cancels),
+with everything observed written to
 ``benchmarks/results/trace_overhead.json``.
 
 Two claims are asserted:
@@ -19,17 +19,13 @@ Two claims are asserted:
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
 import statistics
-import time
+
+from abharness import best_of, interleaved_rounds, write_results
 
 from repro.adversary.standard import OnTimeAdversary
 from repro.core.api import run_commit
 from repro.trace.spans import SpanRecorder, use_recorder
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Interleaved A/B rounds; best-of cancels scheduler noise.
 ROUNDS = 7
@@ -68,32 +64,29 @@ def _workload(seed: int, traced: bool) -> int:
     return outcome.run.event_count
 
 
-def _timed(traced: bool, seed: int) -> float:
-    start = time.perf_counter()
-    _workload(seed, traced)
-    return time.perf_counter() - start
-
-
 def test_trace_overhead():
     # Warm-up, untimed: imports and allocator steady state.
     _workload(0, traced=False)
     _workload(0, traced=True)
 
-    disabled: list[float] = []
-    enabled: list[float] = []
-    for round_index in range(ROUNDS):
-        seed = 100 + round_index
-        disabled.append(_timed(False, seed))
-        enabled.append(_timed(True, seed))
+    timings = interleaved_rounds(
+        {
+            "disabled": lambda r: _workload(100 + r, traced=False),
+            "enabled": lambda r: _workload(100 + r, traced=True),
+        },
+        ROUNDS,
+    )
+    disabled = timings["disabled"]
+    enabled = timings["enabled"]
 
-    best_disabled = min(disabled)
-    best_enabled = min(enabled)
+    bests = best_of(timings)
+    best_disabled = bests["disabled"]
+    best_enabled = bests["enabled"]
     # The enabled leg runs the simulation twice (untraced then traced),
     # so its per-run cost floor is half its best total.
     enabled_per_run = best_enabled / 2
 
     document = {
-        "host": {"cpu_count": os.cpu_count() or 1},
         "rounds": ROUNDS,
         "disabled_seconds": disabled,
         "enabled_seconds": enabled,
@@ -108,12 +101,7 @@ def test_trace_overhead():
             "enabled_vs_disabled": ENABLED_VS_DISABLED_CEILING,
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "trace_overhead.json"
-    path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    write_results("trace_overhead.json", document)
 
     assert best_disabled <= enabled_per_run * DISABLED_VS_ENABLED_CEILING, (
         f"disabled tracing should be at most {DISABLED_VS_ENABLED_CEILING}x "

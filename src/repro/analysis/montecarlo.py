@@ -26,6 +26,7 @@ from repro.core.commit import CommitProgram
 from repro.core.halting import HaltingMode
 from repro.engine.executor import run_trials
 from repro.errors import InsufficientDataError
+from repro.sim.coreselect import resolve_sim_core
 from repro.sim.scheduler import Simulation
 
 
@@ -107,7 +108,19 @@ class CommitTrialConfig:
 
 
 def run_commit_trial(config: CommitTrialConfig, seed: int) -> RunMetrics:
-    """Run one commit trial and extract its metrics."""
+    """Run one commit trial and extract its metrics.
+
+    Executes on the resolved simulation core (``--sim-core`` /
+    ``REPRO_SIM_CORE``): the fast core routes through
+    :func:`repro.sim.fastcore.fast_commit_trial`, whose metrics are
+    contract-equal to this function's.  The ``(config, seed)`` signature
+    is unchanged, so batches still pickle for the engine's worker pool;
+    workers re-resolve the core from the inherited environment.
+    """
+    if resolve_sim_core() == "fast":
+        from repro.sim.fastcore import fast_commit_trial
+
+        return fast_commit_trial(config, seed)
     votes = config.votes_for(seed)
     n = len(votes)
     t = config.t if config.t is not None else (n - 1) // 2

@@ -26,7 +26,9 @@ Commands:
   by scanning a campaign) to a locally-minimal FaultPlan that still
   violates safety;
 * ``faults diff`` — run the cross-track differential oracle and report
-  semantic divergence between the simulator and the runtime;
+  semantic divergence between the simulator and the runtime; with
+  ``--cores``, compare the reference and fast *execution cores* on
+  byte-identical serialized runs instead;
 * ``mc explore`` — bounded exhaustive model checking of one protocol
   variant with sleep-set partial-order reduction; exits 1 on any safety
   violation and cuts per-class counterexample artifacts with
@@ -43,9 +45,11 @@ Commands:
   ending at each decision and attribute the decision round to it.
 
 ``run-commit``, ``faults campaign``, and ``mc explore`` accept
-``--trace-spans PATH`` (record a causal span trace of the run) and
+``--trace-spans PATH`` (record a causal span trace of the run),
 ``--serve-metrics PORT`` (serve live ``/metrics`` + ``/healthz`` on a
-background thread for the duration of the command).
+background thread for the duration of the command), and ``--sim-core
+{reference,fast}`` (select the simulation execution core; see
+``docs/PERFORMANCE.md``).
 
 The global ``--log-level`` flag configures the ``repro`` logging channel
 (see :mod:`repro.telemetry.log`); it must precede the subcommand.
@@ -74,6 +78,7 @@ from repro.adversary.standard import (
 )
 from repro.core.api import ProtocolOutcome, run_commit
 from repro.core.commit import CommitProgram
+from repro.sim.coreselect import CORE_NAMES
 from repro.inspect import (
     render_lanes,
     render_round_chart,
@@ -252,12 +257,44 @@ def _print_outcome(outcome: ProtocolOutcome, args) -> None:
         print(render_round_chart(run))
 
 
+def _install_sim_core(core: str | None) -> None:
+    """Install ``--sim-core`` process-wide, and export it to workers.
+
+    Engine worker processes re-resolve the core from the environment
+    they inherit, so the override must land in both places.
+    """
+    if core is None:
+        return
+    import os
+
+    from repro.sim.coreselect import set_default_sim_core
+
+    set_default_sim_core(core)
+    os.environ["REPRO_SIM_CORE"] = core
+
+
+def _add_sim_core_arg(parser) -> None:
+    parser.add_argument(
+        "--sim-core",
+        choices=CORE_NAMES,
+        default=None,
+        dest="sim_core",
+        help=(
+            "simulation execution core: reference (default) or fast "
+            "(byte-identical results, slimmed hot path; exported as "
+            "REPRO_SIM_CORE so engine workers inherit it)"
+        ),
+    )
+
+
 def cmd_run_commit(args) -> int:
     return _with_observability(args, lambda: _cmd_run_commit(args))
 
 
 def _cmd_run_commit(args) -> int:
     from repro.engine.executor import set_default_workers
+
+    _install_sim_core(args.sim_core)
 
     registry = None
     if args.json:
@@ -446,6 +483,7 @@ def _cmd_faults_campaign(args) -> int:
         write_campaign_report,
     )
 
+    _install_sim_core(args.sim_core)
     registry = None
     if args.stats:
         from repro.telemetry.registry import enable_telemetry
@@ -568,7 +606,9 @@ def cmd_faults_shrink(args) -> int:
 
 def cmd_faults_diff(args) -> int:
     from repro.counterexample import (
+        render_core_differential_summary,
         render_differential_summary,
+        run_core_differential,
         run_differential,
     )
     from repro.faults.campaign import CampaignConfig
@@ -585,11 +625,16 @@ def cmd_faults_diff(args) -> int:
         all_commit_fraction=args.all_commit_fraction,
         program=args.variant,
     )
-    report = run_differential(config, workers=args.workers)
+    if args.cores:
+        report = run_core_differential(config, workers=args.workers)
+        summary = render_core_differential_summary(report)
+    else:
+        report = run_differential(config, workers=args.workers)
+        summary = render_differential_summary(report)
     if args.json:
         print(json.dumps(report, sort_keys=True))
     else:
-        print(render_differential_summary(report))
+        print(summary)
     if args.out:
         from pathlib import Path
 
@@ -614,6 +659,7 @@ def _cmd_mc_explore(args) -> int:
         write_violation_artifacts,
     )
 
+    _install_sim_core(args.sim_core)
     registry = None
     if args.stats:
         from repro.telemetry.registry import enable_telemetry
@@ -913,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: cpu count via REPRO_WORKERS/os.cpu_count)"
         ),
     )
+    _add_sim_core_arg(run_parser)
     _add_observability_args(run_parser)
     run_parser.set_defaults(fn=cmd_run_commit)
 
@@ -1075,6 +1122,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed a telemetry snapshot in the report",
     )
+    _add_sim_core_arg(campaign_parser)
     _add_observability_args(campaign_parser)
     campaign_parser.set_defaults(fn=cmd_faults_campaign)
 
@@ -1212,6 +1260,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for the plan sweep",
+    )
+    diff_parser.add_argument(
+        "--cores",
+        action="store_true",
+        help=(
+            "compare execution cores instead of tracks: run every "
+            "sim-track case on both the reference and fast cores and "
+            "require byte-identical serialized runs"
+        ),
     )
     diff_parser.add_argument(
         "--out", default=None, help="write the differential report JSON here"
@@ -1366,6 +1423,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed a telemetry snapshot in the report",
     )
+    _add_sim_core_arg(explore_parser)
     _add_observability_args(explore_parser)
     explore_parser.set_defaults(fn=cmd_mc_explore)
 
@@ -1460,13 +1518,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ConfigurationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.log_level is not None:
         from repro.telemetry.log import configure_logging
 
         configure_logging(args.log_level)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigurationError as exc:
+        # Lazily-resolved knobs (REPRO_SIM_CORE, REPRO_SIM_NUMPY, ...)
+        # surface here; follow the usage-error convention.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

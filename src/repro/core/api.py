@@ -25,6 +25,7 @@ from repro.core.commit import CommitProgram
 from repro.core.halting import HaltingMode
 from repro.errors import ConfigurationError
 from repro.sim.rounds import RoundAnalyzer
+from repro.sim.coreselect import simulation_class
 from repro.sim.scheduler import Simulation, SimulationResult
 from repro.types import Decision, Vote
 
@@ -151,7 +152,7 @@ def run_commit(
     ]
     if adversary is None:
         adversary = SynchronousAdversary(seed=seed)
-    simulation = Simulation(
+    simulation = simulation_class()(
         programs=programs,
         adversary=adversary,
         K=K,
@@ -216,7 +217,7 @@ def run_agreement(
     ]
     if adversary is None:
         adversary = SynchronousAdversary(seed=seed)
-    simulation = Simulation(
+    simulation = simulation_class()(
         programs=programs,
         adversary=adversary,
         K=K,

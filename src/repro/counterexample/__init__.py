@@ -21,9 +21,12 @@ raw finding into something a human can act on:
 """
 
 from repro.counterexample.oracle import (
+    CORE_DIFFERENTIAL_SCHEMA,
     DIFFERENTIAL_SCHEMA,
     classify_trial,
+    render_core_differential_summary,
     render_differential_summary,
+    run_core_differential,
     run_differential,
 )
 from repro.counterexample.replay import (
@@ -47,6 +50,7 @@ from repro.counterexample.shrink import (
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ARTIFACT_VERSION",
+    "CORE_DIFFERENTIAL_SCHEMA",
     "DIFFERENTIAL_SCHEMA",
     "ShrinkResult",
     "artifacts_from_report",
@@ -55,8 +59,10 @@ __all__ = [
     "classify_trial",
     "first_violating_case",
     "read_artifact",
+    "render_core_differential_summary",
     "render_differential_summary",
     "render_shrink_summary",
+    "run_core_differential",
     "run_differential",
     "shrink_case",
     "verify_replay",

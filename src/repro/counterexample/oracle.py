@@ -31,6 +31,8 @@ in the summary — visible, but not a finding.
 from __future__ import annotations
 
 import dataclasses
+import json
+from functools import partial
 from typing import Any
 
 from repro.faults.campaign import (
@@ -43,6 +45,9 @@ from repro.runtime.cluster import TERMINATED
 
 #: Schema tag of the differential report document.
 DIFFERENTIAL_SCHEMA = "repro.fault-differential v1"
+
+#: Schema tag of the cross-core differential report document.
+CORE_DIFFERENTIAL_SCHEMA = "repro.core-differential v1"
 
 
 def _safety_set(outcome: dict[str, Any]) -> list[str]:
@@ -146,6 +151,104 @@ def run_differential(
         },
         "findings": findings,
     }
+
+
+def run_core_case(config: CampaignConfig, seed: int) -> dict[str, Any]:
+    """Execute trial ``seed``'s sim-track case on both execution cores.
+
+    The two runs are serialized through the run-trace schema
+    (:func:`repro.telemetry.runio.run_to_records`) and compared
+    byte-for-byte — events, envelopes, decisions, pattern histories,
+    everything the trace format captures.  This is the enforcement
+    point of the fast core's byte-identical-``Run`` contract.
+    """
+    from repro.faults.campaign import case_from_config
+    from repro.faults.sim_compile import compile_to_adversary
+    from repro.faults.variants import make_programs
+    from repro.sim.coreselect import simulation_class
+    from repro.telemetry.runio import run_to_records
+
+    case = case_from_config(config, seed)
+    serialized: dict[str, str] = {}
+    outcomes: dict[str, Any] = {}
+    for core in ("reference", "fast"):
+        simulation = simulation_class(core)(
+            programs=make_programs(
+                case.program, case.n, case.t, case.votes, case.K
+            ),
+            adversary=compile_to_adversary(case.plan, K=case.K),
+            K=case.K,
+            t=case.t,
+            seed=case.seed,
+            max_steps=case.max_steps,
+        )
+        result = simulation.run()
+        serialized[core] = json.dumps(
+            run_to_records(result.run), sort_keys=True
+        )
+        outcomes[core] = {
+            "terminated": result.terminated,
+            "decisions": [
+                result.run.decisions[pid] for pid in range(case.n)
+            ],
+            "events": result.run.event_count,
+        }
+    record: dict[str, Any] = {
+        "seed": seed,
+        "match": serialized["reference"] == serialized["fast"],
+        "events": outcomes["reference"]["events"],
+    }
+    if not record["match"]:
+        record["plan"] = case.plan.to_dict()
+        record["reference"] = outcomes["reference"]
+        record["fast"] = outcomes["fast"]
+    return record
+
+
+def run_core_differential(
+    config: CampaignConfig, workers: int | None = None
+) -> dict[str, Any]:
+    """Sweep a campaign's sim-track cases across both execution cores.
+
+    Same plan/vote drawing as the campaign (so findings are replayable
+    with the campaign tooling), but the comparison axis is the
+    *execution core* rather than the track: every case must produce a
+    byte-identical serialized ``Run`` under ``reference`` and ``fast``.
+    Any divergence is a finding — there is no benign drift here.
+    """
+    from repro.engine.executor import run_trials
+
+    records = run_trials(
+        partial(run_core_case, config),
+        trials=config.plans,
+        base_seed=config.base_seed,
+        workers=workers,
+    )
+    mismatches = [record for record in records if not record["match"]]
+    return {
+        "schema": CORE_DIFFERENTIAL_SCHEMA,
+        "config": config.to_dict(),
+        "summary": {
+            "plans": config.plans,
+            "findings": len(mismatches),
+            "events_compared": sum(record["events"] for record in records),
+        },
+        "findings": mismatches,
+    }
+
+
+def render_core_differential_summary(report: dict[str, Any]) -> str:
+    """A short human-readable digest of a cross-core report."""
+    summary = report["summary"]
+    verdict = "BYTE-IDENTICAL" if summary["findings"] == 0 else "DIVERGED"
+    return "\n".join(
+        [
+            f"core differential: {summary['plans']} plans on both cores",
+            f"  events compared: {summary['events_compared']}",
+            f"  diverging plans: {summary['findings']}",
+            f"  verdict: {verdict}",
+        ]
+    )
 
 
 def render_differential_summary(report: dict[str, Any]) -> str:

@@ -50,6 +50,7 @@ from repro.sim.decisions import (
     decision_from_dict,
     decision_to_dict,
 )
+from repro.sim.coreselect import simulation_class
 from repro.sim.scheduler import Simulation
 from repro.telemetry import registry as telemetry
 from repro.telemetry.log import get_logger
@@ -321,7 +322,7 @@ def _run_sim_track(case: TrialCase) -> dict[str, Any]:
         )
     else:
         adversary = compile_to_adversary(case.plan, K=case.K)
-    simulation = Simulation(
+    simulation = simulation_class()(
         programs=make_programs(
             case.program, case.n, case.t, case.votes, case.K
         ),

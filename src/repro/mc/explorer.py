@@ -59,6 +59,7 @@ from repro.sim.decisions import (
     decision_to_dict,
 )
 from repro.sim.pattern import PatternView
+from repro.sim.coreselect import simulation_class
 from repro.sim.scheduler import Simulation
 from repro.telemetry import registry as telemetry
 from repro.telemetry.registry import MetricsRegistry
@@ -228,7 +229,7 @@ class _SubtreeExplorer:
 
     def fresh_sim(self) -> Simulation:
         config = self.config
-        return Simulation(
+        return simulation_class()(
             programs=make_programs(
                 config.program, config.n, config.t, self.votes, config.K
             ),

@@ -1,0 +1,922 @@
+"""The fast execution core: slim event path + vectorised trial sweeps.
+
+Two layers, both contract-bound to byte-identical results versus the
+reference core (:class:`repro.sim.scheduler.Simulation`):
+
+* :class:`FastSimulation` — a drop-in ``Simulation`` subclass producing
+  byte-identical ``Run`` traces, decisions, and pattern histories.  It
+  eliminates the double construction of delivered payloads (the reference
+  scheduler builds a ``ReceivedPayload`` which ``on_step`` immediately
+  re-wraps), and assembles the lateness caches of the built ``Run`` from
+  flat per-processor step-index arrays (numpy when present, bisect
+  fallback otherwise) instead of the per-envelope × per-processor bisect
+  storm the first ``is_on_time`` query would trigger.
+
+* the *sweep* path (:func:`fast_commit_trial`) — a fused cycle driver
+  for metrics-only Monte-Carlo trials.  When the adversary is a stock
+  :class:`~repro.adversary.base.CycleAdversary` with a whitelisted
+  delivery policy and no observer is attached (no telemetry, no span
+  recorder), the driver replays the exact decide/apply semantics of the
+  reference pair while skipping everything a :class:`RunMetrics` bundle
+  cannot observe: pattern entries, trace events, envelope objects,
+  pending-metadata caches, and all bulletin-board activity of returned
+  processors.  RNG draw order is replicated draw-for-draw — the policy's
+  own assignment dicts and the adversary's own ``rng`` are used — so the
+  produced metrics are equal as Python objects to the reference's.
+  Anything off the whitelist falls back to :class:`FastSimulation`,
+  which is always safe.
+
+Numpy use is optional everywhere (``REPRO_SIM_NUMPY=0`` disables it;
+absence of numpy degrades silently to the pure-Python fallbacks).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.adversary.base import (
+    CycleAdversary,
+    DelayCycles,
+    DeliverAll,
+    DropNonGuaranteed,
+)
+from repro.errors import AnalysisError, ConfigurationError, SchedulingError
+from repro.sim.board import BulletinBoard
+from repro.sim.coreselect import numpy_allowed
+from repro.sim.decisions import StepDecision
+from repro.sim.message import Envelope, ReceivedPayload
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Simulation
+from repro.sim.tape import TapeCollection
+from repro.sim.trace import Run
+from repro.telemetry.log import get_logger
+from repro.telemetry.registry import active_registry
+from repro.trace import spans as trace_spans
+from repro.types import ProcessStatus
+
+try:  # pragma: no cover - exercised via the fallback tests
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+_log = get_logger("sim.fastcore")
+
+#: Upper bound on rounds, mirrored from :mod:`repro.sim.rounds`.
+_MAX_ROUNDS = 10_000
+
+#: Sentinel for payload types that declare no ``board_key``.
+_NO_KEY = object()
+
+
+def _use_numpy() -> bool:
+    return _np is not None and numpy_allowed()
+
+
+# ---------------------------------------------------------------------------
+# Flat lateness
+# ---------------------------------------------------------------------------
+
+
+def _late_flags(
+    K: int,
+    pid_steps: list[list[int]],
+    send_events: list[int],
+    receive_events: list[int],
+):
+    """Lateness flag per delivered envelope, computed over flat arrays.
+
+    An envelope is late iff some processor took more than ``K`` steps
+    strictly between its send and receive events; per processor the count
+    is ``bisect_left(steps, receive) - bisect_right(steps, send)``,
+    exactly :meth:`repro.sim.trace.Run.steps_in_interval`.
+    """
+    count = len(send_events)
+    if count == 0:
+        return []
+    if _use_numpy():
+        sends = _np.asarray(send_events, dtype=_np.int64)
+        recvs = _np.asarray(receive_events, dtype=_np.int64)
+        worst = _np.zeros(count, dtype=_np.int64)
+        for steps in pid_steps:
+            if not steps:
+                continue
+            arr = _np.asarray(steps, dtype=_np.int64)
+            counts = _np.searchsorted(arr, recvs, side="left")
+            counts -= _np.searchsorted(arr, sends, side="right")
+            _np.maximum(worst, counts, out=worst)
+        return (worst > K).tolist()
+    flags = []
+    for send, recv in zip(send_events, receive_events):
+        late = False
+        for steps in pid_steps:
+            if bisect_left(steps, recv) - bisect_right(steps, send) > K:
+                late = True
+                break
+        flags.append(late)
+    return flags
+
+
+def _flat_late_envelopes(
+    K: int, pid_steps: list[list[int]], envelopes: dict
+) -> list[Envelope]:
+    """The late-message list in ``envelopes.values()`` order."""
+    delivered = [
+        env for env in envelopes.values() if env.receive_event is not None
+    ]
+    flags = _late_flags(
+        K,
+        pid_steps,
+        [env.send_event for env in delivered],
+        [env.receive_event for env in delivered],
+    )
+    return [env for env, late in zip(delivered, flags) if late]
+
+
+# ---------------------------------------------------------------------------
+# Flat asynchronous rounds (replicates repro.sim.rounds.RoundAnalyzer)
+# ---------------------------------------------------------------------------
+
+
+def _flat_max_decision_round(
+    n: int,
+    K: int,
+    faulty: set[int],
+    receipts: list[list[tuple[int, int, int]]],
+    decision_clocks: list[int | None],
+    final_clocks: list[int],
+) -> int | None:
+    """Rounds to the last nonfaulty decision, over flat receipt lists.
+
+    ``receipts[pid]`` holds ``(sender, send_clock, receive_clock)`` for
+    every envelope delivered to ``pid`` from a nonfaulty sender, in
+    envelope-id order — the same inductive inputs
+    :class:`~repro.sim.rounds.RoundAnalyzer` extracts from a ``Run``.
+    """
+    targets = [
+        decision_clocks[pid]
+        if decision_clocks[pid] is not None
+        else final_clocks[pid]
+        for pid in range(n)
+    ]
+    ends: list[list[int]] = [[0] for _ in range(n)]
+    for round_number in range(1, _MAX_ROUNDS + 1):
+        if round_number > 1 and all(
+            ends[pid][-1] >= targets[pid] for pid in range(n)
+        ):
+            break
+        previous = round_number - 1
+        for pid in range(n):
+            pid_ends = ends[pid]
+            end = pid_ends[previous] + K
+            if previous >= 1:
+                for sender, send_clock, receive_clock in receipts[pid]:
+                    sender_ends = ends[sender]
+                    if previous >= len(sender_ends):
+                        continue
+                    if (
+                        sender_ends[previous - 1]
+                        < send_clock
+                        <= sender_ends[previous]
+                    ):
+                        candidate = receive_clock + K
+                        if candidate > end:
+                            end = candidate
+            pid_ends.append(end)
+    else:
+        raise AnalysisError(
+            f"round analysis did not converge within {_MAX_ROUNDS} rounds"
+        )
+    best: int | None = None
+    for pid in range(n):
+        clock = decision_clocks[pid]
+        if clock is None or pid in faulty:
+            continue
+        if clock <= 0:
+            raise AnalysisError(f"clock readings are positive, got {clock}")
+        index = bisect_left(ends[pid], clock)
+        if index >= len(ends[pid]):
+            raise AnalysisError(
+                f"clock {clock} beyond computed boundaries for "
+                f"processor {pid} (last end {ends[pid][-1]})"
+            )
+        if best is None or index > best:
+            best = index
+    return best
+
+
+# ---------------------------------------------------------------------------
+# FastSimulation: byte-identical trace mode
+# ---------------------------------------------------------------------------
+
+
+class FastSimulation(Simulation):
+    """Reference semantics on a slimmed per-event path.
+
+    Behavioural contract: every observable of the reference core —
+    ``Run`` traces, pattern histories, buffer/board/process state at any
+    prefix — is byte-identical.  The golden-trace and hypothesis suites
+    in ``tests/sim/test_fastcore.py`` and
+    ``tests/property/test_fastcore_properties.py`` pin this.
+    """
+
+    core_name = "fast"
+
+    def _apply_step(self, decision: StepDecision) -> None:
+        pid = decision.pid
+        if pid in self._crashed:
+            raise SchedulingError(f"cannot step crashed processor {pid}")
+        buffer = self.buffers[pid]
+        envelopes = buffer.take(decision.deliver)
+        process = self.processes[pid]
+        was_running = process.status is ProcessStatus.RUNNING
+        # Inlined SimProcess.on_step without the payload re-wrap: the
+        # delivered ReceivedPayload is built once, with the post-step
+        # clock, and posted directly — field-for-field the entry the
+        # reference path posts.
+        process.clock += 1
+        process.tape.next_step_value()
+        clock_after = process.clock
+        received: list[ReceivedPayload] = []
+        if envelopes:
+            board_post = process.board.post
+            event_index = self.event_count
+            for env in envelopes:
+                env.receive_event = event_index
+                sender = env.sender
+                message_id = env.message_id
+                for payload in env.payloads:
+                    entry = ReceivedPayload(
+                        sender=sender,
+                        payload=payload,
+                        receive_clock=clock_after,
+                        message_id=message_id,
+                    )
+                    received.append(entry)
+                    board_post(entry)
+        if process.status is ProcessStatus.RUNNING:
+            process._advance()
+        outgoing = process._flush_outbox()
+        if was_running and process.status is not ProcessStatus.RUNNING:
+            self._running_count -= 1
+        sent_envelopes: list[Envelope] = []
+        for recipient, payloads in outgoing:
+            env = self._factory.build(
+                sender=pid,
+                recipient=recipient,
+                payloads=payloads,
+                send_event=self.event_count,
+                send_clock=clock_after,
+            )
+            self._envelopes[env.message_id] = env
+            self.buffers[recipient].add(env)
+            sent_envelopes.append(env)
+        if sent_envelopes:
+            self._last_send_event[pid] = self.event_count
+        self._step_counts[pid] += 1
+        self._pid_step_events[pid].append(self.event_count)
+        if self._telemetry is not None:
+            self._m_events.inc(kind="step")
+            if sent_envelopes:
+                self._m_envelopes.inc(len(sent_envelopes))
+                for env in sent_envelopes:
+                    for payload in env.payloads:
+                        self._m_sent.inc(kind=type(payload).__name__)
+            for item in received:
+                self._m_delivered.inc(kind=type(item.payload).__name__)
+        self._record_event(
+            kind="step",
+            actor=pid,
+            delivered=tuple(env.message_id for env in envelopes),
+            sent=tuple(env.message_id for env in sent_envelopes),
+            envelopes_sent=sent_envelopes,
+        )
+
+    def build_run(self) -> Run:
+        """Assemble the run with pre-warmed lateness caches.
+
+        The caches are ``compare=False`` fields of :class:`Run`, so the
+        built run still compares equal to a reference run; warming them
+        from the scheduler's flat step-index arrays just spares the first
+        ``is_on_time``/``late_messages`` caller the bisect storm.
+        """
+        run = super().build_run()
+        run._step_indices = {
+            pid: list(steps)
+            for pid, steps in enumerate(self._pid_step_events)
+        }
+        run._late_cache = _flat_late_envelopes(
+            self.K, self._pid_step_events, run.envelopes
+        )
+        return run
+
+
+# ---------------------------------------------------------------------------
+# Sweep mode: fused metrics-only commit trials
+# ---------------------------------------------------------------------------
+
+
+class _FastEnv:
+    """Flat in-flight message record for the sweep driver."""
+
+    __slots__ = (
+        "message_id",
+        "sender",
+        "recipient",
+        "payloads",
+        "send_event",
+        "send_clock",
+        "send_cycle",
+        "guaranteed",
+        "receive_event",
+        "receive_clock",
+    )
+
+    def __init__(
+        self, message_id, sender, recipient, payloads, send_event, send_clock, send_cycle
+    ):
+        self.message_id = message_id
+        self.sender = sender
+        self.recipient = recipient
+        self.payloads = payloads
+        self.send_event = send_event
+        self.send_clock = send_clock
+        self.send_cycle = send_cycle
+        self.guaranteed = True
+        self.receive_event = None
+        self.receive_clock = None
+
+
+class _Entry:
+    """Minimal bulletin-board entry for sweep-mode deliveries.
+
+    The shipped commit/agreement programs read exactly two attributes of
+    a board entry — ``payload`` (through matchers and the key index) and
+    ``sender`` (distinct-sender counting) — so ``receive_clock`` and
+    ``message_id`` are unobservable in sweep mode and one entry per
+    ``(payload object, sender)`` pair can be shared across every
+    recipient board.  The memo key includes the sender because a relayed
+    payload (e.g. a GO message) is broadcast by several senders, and
+    distinct-sender counts depend on the sender recorded at post time.
+    """
+
+    __slots__ = ("sender", "payload")
+
+    def __init__(self, sender, payload):
+        self.sender = sender
+        self.payload = payload
+
+
+class _SweepBoard(BulletinBoard):
+    """Bulletin board with a per-trial memo of payload board keys.
+
+    A broadcast posts the *same* payload object on every recipient's
+    board; the reference board calls ``payload.board_key()`` on each
+    post.  The sweep driver (and this board's ``post``, which only
+    self-sends still reach) computes it once per payload object.  The
+    memo maps ``id(payload)`` to ``(payload, key_value, entries_by_
+    sender)``; the strong payload reference pins the object's identity
+    for the lifetime of the trial.
+    """
+
+    def __init__(self, key_memo: dict) -> None:
+        super().__init__()
+        self._key_memo = key_memo
+
+    def post(self, entry: ReceivedPayload) -> None:
+        self._entries.append(entry)
+        payload = entry.payload
+        memo = self._key_memo
+        memo_key = id(payload)
+        hit = memo.get(memo_key)
+        if hit is None:
+            key = getattr(payload, "board_key", None)
+            value = key() if callable(key) else _NO_KEY
+            memo[memo_key] = (payload, value, {})
+        else:
+            value = hit[1]
+        if value is not _NO_KEY:
+            self._by_key[value].append(entry)
+            self._senders_by_key[value].add(entry.sender)
+
+
+def _fast_selector(policy, rng):
+    """A draw-for-draw replica of a whitelisted delivery policy.
+
+    Returns a ``(pid, buffer, cycle) -> list[_FastEnv]`` closure bound to
+    the policy's *own* assignment dicts and the adversary's *own* rng (so
+    state and draw order match the reference exactly), or ``None`` when
+    the policy is not whitelisted.  Matching is by exact class (or fully
+    qualified name for private classes): subclasses with overridden
+    behaviour fall off the fast path rather than being mis-replicated.
+
+    Every whitelisted policy provably ignores the ``view`` argument of
+    ``DeliveryPolicy.select``; a message's age in cycles is read off the
+    envelope's recorded send cycle, which equals
+    ``CycleContext.age_in_cycles`` by construction.
+    """
+    cls = type(policy)
+    qualname = f"{cls.__module__}.{cls.__qualname__}"
+    if cls is DeliverAll:
+
+        def deliver_all(pid, buffer, cycle):
+            return list(buffer.values())
+
+        return deliver_all
+    # ``low + rng._randbelow(span)`` is exactly what ``rng.randint``
+    # computes (randrange with a positive step-1 width) minus the
+    # argument-marshalling wrappers, so the underlying getrandbits
+    # consumption — and hence every later draw — is unchanged.  The
+    # cross-core equivalence suites would catch any drift.
+    if cls is DelayCycles:
+        assigned = policy._assigned
+        low = policy.min_cycles
+        span = policy.max_cycles - low + 1
+
+        def delay_cycles(pid, buffer, cycle):
+            ready = []
+            get = assigned.get
+            randbelow = rng._randbelow
+            for env in buffer.values():
+                message_id = env.message_id
+                delay = get(message_id)
+                if delay is None:
+                    delay = low + randbelow(span)
+                    assigned[message_id] = delay
+                if cycle - env.send_cycle >= delay:
+                    ready.append(env)
+            return ready
+
+        return delay_cycles
+    if qualname == "repro.adversary.standard._SpikeDelays":
+        assigned = policy._assigned
+        probability = policy.late_probability
+        late_delay = policy.late_delay
+        targets = policy.target_senders
+
+        def spike_delays(pid, buffer, cycle):
+            ready = []
+            get = assigned.get
+            for env in buffer.values():
+                message_id = env.message_id
+                delay = get(message_id)
+                if delay is None:
+                    eligible = targets is None or env.sender in targets
+                    if eligible and rng.random() < probability:
+                        delay = late_delay
+                    else:
+                        delay = 1
+                    assigned[message_id] = delay
+                if cycle - env.send_cycle >= delay:
+                    ready.append(env)
+            return ready
+
+        return spike_delays
+    if qualname == "repro.faults.sim_compile._PlanPolicy":
+        plan = policy.plan
+        holds = policy._hold
+        reorder_bound = policy.K
+        drop_penalty = policy.drop_penalty
+        severed = plan.severed
+        delay_for = plan.delay_for
+        loss_for = plan.loss_for
+
+        def plan_policy(pid, buffer, cycle):
+            chosen = []
+            get = holds.get
+            randbelow = rng._randbelow
+            random_draw = rng.random
+            for env in buffer.values():
+                sender = env.sender
+                if severed(sender, pid, cycle):
+                    continue
+                message_id = env.message_id
+                hold = get(message_id)
+                if hold is None:
+                    delay = delay_for(sender, env.recipient)
+                    if delay is not None:
+                        low = delay.min_cycles
+                        hold = low + randbelow(delay.max_cycles - low + 1)
+                    else:
+                        hold = 1
+                    loss = loss_for(sender, env.recipient)
+                    if loss.reorder and random_draw() < loss.reorder:
+                        hold += 1 + randbelow(reorder_bound)
+                    if loss.drop and random_draw() < loss.drop:
+                        hold += drop_penalty
+                    holds[message_id] = hold
+                if cycle - env.send_cycle >= hold:
+                    chosen.append(env)
+            return chosen
+
+        return plan_policy
+    if cls is DropNonGuaranteed:
+        inner = _fast_selector(policy.inner, rng)
+        if inner is None:
+            return None
+        victims = policy.victims
+
+        def drop_non_guaranteed(pid, buffer, cycle):
+            chosen = inner(pid, buffer, cycle)
+            if pid not in victims:
+                return chosen
+            return [env for env in chosen if env.guaranteed]
+
+        return drop_non_guaranteed
+    return None
+
+
+def sweep_eligible(adversary) -> bool:
+    """Whether the fused sweep driver can replicate this adversary.
+
+    Requires a *fresh* stock :class:`CycleAdversary` (no overridden
+    decision machinery, no consumed state), a whitelisted delivery
+    policy, no simulation attach hook, and no active observer (telemetry
+    registry or span recorder) — observers see scheduler internals the
+    sweep does not materialise.
+    """
+    cls = type(adversary)
+    if (
+        cls.decide is not CycleAdversary.decide
+        or cls._due_crash is not CycleAdversary._due_crash
+        or cls._context is not CycleAdversary._context
+        or cls._note_event is not CycleAdversary._note_event
+    ):
+        return False
+    if getattr(adversary, "attach", None) is not None:
+        return False
+    if adversary._cycle != 0 or adversary._queue or adversary._event_cycles:
+        return False
+    if active_registry() is not None:
+        return False
+    if trace_spans.active_recorder() is not None:
+        return False
+    return _fast_selector(adversary.delivery, adversary.rng) is not None
+
+
+def _sweep_run(programs, adversary, K, t, seed, max_steps):
+    """Execute one trial on the fused driver; returns flat run state.
+
+    This is ``CycleAdversary.decide`` + ``Simulation.apply`` fused into
+    one loop over flat structures.  Every branch mirrors a line of the
+    reference pair; RNG draws go through the adversary's own generator
+    in the reference order.
+    """
+    n = len(programs)
+    if n == 0:
+        raise ConfigurationError("a simulation needs at least one processor")
+    for pid, program in enumerate(programs):
+        if program.pid != pid:
+            raise ConfigurationError(
+                f"programs must be ordered by pid: slot {pid} holds "
+                f"pid {program.pid}"
+            )
+    if K < 1:
+        raise ConfigurationError(f"K must be at least 1, got {K}")
+    if not 0 <= t < n:
+        raise ConfigurationError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+    if max_steps <= 0:
+        raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+
+    tapes = TapeCollection(n, seed)
+    processes = [
+        SimProcess(program, tapes.tape(pid))
+        for pid, program in enumerate(programs)
+    ]
+    key_memo: dict = {}
+    for process in processes:
+        process.board = _SweepBoard(key_memo)
+
+    select = _fast_selector(adversary.delivery, adversary.rng)
+    assert select is not None  # guarded by sweep_eligible
+    pending_crashes = list(adversary.crash_plan)
+
+    cycle = 0
+    queue: list[int] = []
+    qpos = 0  # index pointer: queue[qpos:] is the live round-robin tail
+    alive = list(range(n))
+    crashed: set[int] = set()
+    running = n
+    event_count = 0
+    next_message_id = 0
+    buffers: list[dict[int, _FastEnv]] = [{} for _ in range(n)]
+    all_envs: list[_FastEnv] = []
+    pid_steps: list[list[int]] = [[] for _ in range(n)]
+    last_send_event: dict[int, int] = {}
+    RUNNING = ProcessStatus.RUNNING
+    memo_get = key_memo.get
+
+    while running > 0 and event_count < max_steps:
+        if qpos >= len(queue):
+            cycle += 1
+            queue = alive.copy()
+            qpos = 0
+        # Crash-plan check (CycleAdversary._due_crash, inlined).
+        crash_pid = None
+        while pending_crashes:
+            entry = pending_crashes[0]
+            if entry.cycle > cycle:
+                break
+            pending_crashes.pop(0)
+            if entry.pid not in crashed:
+                crash_pid = entry.pid
+                break
+        if crash_pid is not None:
+            queue = [p for p in queue[qpos:] if p != crash_pid]
+            qpos = 0
+            crashed.add(crash_pid)
+            alive.remove(crash_pid)
+            process = processes[crash_pid]
+            if process.status is RUNNING:
+                running -= 1
+            process.mark_crashed()
+            last_send = last_send_event.get(crash_pid)
+            if last_send is not None:
+                for buffer in buffers:
+                    for env in buffer.values():
+                        if (
+                            env.sender == crash_pid
+                            and env.send_event == last_send
+                        ):
+                            env.guaranteed = False
+            event_count += 1
+            continue
+        # Pick the stepping processor (round-robin with crash skip).
+        while True:
+            if qpos >= len(queue):
+                cycle += 1
+                queue = alive.copy()
+                qpos = 0
+            pid = queue[qpos]
+            qpos += 1
+            if pid not in crashed:
+                break
+        buffer = buffers[pid]
+        process = processes[pid]
+        delivered = select(pid, buffer, cycle) if buffer else ()
+        status_running = process.status is RUNNING
+        process.clock += 1
+        clock_after = process.clock
+        if delivered:
+            if len(delivered) == len(buffer):
+                buffer.clear()
+            else:
+                for env in delivered:
+                    del buffer[env.message_id]
+            for env in delivered:
+                env.receive_event = event_count
+                env.receive_clock = clock_after
+        if status_running:
+            process.tape.next_step_value()
+            if delivered:
+                # Inlined _SweepBoard.post for deliveries: one shared
+                # _Entry per (payload, sender), key computed once per
+                # payload object.  Self-sends still go through post().
+                board = process.board
+                entries_append = board._entries.append
+                by_key = board._by_key
+                senders_by_key = board._senders_by_key
+                for env in delivered:
+                    sender = env.sender
+                    for payload in env.payloads:
+                        memo_key = id(payload)
+                        hit = memo_get(memo_key)
+                        if hit is None:
+                            key = getattr(payload, "board_key", None)
+                            value = key() if callable(key) else _NO_KEY
+                            hit = (payload, value, {})
+                            key_memo[memo_key] = hit
+                        by_sender = hit[2]
+                        entry = by_sender.get(sender)
+                        if entry is None:
+                            entry = _Entry(sender, payload)
+                            by_sender[sender] = entry
+                        entries_append(entry)
+                        value = hit[1]
+                        if value is not _NO_KEY:
+                            by_key[value].append(entry)
+                            senders_by_key[value].add(sender)
+            process._advance()
+            if process.status is not RUNNING:
+                running -= 1
+            if process._outbox:
+                for recipient, payloads in process._flush_outbox():
+                    env = _FastEnv(
+                        next_message_id,
+                        pid,
+                        recipient,
+                        payloads,
+                        event_count,
+                        clock_after,
+                        cycle,
+                    )
+                    next_message_id += 1
+                    buffers[recipient][env.message_id] = env
+                    all_envs.append(env)
+                last_send_event[pid] = event_count
+        # A returned processor keeps absorbing events: its clock ticks and
+        # its step still counts for every other message's lateness — but
+        # nothing it would post, draw, or flush is observable in metrics.
+        pid_steps[pid].append(event_count)
+        event_count += 1
+
+    if running > 0:
+        _log.warning(
+            "step horizon %d reached with processors %s still running "
+            "under %s",
+            max_steps,
+            [
+                pid
+                for pid, process in enumerate(processes)
+                if process.status is RUNNING
+            ],
+            type(adversary).__name__,
+        )
+    return processes, crashed, all_envs, pid_steps, event_count, running == 0
+
+
+def _sweep_metrics(programs, processes, crashed, all_envs, pid_steps, event_count, terminated, n, K):
+    """Assemble the :class:`RunMetrics` bundle from flat sweep state.
+
+    Field-for-field the computation of ``extract_metrics`` +
+    ``metrics_from_run`` on the equivalent ``Run``.
+    """
+    from repro.analysis.metrics import RunMetrics
+
+    faulty = set(crashed)
+    nonfaulty = set(range(n)) - faulty
+    decisions = [process.decision for process in processes]
+    decision_clocks = [process.decision_clock for process in processes]
+    final_clocks = [process.clock for process in processes]
+    delivered = [env for env in all_envs if env.receive_event is not None]
+
+    rounds: int | None = None
+    if terminated:
+        receipts: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+        for env in delivered:
+            if env.sender in nonfaulty:
+                receipts[env.recipient].append(
+                    (env.sender, env.send_clock, env.receive_clock)
+                )
+        try:
+            rounds = _flat_max_decision_round(
+                n, K, faulty, receipts, decision_clocks, final_clocks
+            )
+        except AnalysisError:
+            rounds = None
+
+    decision_values = {d for d in decisions if d is not None}
+    decision = (
+        next(iter(decision_values)) if len(decision_values) == 1 else None
+    )
+    decided_clocks = [c for c in decision_clocks if c is not None]
+    on_time = not any(
+        _late_flags(
+            K,
+            pid_steps,
+            [env.send_event for env in delivered],
+            [env.receive_event for env in delivered],
+        )
+    )
+
+    stage_values = []
+    decision_stage_values = []
+    shared_values = []
+    private_values = []
+    for program in programs:
+        if program.pid not in nonfaulty:
+            continue
+        stats = getattr(program, "stats", None)
+        if stats is None:
+            continue
+        agreement = getattr(stats, "agreement", stats)
+        if agreement is None:
+            continue
+        stage_count = getattr(agreement, "stages_started", None)
+        if stage_count is not None:
+            stage_values.append(stage_count)
+        decided_at = getattr(agreement, "decision_stage", None)
+        if decided_at is not None:
+            decision_stage_values.append(decided_at)
+        shared_values.append(getattr(agreement, "shared_coin_stages", 0))
+        private_values.append(getattr(agreement, "private_coin_stages", 0))
+
+    return RunMetrics(
+        terminated=terminated,
+        consistent=len(decision_values) <= 1,
+        decision=decision,
+        rounds=rounds,
+        ticks=max(decided_clocks) if decided_clocks else None,
+        first_decision_ticks=min(decided_clocks) if decided_clocks else None,
+        stages=max(stage_values) if stage_values else None,
+        decision_stage=(
+            max(decision_stage_values) if decision_stage_values else None
+        ),
+        shared_coin_stages=max(shared_values) if shared_values else None,
+        private_coin_stages=max(private_values) if private_values else None,
+        messages=len(all_envs),
+        events=event_count,
+        crashes=len(faulty),
+        on_time=on_time,
+    )
+
+
+def fast_commit_trial(config, seed: int):
+    """Fast-core implementation of one commit Monte-Carlo trial.
+
+    Produces a :class:`~repro.analysis.metrics.RunMetrics` equal to
+    ``run_commit_trial(config, seed)`` on the reference core — via the
+    fused sweep driver when the adversary qualifies, else via
+    :class:`FastSimulation` (byte-identical by construction).
+    """
+    from repro.core.commit import CommitProgram
+
+    votes = config.votes_for(seed)
+    n = len(votes)
+    t = config.t if config.t is not None else (n - 1) // 2
+    programs = [
+        CommitProgram(
+            pid=pid,
+            n=n,
+            t=t,
+            initial_vote=vote,
+            K=config.K,
+            coin_count=config.coin_count,
+            halting=config.halting,
+            allow_sub_resilience=config.allow_sub_resilience,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+    adversary = config.adversary_factory(seed)
+
+    if not sweep_eligible(adversary):
+        from repro.analysis.metrics import (
+            abort_validity_satisfied,
+            commit_validity_satisfied,
+            extract_metrics,
+        )
+        from repro.core.api import ProtocolOutcome
+
+        simulation = FastSimulation(
+            programs=programs,
+            adversary=adversary,
+            K=config.K,
+            t=t,
+            seed=seed,
+            max_steps=config.max_steps,
+        )
+        attach = getattr(adversary, "attach", None)
+        if attach is not None:
+            attach(simulation)
+        outcome = ProtocolOutcome(result=simulation.run())
+        metrics = extract_metrics(outcome, programs=programs)
+        if not abort_validity_satisfied(outcome, votes):
+            raise AssertionError(
+                f"abort validity violated in commit trial seed={seed}"
+            )
+        if not commit_validity_satisfied(outcome, votes):
+            raise AssertionError(
+                f"commit validity violated in commit trial seed={seed}"
+            )
+        return metrics
+
+    processes, crashed, all_envs, pid_steps, event_count, terminated = (
+        _sweep_run(programs, adversary, config.K, t, seed, config.max_steps)
+    )
+    metrics = _sweep_metrics(
+        programs,
+        processes,
+        crashed,
+        all_envs,
+        pid_steps,
+        event_count,
+        terminated,
+        n,
+        config.K,
+    )
+    # Validity checks, mirroring run_commit_trial's assertions on the
+    # equivalent Run (abort/commit_validity_satisfied).
+    faulty = set(crashed)
+    nonfaulty = set(range(n)) - faulty
+    decisions = [process.decision for process in processes]
+    is_deciding = all(decisions[pid] is not None for pid in nonfaulty)
+    all_ones = all(v == 1 for v in votes)
+    abort_ok = (
+        not is_deciding
+        or all_ones
+        or all(decisions[pid] == 0 for pid in nonfaulty)
+    )
+    if not abort_ok:
+        raise AssertionError(
+            f"abort validity violated in commit trial seed={seed}"
+        )
+    commit_preconditions = (
+        is_deciding and all_ones and not faulty and metrics.on_time
+    )
+    commit_ok = not commit_preconditions or all(
+        decisions[pid] == 1 for pid in nonfaulty
+    )
+    if not commit_ok:
+        raise AssertionError(
+            f"commit validity violated in commit trial seed={seed}"
+        )
+    return metrics

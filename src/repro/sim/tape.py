@@ -29,6 +29,73 @@ from repro.errors import TapeExhaustedError
 #: paper's technical restriction only requires *some* finite bound f(s).
 _MAX_BITS_PER_STEP = 4096
 
+#: Tape cells are materialised in batches of this many draws — one
+#: generator call per simulated round's worth of steps instead of one
+#: Python-level call per step.  The batch boundary is derived only from
+#: how far the tape has been read, so the produced values are exactly the
+#: same stream as one-at-a-time draws.
+_PREFILL_CHUNK = 64
+
+#: A tape switches from the stdlib generator to numpy's (identical
+#: stream, see :func:`_numpy_tape_state`) only once it has grown to this
+#: many cells: seeding a second MT19937 costs more than a few hundred
+#: stdlib draws, so short-lived trial tapes stay on the stdlib path.
+_NUMPY_TAPE_MIN = 2048
+
+try:  # pragma: no cover - exercised indirectly via the fallback tests
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: Cached result of the one-time self-check that numpy's MT19937 stream
+#: reproduces CPython's ``random.Random`` stream bit-for-bit for the
+#: key-array seeding we use.  ``None`` means "not probed yet".
+_NUMPY_TAPE_OK: bool | None = None
+
+
+def _seed_key_words(seed: int) -> list[int]:
+    """Little-endian 32-bit words of ``seed``, as CPython's seeder uses."""
+    words = []
+    while seed:
+        words.append(seed & 0xFFFFFFFF)
+        seed >>= 32
+    return words or [0]
+
+
+def _numpy_tape_state(seed: object):
+    """A numpy ``RandomState`` producing the *same* stream as
+    ``random.Random(seed)``, or ``None`` when that cannot be guaranteed.
+
+    CPython seeds MT19937 through ``init_by_array`` over the seed's 32-bit
+    words; numpy's legacy ``RandomState`` does the same when handed a key
+    *array* of at least two words.  For seeds below ``2**32`` numpy
+    collapses the one-element key to scalar seeding (``init_genrand``),
+    which diverges — those tapes stay on the stdlib path.  The equivalence
+    is verified once at first use; any mismatch disables the fast path
+    rather than corrupting tapes.
+    """
+    global _NUMPY_TAPE_OK
+    if _np is None or not isinstance(seed, int) or seed < 2**32:
+        return None
+    from repro.sim.coreselect import numpy_allowed
+
+    if not numpy_allowed():
+        return None
+    if _NUMPY_TAPE_OK is None:
+        probe = 0x9E3779B97F4A7C15  # any multi-word seed works as a probe
+        state = _np.random.RandomState(
+            _np.array(_seed_key_words(probe), dtype=_np.uint32)
+        )
+        reference = random.Random(probe)
+        _NUMPY_TAPE_OK = state.random_sample(8).tolist() == [
+            reference.random() for _ in range(8)
+        ]
+    if not _NUMPY_TAPE_OK:  # pragma: no cover - defensive
+        return None
+    return _np.random.RandomState(
+        _np.array(_seed_key_words(seed), dtype=_np.uint32)
+    )
+
 
 def _bit_expander(value: float) -> random.Random:
     """A deterministic per-step bit source derived from one uniform float.
@@ -64,6 +131,20 @@ class RandomTape:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        # The vectorised generator is only sound when the whole stream is
+        # ours to produce: an infinite tape with no pre-materialised
+        # prefix.  Construction of the numpy state is deferred until a
+        # tape actually grows long (seeding MT19937 twice costs more than
+        # a few hundred stdlib draws), and the switch fast-forwards past
+        # the already-materialised prefix so the stream never forks.
+        self._np_rng = None
+        self._np_eligible = (
+            _np is not None
+            and not self.finite
+            and not self.values
+            and isinstance(self.seed, int)
+            and self.seed >= 2**32
+        )
         self._bits_this_step: random.Random | None = None
         self._bits_consumed = 0
 
@@ -135,17 +216,37 @@ class RandomTape:
         return [self._bits_this_step.getrandbits(1) for _ in range(count)]
 
     def _ensure(self, length: int) -> None:
-        """Materialise the tape out to ``length`` cells."""
-        if len(self.values) >= length:
+        """Materialise the tape out to ``length`` cells.
+
+        Cells are drawn in deterministic batches (rounded up to the next
+        :data:`_PREFILL_CHUNK` boundary) so the generator is called once
+        per round's worth of steps rather than once per step.  Because the
+        batch boundary depends only on ``length`` the materialised values
+        are the identical stream a per-step loop would have produced.
+        """
+        have = len(self.values)
+        if have >= length:
             return
         if self.finite:
             raise TapeExhaustedError(
-                f"finite tape of length {len(self.values)} read at "
+                f"finite tape of length {have} read at "
                 f"position {length - 1}"
             )
+        target = -(-length // _PREFILL_CHUNK) * _PREFILL_CHUNK
+        need = target - have
+        if self._np_eligible and target >= _NUMPY_TAPE_MIN:
+            self._np_eligible = False
+            state = _numpy_tape_state(self.seed)
+            if state is not None:
+                if have:
+                    state.random_sample(have)  # skip the materialised prefix
+                self._np_rng = state
+        if self._np_rng is not None:
+            self.values.extend(self._np_rng.random_sample(need).tolist())
+            return
         assert self._rng is not None
-        while len(self.values) < length:
-            self.values.append(self._rng.random())
+        rng_random = self._rng.random
+        self.values.extend(rng_random() for _ in range(need))
 
 
 class TapeCollection:

@@ -1,0 +1,169 @@
+"""Hypothesis equivalence properties: fast core ≡ reference core.
+
+Randomized vote vectors, fault plans, and scripted-adversary schedules
+(including the model checker's prefix re-execution shape) must produce
+identical observables under both execution cores — byte-identical
+serialized runs for the full-trace layer, object-equal metrics for the
+sweep layer.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import CrashAt, CycleAdversary, DeliverAll
+from repro.adversary.standard import (
+    LateMessageAdversary,
+    OnTimeAdversary,
+    SynchronousAdversary,
+)
+from repro.adversary.scripted import ScriptedAdversary
+from repro.analysis.montecarlo import CommitTrialConfig, run_commit_trial
+from repro.core.commit import CommitProgram
+from repro.faults.plan import FaultPlan
+from repro.faults.sim_compile import compile_to_adversary
+from repro.sim.fastcore import FastSimulation, fast_commit_trial
+from repro.sim.scheduler import Simulation
+from repro.telemetry.runio import run_to_records
+
+QUICK = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ADVERSARIES = {
+    "synchronous": lambda K, seed: SynchronousAdversary(seed=seed),
+    "ontime": lambda K, seed: OnTimeAdversary(K=K, seed=seed),
+    "late": lambda K, seed: LateMessageAdversary(K=K, seed=seed),
+}
+
+votes_strategy = st.lists(st.integers(0, 1), min_size=3, max_size=8)
+
+
+def _programs(votes, K, t):
+    return [
+        CommitProgram(pid=pid, n=len(votes), t=t, initial_vote=vote, K=K)
+        for pid, vote in enumerate(votes)
+    ]
+
+
+def _run(sim_class, votes, adversary, K, t, seed, max_steps=20_000):
+    simulation = sim_class(
+        programs=_programs(votes, K, t),
+        adversary=adversary,
+        K=K,
+        t=t,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    return simulation.run()
+
+
+def _assert_cores_agree(votes, adversary_factory, K, t, seed):
+    reference = _run(Simulation, votes, adversary_factory(), K, t, seed)
+    fast = _run(FastSimulation, votes, adversary_factory(), K, t, seed)
+    assert fast.run == reference.run
+    assert run_to_records(fast.run) == run_to_records(reference.run)
+
+
+class TestTrialEquivalence:
+    @QUICK
+    @given(
+        votes=votes_strategy,
+        # OnTimeAdversary needs K >= 2 for its on-time jitter window.
+        K=st.integers(2, 5),
+        seed=st.integers(0, 2**20),
+        adversary=st.sampled_from(sorted(ADVERSARIES)),
+    )
+    def test_sweep_metrics_equal_reference(self, votes, K, seed, adversary):
+        factory = ADVERSARIES[adversary]
+        config = CommitTrialConfig(
+            votes=votes,
+            adversary_factory=lambda s: factory(K, s),
+            K=K,
+            max_steps=20_000,
+        )
+        assert fast_commit_trial(config, seed) == run_commit_trial(
+            config, seed
+        )
+
+    @QUICK
+    @given(
+        votes=votes_strategy,
+        seed=st.integers(0, 2**20),
+        crash_cycle=st.integers(1, 6),
+        crash_pid=st.integers(0, 7),
+    )
+    def test_sweep_with_random_crash(self, votes, seed, crash_cycle, crash_pid):
+        config = CommitTrialConfig(
+            votes=votes,
+            adversary_factory=lambda s: OnTimeAdversary(
+                K=4,
+                seed=s,
+                crash_plan=[
+                    CrashAt(cycle=crash_cycle, pid=crash_pid % len(votes))
+                ],
+            ),
+            K=4,
+            max_steps=20_000,
+        )
+        assert fast_commit_trial(config, seed) == run_commit_trial(
+            config, seed
+        )
+
+
+class TestRunEquivalence:
+    @QUICK
+    @given(
+        votes=votes_strategy,
+        plan_seed=st.integers(0, 2**16),
+        over_budget=st.booleans(),
+    )
+    def test_fault_plans(self, votes, plan_seed, over_budget):
+        n = len(votes)
+        t = (n - 1) // 2
+        plan = FaultPlan.random(
+            n=n, t=t, seed=plan_seed, K=4, over_budget=over_budget and t < n - 1
+        )
+        _assert_cores_agree(
+            votes, lambda: compile_to_adversary(plan, K=4), 4, t, plan_seed
+        )
+
+    @QUICK
+    @given(
+        votes=votes_strategy,
+        seed=st.integers(0, 2**16),
+        prefix_length=st.integers(0, 30),
+    )
+    def test_scripted_prefix_re_execution(self, votes, seed, prefix_length):
+        # The model checker's unit of work: replay a recorded decision
+        # prefix on a fresh simulation, then complete deterministically.
+        n = len(votes)
+        t = (n - 1) // 2
+        recorder = Simulation(
+            programs=_programs(votes, 4, t),
+            adversary=OnTimeAdversary(K=4, seed=seed),
+            K=4,
+            t=t,
+            seed=seed,
+            max_steps=20_000,
+        )
+        schedule = []
+        while (
+            not recorder.all_nonfaulty_done()
+            and len(schedule) < prefix_length
+        ):
+            decision = recorder.adversary.decide(recorder.view)
+            schedule.append(decision)
+            recorder.apply(decision)
+
+        def scripted():
+            return ScriptedAdversary(
+                tuple(schedule),
+                then=CycleAdversary(seed=seed, delivery=DeliverAll()),
+            )
+
+        _assert_cores_agree(votes, scripted, 4, t, seed)

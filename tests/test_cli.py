@@ -454,6 +454,48 @@ class TestFaultsCounterexamplePipeline:
         assert report["summary"]["findings"] == 0
 
 
+class TestSimCoreSelection:
+    @pytest.fixture(autouse=True)
+    def _isolate_core_selection(self, monkeypatch):
+        # --sim-core installs a process-wide override and exports
+        # REPRO_SIM_CORE (for engine workers); neither may leak.
+        from repro.sim.coreselect import set_default_sim_core
+
+        monkeypatch.delenv("REPRO_SIM_CORE", raising=False)
+        set_default_sim_core(None)
+        yield
+        monkeypatch.delenv("REPRO_SIM_CORE", raising=False)
+        set_default_sim_core(None)
+
+    def test_sim_core_flag_runs_fast_core(self, capsys):
+        code = main(
+            ["run-commit", "--votes", "1,1,1", "--sim-core", "fast"]
+        )
+        assert code == 0
+        assert "decision: COMMIT" in capsys.readouterr().out
+
+    def test_bad_env_core_is_a_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SIM_CORE", "turbo")
+        code = main(["run-commit", "--votes", "1,1,1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "REPRO_SIM_CORE" in err
+
+    def test_unknown_flag_value_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-commit", "--sim-core", "turbo"])
+        assert excinfo.value.code == 2
+
+    def test_cores_diff_oracle_clean(self, capsys):
+        code = main(
+            ["faults", "diff", "--cores", "--plans", "3", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BYTE-IDENTICAL" in out
+
+
 class TestExitCodeTable:
     def test_help_documents_every_exit_code(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
