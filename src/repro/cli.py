@@ -107,6 +107,14 @@ exit codes (all commands):
   4  no spans recorded — trace export/summarize/critical-path read a
      valid span-trace file that contains no spans or events (the
      traced command recorded nothing)
+
+repro service commands map onto the same codes:
+  0  success — node served and halted cleanly (start), request
+     acknowledged (submit/kill), status gathered (status)
+  1  findings — service status --check found an unreachable node, an
+     undecided node, or inconsistent decisions
+  2  usage or input error — node index out of range, unreachable
+     coordinator (submit), unreadable pidfile or dead process (kill)
 """
 
 
@@ -501,6 +509,7 @@ def _cmd_faults_campaign(args) -> int:
         deadline=args.deadline,
         over_budget_fraction=args.over_budget_fraction,
         all_commit_fraction=args.all_commit_fraction,
+        recovery_probability=args.recovery_probability,
         program=args.variant,
     )
     report = run_campaign(config, workers=args.workers)
@@ -873,6 +882,132 @@ def cmd_trace_critical_path(args) -> int:
     return 0
 
 
+def cmd_service_start(args) -> int:
+    return _with_observability(args, lambda: _cmd_service_start(args))
+
+
+def _cmd_service_start(args) -> int:
+    import asyncio
+    import os
+    import signal
+    from pathlib import Path
+
+    from repro.engine.seeds import SERVICE_NODE_STREAM, derive_keyed
+    from repro.service.recovery import NodeConfig
+    from repro.service.server import ServiceServer, peer_address
+    from repro.service.wal import FileWalStore
+
+    votes = [int(v) for v in args.votes.split(",")]
+    n = len(votes)
+    if not 0 <= args.node < n:
+        print(
+            f"error: --node {args.node} out of range for {n} votes",
+            file=sys.stderr,
+        )
+        return 2
+    t = args.t if args.t is not None else (n - 1) // 2
+    config = NodeConfig(
+        pid=args.node,
+        n=n,
+        t=t,
+        K=args.K,
+        vote=votes[args.node],
+        tape_seed=derive_keyed(args.seed, SERVICE_NODE_STREAM, args.node),
+        variant=args.variant,
+    )
+    node_dir = Path(args.data_dir) / f"node{args.node}"
+    store = FileWalStore(node_dir)
+    peers = [
+        peer_address(args.base_port, pid, args.host) for pid in range(n)
+    ]
+    server = ServiceServer(
+        config,
+        store,
+        peers,
+        tick_interval=args.tick_interval,
+        fsync=not args.no_fsync,
+        hold_for_submit=(args.node == 0 and not args.no_hold),
+        snapshot_every=args.snapshot_every,
+        seed=args.seed,
+    )
+    (node_dir / "pid").write_text(f"{os.getpid()}\n")
+
+    async def serve() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.halt)
+        await server.serve()
+
+    asyncio.run(serve())
+    return 0
+
+
+def cmd_service_submit(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import submit
+
+    try:
+        status = submit(args.host, args.port, timeout=args.timeout)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(
+            f"error: submit to {args.host}:{args.port} failed: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(status, sort_keys=True))
+    return 0
+
+
+def cmd_service_status(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import status as node_status
+
+    nodes: list[dict] = []
+    for pid in range(args.n):
+        port = args.base_port + pid
+        try:
+            doc = node_status(args.host, port, timeout=args.timeout)
+        except (ServiceError, OSError, TimeoutError) as exc:
+            doc = {"pid": pid, "unreachable": str(exc)}
+        nodes.append(doc)
+    print(json.dumps({"nodes": nodes}, sort_keys=True))
+    if args.check:
+        decisions = {
+            doc.get("decision")
+            for doc in nodes
+            if "unreachable" not in doc
+        }
+        reachable = sum(1 for doc in nodes if "unreachable" not in doc)
+        if (
+            reachable < args.n
+            or None in decisions
+            or len(decisions) != 1
+        ):
+            return 1
+    return 0
+
+
+def cmd_service_kill(args) -> int:
+    import os
+    import signal
+    from pathlib import Path
+
+    pid_path = Path(args.data_dir) / f"node{args.node}" / "pid"
+    try:
+        pid = int(pid_path.read_text().strip())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {pid_path}: {exc}", file=sys.stderr)
+        return 2
+    signum = signal.SIGKILL if args.signal == "KILL" else signal.SIGTERM
+    try:
+        os.kill(pid, signum)
+    except OSError as exc:
+        print(f"error: kill {pid} failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"sent SIG{args.signal} to node {args.node} (pid {pid})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.telemetry.log import LOG_LEVELS
 
@@ -1053,7 +1188,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--tracks",
         default="sim,runtime",
-        help="comma-separated tracks to run: sim, runtime, or both",
+        help=(
+            "comma-separated tracks to run: sim, runtime, service "
+            "(service is the crash-recovery track and runs alone)"
+        ),
     )
     campaign_parser.add_argument(
         "--max-steps",
@@ -1078,6 +1216,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.6,
         help="fraction of trials voting all-commit (rest draw random votes)",
+    )
+    campaign_parser.add_argument(
+        "--recovery-probability",
+        type=float,
+        default=0.0,
+        help=(
+            "chance that a drawn crash recovers later (crash-recovery "
+            "model; requires --tracks service)"
+        ),
     )
     campaign_parser.add_argument(
         "--variant",
@@ -1279,6 +1426,139 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report document instead of the summary",
     )
     diff_parser.set_defaults(fn=cmd_faults_diff)
+
+    service_parser = sub.add_parser(
+        "service",
+        help=(
+            "deployable crash-recovery commit service over TCP "
+            "(see: service start, submit, status, kill)"
+        ),
+    )
+    service_sub = service_parser.add_subparsers(
+        dest="service_command", required=True
+    )
+
+    start_parser = service_sub.add_parser(
+        "start",
+        help=(
+            "run one node of the commit service: recover from its WAL "
+            "(if any), listen on base-port + node, serve until decided "
+            "and halted"
+        ),
+    )
+    start_parser.add_argument(
+        "--node", type=int, required=True, help="this node's pid (0 = coordinator)"
+    )
+    start_parser.add_argument(
+        "--votes",
+        default="1,1,1,1,1",
+        help="comma-separated votes for the whole cluster (length = n)",
+    )
+    start_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    start_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    start_parser.add_argument(
+        "--seed", type=int, default=0, help="cluster seed (same on every node)"
+    )
+    start_parser.add_argument(
+        "--variant",
+        default="commit",
+        help="protocol variant: commit or broken-commit",
+    )
+    start_parser.add_argument(
+        "--host", default="127.0.0.1", help="listen/peer host"
+    )
+    start_parser.add_argument(
+        "--base-port",
+        type=int,
+        default=7400,
+        help="node p listens on base-port + p",
+    )
+    start_parser.add_argument(
+        "--data-dir",
+        required=True,
+        help="durable root; this node's WAL lives in <data-dir>/node<p>/",
+    )
+    start_parser.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.02,
+        help="protocol step granularity in seconds",
+    )
+    start_parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on WAL appends (testing only)",
+    )
+    start_parser.add_argument(
+        "--no-hold",
+        action="store_true",
+        help=(
+            "start the commit immediately instead of waiting for "
+            "`repro service submit` (coordinator only; other nodes "
+            "never hold)"
+        ),
+    )
+    start_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="compact the WAL into a snapshot every N steps (0 = never)",
+    )
+    _add_observability_args(start_parser)
+    start_parser.set_defaults(fn=cmd_service_start)
+
+    submit_parser = service_sub.add_parser(
+        "submit",
+        help="release the coordinator's held transaction (start the commit)",
+    )
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument(
+        "--port", type=int, default=7400, help="the coordinator's port"
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=5.0, help="request timeout in seconds"
+    )
+    submit_parser.set_defaults(fn=cmd_service_submit)
+
+    status_parser = service_sub.add_parser(
+        "status",
+        help="query every node's decision and incarnation over TCP",
+    )
+    status_parser.add_argument("--host", default="127.0.0.1")
+    status_parser.add_argument(
+        "--base-port", type=int, default=7400, help="node p answers on base-port + p"
+    )
+    status_parser.add_argument(
+        "--n", type=int, default=5, help="cluster size (ports probed)"
+    )
+    status_parser.add_argument(
+        "--timeout", type=float, default=2.0, help="per-node timeout in seconds"
+    )
+    status_parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit 1 unless every node is reachable, decided, and all "
+            "decisions agree"
+        ),
+    )
+    status_parser.set_defaults(fn=cmd_service_status)
+
+    kill_parser = service_sub.add_parser(
+        "kill",
+        help="signal a node process via its <data-dir>/node<p>/pid file",
+    )
+    kill_parser.add_argument("--node", type=int, required=True)
+    kill_parser.add_argument("--data-dir", required=True)
+    kill_parser.add_argument(
+        "--signal",
+        choices=("TERM", "KILL"),
+        default="KILL",
+        help="TERM halts cleanly; KILL simulates a crash (default)",
+    )
+    kill_parser.set_defaults(fn=cmd_service_kill)
 
     mc_parser = sub.add_parser(
         "mc",

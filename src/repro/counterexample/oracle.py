@@ -36,7 +36,6 @@ from functools import partial
 from typing import Any
 
 from repro.faults.campaign import (
-    TRACKS,
     CampaignConfig,
     run_campaign,
 )
@@ -121,7 +120,7 @@ def run_differential(
     oracle can be pointed at broken variants too.  The report embeds the
     violating plans, making every finding replayable.
     """
-    config = dataclasses.replace(config, tracks=TRACKS)
+    config = dataclasses.replace(config, tracks=("sim", "runtime"))
     campaign = run_campaign(config, workers=workers)
     findings: list[dict[str, Any]] = []
     decision_drift = 0

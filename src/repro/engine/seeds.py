@@ -72,6 +72,17 @@ ENVELOPE_STREAM = 11_939_999
 #: link verdict and ack delay), keyed like :data:`ENVELOPE_STREAM`.
 ACK_STREAM = 13_466_917
 
+#: Keyed stream of one *service* envelope's randomness (link-fault
+#: verdict, delivery delay, retransmission backoff jitter), keyed by
+#: ``(sender, incarnation, seq)`` so the crash-recovery track's draws
+#: are schedule-independent like the runtime transport's
+#: (:mod:`repro.service.bus`).
+SERVICE_ENVELOPE_STREAM = 15_485_863
+
+#: Per-node stream of service-layer tape seeds and handshake jitter,
+#: keyed by pid (:mod:`repro.service.cluster`).
+SERVICE_NODE_STREAM = 17_624_813
+
 
 def trial_seed(base_seed: int, index: int) -> int:
     """Seed of trial ``index`` in a batch anchored at ``base_seed``."""

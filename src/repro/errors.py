@@ -67,6 +67,20 @@ class NodeCrashedError(RuntimeTransportError):
     """An operation was attempted on a node that has been crashed."""
 
 
+class ServiceError(ReproError):
+    """Base class for deployable commit-service failures."""
+
+
+class WalError(ServiceError):
+    """A write-ahead log or snapshot is unreadable beyond repair.
+
+    Torn *tails* (a truncated final record after a mid-write kill) are
+    not errors — the reader recovers from the last valid record; this is
+    raised for structural corruption recovery cannot paper over, such as
+    conflicting decision records or a checksum-failing snapshot.
+    """
+
+
 class AnalysisError(ReproError):
     """Base class for Monte-Carlo / statistics errors."""
 

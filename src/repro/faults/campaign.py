@@ -61,8 +61,11 @@ _log = get_logger("faults.campaign")
 #: Schema tag of the campaign report document.
 CAMPAIGN_SCHEMA = "repro.fault-campaign v1"
 
-#: The executable tracks a campaign can sweep.
-TRACKS = ("sim", "runtime")
+#: The executable tracks a campaign can sweep.  ``sim`` and ``runtime``
+#: execute the fail-stop model; ``service`` executes the crash-recovery
+#: model (durable WALs, kill/restart, replay — :mod:`repro.service`) and
+#: is the only track that accepts plans with ``recover_cycle`` entries.
+TRACKS = ("sim", "runtime", "service")
 
 
 @dataclass(frozen=True)
@@ -87,13 +90,17 @@ class CampaignConfig:
             :data:`repro.faults.variants.PROGRAM_VARIANTS` ("commit" is
             the paper's Protocol 2; "broken-commit" is the planted-bug
             fixture the counterexample pipeline validates against).
+        recovery_probability: chance that each drawn crash is a
+            kill/recover pair instead of a fail-stop crash.  Nonzero
+            values require ``tracks == ("service",)`` — the fail-stop
+            tracks cannot execute recoveries.
     """
 
     n: int = 5
     t: int | None = None
     plans: int = 100
     base_seed: int = 0
-    tracks: tuple[str, ...] = TRACKS
+    tracks: tuple[str, ...] = ("sim", "runtime")
     K: int = 4
     max_steps: int = 20_000
     deadline: float = 8.0
@@ -101,6 +108,7 @@ class CampaignConfig:
     over_budget_fraction: float = 0.25
     all_commit_fraction: float = 0.6
     program: str = "commit"
+    recovery_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -126,6 +134,17 @@ class CampaignConfig:
                 f"all_commit_fraction out of [0, 1]: "
                 f"{self.all_commit_fraction}"
             )
+        if not 0.0 <= self.recovery_probability <= 1.0:
+            raise ConfigurationError(
+                f"recovery_probability out of [0, 1]: "
+                f"{self.recovery_probability}"
+            )
+        if self.recovery_probability > 0.0 and self.tracks != ("service",):
+            raise ConfigurationError(
+                "recovery_probability > 0 draws kill/recover plans, which "
+                "only the service track can execute; use "
+                f"tracks=('service',), got {self.tracks!r}"
+            )
         resolve_variant(self.program)
 
     @property
@@ -133,7 +152,7 @@ class CampaignConfig:
         return self.t if self.t is not None else (self.n - 1) // 2
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "n": self.n,
             "t": self.resolved_t,
             "plans": self.plans,
@@ -147,6 +166,10 @@ class CampaignConfig:
             "all_commit_fraction": self.all_commit_fraction,
             "program": self.program,
         }
+        # Emitted only when set so pre-service reports stay byte-identical.
+        if self.recovery_probability > 0.0:
+            doc["recovery_probability"] = self.recovery_probability
+        return doc
 
 
 @dataclass(frozen=True)
@@ -176,7 +199,7 @@ class TrialCase:
     votes: tuple[int, ...]
     plan: FaultPlan
     seed: int
-    tracks: tuple[str, ...] = TRACKS
+    tracks: tuple[str, ...] = ("sim", "runtime")
     max_steps: int = 20_000
     deadline: float = 8.0
     tick_interval: float = 0.002
@@ -198,6 +221,12 @@ class TrialCase:
             raise ConfigurationError(
                 "scheduled cases are sim-only: a scripted decision "
                 f"sequence cannot drive tracks {self.tracks!r}"
+            )
+        if self.plan.has_recoveries and self.tracks != ("service",):
+            raise ConfigurationError(
+                "the plan schedules crash recoveries, which only the "
+                "crash-recovery service track can execute; use "
+                f"tracks=('service',), got {self.tracks!r}"
             )
         resolve_variant(self.program)
 
@@ -291,6 +320,7 @@ def _draw_plan(config: CampaignConfig, seed: int) -> FaultPlan:
         seed=seed,
         K=config.K,
         over_budget=over_budget,
+        recovery_probability=config.recovery_probability,
     )
 
 
@@ -369,6 +399,42 @@ def _run_runtime_track(case: TrialCase) -> dict[str, Any]:
     }
 
 
+def _run_service_track(case: TrialCase) -> dict[str, Any]:
+    # Imported here (not at module top) to keep the fail-stop campaign
+    # path free of the service subsystem's import cost.
+    from repro.service.cluster import ServiceCluster, node_configs
+
+    cluster = ServiceCluster(
+        node_configs(
+            n=case.n,
+            t=case.t,
+            votes=list(case.votes),
+            K=case.K,
+            seed=case.seed,
+            variant=case.program,
+        ),
+        case.plan,
+        seed=case.seed,
+        tick_interval=case.tick_interval,
+        snapshot_every=32,
+        K=case.K,
+    )
+    result = run_virtual(cluster.run(deadline=case.deadline))
+    decision_map = result.decisions()
+    return {
+        "outcome": result.outcome,
+        "decisions": [decision_map.get(pid) for pid in range(case.n)],
+        # Only *permanent* crashes count as faulty: a killed-and-recovered
+        # node rejoined, so safety accounting owes it a decision.
+        "crashed": sorted(result.permanently_crashed),
+        "recoveries": result.recoveries,
+        "transfer_decisions": sum(
+            1 for s in result.nodes if s.decision_origin == "transfer"
+        ),
+        "bus": dict(result.bus_stats),
+    }
+
+
 def execute_trial_case(case: TrialCase) -> dict[str, Any]:
     """Run one pinned case on every configured track and check safety.
 
@@ -396,6 +462,8 @@ def execute_trial_case(case: TrialCase) -> dict[str, Any]:
     for track in case.tracks:
         if track == "sim":
             outcome = _run_sim_track(case)
+        elif track == "service":
+            outcome = _run_service_track(case)
         else:
             outcome = _run_runtime_track(case)
         report = monitor.check(
@@ -492,6 +560,8 @@ def _summarize(config: CampaignConfig, records: list[dict]) -> dict[str, Any]:
         retransmitted = 0
         duplicates_dropped = 0
         dropped_by_faults = 0
+        recoveries = 0
+        transfer_decisions = 0
         for record in records:
             data = record["tracks"][track]
             outcomes[data["outcome"]] += 1
@@ -514,6 +584,8 @@ def _summarize(config: CampaignConfig, records: list[dict]) -> dict[str, Any]:
                 retransmitted += transport["retransmitted"]
                 duplicates_dropped += transport["duplicates_dropped"]
                 dropped_by_faults += transport["dropped_by_faults"]
+            recoveries += data.get("recoveries", 0)
+            transfer_decisions += data.get("transfer_decisions", 0)
         track_summary: dict[str, Any] = {
             "outcomes": outcomes,
             "decisions": decisions,
@@ -525,6 +597,11 @@ def _summarize(config: CampaignConfig, records: list[dict]) -> dict[str, Any]:
                 "retransmitted": retransmitted,
                 "duplicates_dropped": duplicates_dropped,
                 "dropped_by_faults": dropped_by_faults,
+            }
+        if track == "service":
+            track_summary["service"] = {
+                "recoveries": recoveries,
+                "transfer_decisions": transfer_decisions,
             }
         summary["tracks"][track] = track_summary
         summary["safety_violations"] += safety_violations
@@ -620,6 +697,13 @@ def render_campaign_summary(report: dict[str, Any]) -> str:
                 f"retransmitted, {transport['duplicates_dropped']} "
                 f"duplicates dropped, {transport['dropped_by_faults']} "
                 f"dropped by faults"
+            )
+        service = data.get("service")
+        if service:
+            lines.append(
+                f"           service: {service['recoveries']} node "
+                f"recoveries, {service['transfer_decisions']} decisions "
+                f"adopted via state transfer"
             )
     verdict = (
         "SAFE" if summary["safety_violations"] == 0 else "SAFETY VIOLATED"

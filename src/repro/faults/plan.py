@@ -31,10 +31,20 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class CrashFault:
-    """Fail-stop ``pid`` at the start of ``cycle``."""
+    """Crash ``pid`` at the start of ``cycle``.
+
+    With ``recover_cycle`` left ``None`` this is the paper's fail-stop
+    crash: the processor is gone for the rest of the run.  A finite
+    ``recover_cycle`` turns it into a *crash-recovery* fault: the
+    processor is killed at ``cycle``, loses its volatile state, and is
+    restarted at ``recover_cycle`` to replay its durable log and rejoin
+    (see :mod:`repro.service`).  Only the service track can execute
+    recoveries — the sim and runtime compilers reject such plans.
+    """
 
     pid: int
     cycle: int
+    recover_cycle: int | None = None
 
     def __post_init__(self) -> None:
         if self.pid < 0:
@@ -43,6 +53,16 @@ class CrashFault:
             raise ConfigurationError(
                 f"crash cycle must be >= 0, got {self.cycle}"
             )
+        if self.recover_cycle is not None and self.recover_cycle <= self.cycle:
+            raise ConfigurationError(
+                f"recover_cycle {self.recover_cycle} must come after the "
+                f"crash cycle {self.cycle}"
+            )
+
+    @property
+    def permanent(self) -> bool:
+        """Whether this crash is fail-stop (the node never returns)."""
+        return self.recover_cycle is None
 
 
 @dataclass(frozen=True)
@@ -207,6 +227,16 @@ class FaultPlan:
         return len(self.crashes)
 
     @property
+    def permanent_crash_count(self) -> int:
+        """Crashes with no scheduled recovery (fail-stop losses)."""
+        return sum(1 for c in self.crashes if c.permanent)
+
+    @property
+    def has_recoveries(self) -> bool:
+        """Whether any crash schedules a restart (crash-recovery model)."""
+        return any(not c.permanent for c in self.crashes)
+
+    @property
     def entry_count(self) -> int:
         """How many discrete fault ingredients the plan contains.
 
@@ -224,8 +254,15 @@ class FaultPlan:
         )
 
     def within_budget(self, t: int) -> bool:
-        """Whether the plan stays inside the fault budget ``t``."""
-        return self.crash_count <= t
+        """Whether the plan stays inside the fault budget ``t``.
+
+        Only *permanent* (fail-stop) crashes consume the budget: a crash
+        with a scheduled recovery returns the node to service, so in the
+        crash-recovery model it reads as a long pause, not a loss.  For
+        plans without recoveries this is the original
+        ``crash_count <= t``.
+        """
+        return self.permanent_crash_count <= t
 
     def guarantees_termination(self, t: int) -> bool:
         """Whether the paper obliges this schedule to terminate.
@@ -242,18 +279,25 @@ class FaultPlan:
         processors that never receive the transaction.  Outside them,
         both compilers preserve eventual delivery (finite holds,
         healing partitions, retransmission while the sender lives).
+
+        A coordinator crash with a scheduled *recovery* voids neither
+        shape: the restarted coordinator replays its durable log and
+        re-sends every unacknowledged envelope (including a GO fan-out
+        it never managed to send), so the transaction always escapes —
+        the nonblocking claim extends to such plans on the service
+        track.
         """
         if not self.within_budget(t):
             return False
         coordinator_crash = next(
-            (c.cycle for c in self.crashes if c.pid == 0), None
+            (c for c in self.crashes if c.pid == 0), None
         )
-        if coordinator_crash is None:
+        if coordinator_crash is None or not coordinator_crash.permanent:
             return True
-        if coordinator_crash < 1:
+        if coordinator_crash.cycle < 1:
             return False
         for window in self.partitions:
-            if window.start_cycle < coordinator_crash and any(
+            if window.start_cycle < coordinator_crash.cycle and any(
                 window.severs(0, pid, window.start_cycle)
                 for pid in range(1, self.n)
             ):
@@ -298,7 +342,16 @@ class FaultPlan:
             "n": self.n,
             "seed": self.seed,
             "crashes": [
-                {"pid": c.pid, "cycle": c.cycle} for c in self.crashes
+                # recover_cycle is emitted only when set, so fail-stop
+                # plans keep their v1 byte-identical JSON form.
+                {"pid": c.pid, "cycle": c.cycle}
+                if c.permanent
+                else {
+                    "pid": c.pid,
+                    "cycle": c.cycle,
+                    "recover_cycle": c.recover_cycle,
+                }
+                for c in self.crashes
             ],
             "partitions": [
                 {
@@ -335,7 +388,11 @@ class FaultPlan:
             n=data["n"],
             seed=data.get("seed", 0),
             crashes=tuple(
-                CrashFault(pid=c["pid"], cycle=c["cycle"])
+                CrashFault(
+                    pid=c["pid"],
+                    cycle=c["cycle"],
+                    recover_cycle=c.get("recover_cycle"),
+                )
                 for c in data.get("crashes", ())
             ),
             partitions=tuple(
@@ -381,6 +438,7 @@ class FaultPlan:
         max_reorder: float = 0.3,
         partition_probability: float = 0.5,
         link_override_probability: float = 0.3,
+        recovery_probability: float = 0.0,
     ) -> "FaultPlan":
         """Draw one randomized plan, fully determined by ``seed``.
 
@@ -390,6 +448,13 @@ class FaultPlan:
         and partitions always heal, so within-budget plans preserve
         eventual delivery — the regime in which the protocol must both
         stay safe *and* terminate.
+
+        ``recovery_probability`` turns each crash, independently, into a
+        kill/recover pair (``recover_cycle`` a few cycles after the
+        kill) — the crash-recovery regime only the service track can
+        execute.  The recovery draws happen strictly after every
+        fail-stop draw, so plans with ``recovery_probability == 0``
+        reproduce the historical stream byte-for-byte.
         """
         rng = random.Random(seed)
         if over_budget:
@@ -463,6 +528,28 @@ class FaultPlan:
                     max_cycles=lo + rng.randint(0, K),
                 ),
             )
+        if recovery_probability > 0:
+            recovered = []
+            for crash in crashes:
+                if rng.random() >= recovery_probability:
+                    recovered.append(crash)
+                    continue
+                cycle = crash.cycle
+                if crash.pid == 0 and not over_budget:
+                    # The within-budget draw keeps a fail-stop
+                    # coordinator clear of cycle 0; a recovering one
+                    # may die at any point — including before its GO
+                    # fan-out — and must still drive the transaction
+                    # home after replay.
+                    cycle = rng.randint(0, 3 * K)
+                recovered.append(
+                    CrashFault(
+                        pid=crash.pid,
+                        cycle=cycle,
+                        recover_cycle=cycle + rng.randint(1, 3 * K),
+                    )
+                )
+            crashes = tuple(recovered)
         return cls(
             n=n,
             seed=seed,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.runtime.cluster import Cluster, CrashInjection
 from repro.runtime.transport import LinkFaultPolicy, LinkVerdict, Reliability
@@ -92,7 +93,19 @@ def plan_reliability(tick_interval: float = 0.002) -> Reliability:
 def compile_to_runtime(
     plan: FaultPlan, tick_interval: float = 0.002, K: int = 4
 ) -> tuple[PlanLinkFaults, list[CrashInjection], Reliability]:
-    """Compile ``plan`` into the asyncio cluster's fault knobs."""
+    """Compile ``plan`` into the asyncio cluster's fault knobs.
+
+    Raises:
+        ConfigurationError: when the plan schedules crash *recoveries* —
+            runtime nodes are fail-stop (no durable state to replay); a
+            plan with ``recover_cycle`` entries belongs to the service
+            track (:mod:`repro.service`).
+    """
+    if plan.has_recoveries:
+        raise ConfigurationError(
+            "plan schedules crash recoveries; the runtime track is "
+            "fail-stop only — run it on the service track instead"
+        )
     faults = PlanLinkFaults(plan, tick_interval=tick_interval, K=K)
     crashes = [
         CrashInjection(pid=c.pid, after_seconds=c.cycle * tick_interval)

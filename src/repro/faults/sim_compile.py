@@ -32,6 +32,7 @@ from repro.adversary.base import (
     CycleContext,
     DeliveryPolicy,
 )
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.sim.message import MessageId
 from repro.sim.pattern import PendingMessage
@@ -108,5 +109,17 @@ class FaultPlanAdversary(CycleAdversary):
 
 
 def compile_to_adversary(plan: FaultPlan, K: int = 4) -> FaultPlanAdversary:
-    """Compile ``plan`` for the deterministic simulator track."""
+    """Compile ``plan`` for the deterministic simulator track.
+
+    Raises:
+        ConfigurationError: when the plan schedules crash *recoveries* —
+            the simulator models the paper's fail-stop crashes only; a
+            plan with ``recover_cycle`` entries belongs to the service
+            track (:mod:`repro.service`).
+    """
+    if plan.has_recoveries:
+        raise ConfigurationError(
+            "plan schedules crash recoveries; the sim track is fail-stop "
+            "only — run it on the service track instead"
+        )
     return FaultPlanAdversary(plan, K=K)

@@ -1,0 +1,66 @@
+"""The deployable commit service: Protocol 2 in the crash-recovery model.
+
+The simulator (:mod:`repro.sim`) and the asyncio runtime
+(:mod:`repro.runtime`) execute the paper's protocols in the *fail-stop*
+model — a crashed processor is gone forever.  This package runs the same
+state machines as a *service* in the crash-**recovery** model:
+
+* every node owns a checksummed, fsync'd write-ahead log and snapshot
+  (:mod:`repro.service.wal`);
+* a killed node's next life replays its durable records into a
+  byte-identical protocol state (:mod:`repro.service.recovery`);
+* reliability is node-level retry-until-acked with durable receiver
+  dedup, so it survives restarts (:mod:`repro.service.node`);
+* a recovering node that missed the outcome adopts it through the
+  ``state-query`` / ``state-transfer`` handshake;
+* clusters run over an in-memory bus on the virtual clock for fault
+  campaigns (:mod:`repro.service.cluster`,
+  :mod:`repro.service.bus`) or over real TCP as separate OS
+  processes (:mod:`repro.service.server`, :mod:`repro.service.client`).
+
+See ``docs/SERVICE.md`` for the process layout, the WAL format, and the
+recovery handshake.
+"""
+
+from repro.service.bus import ServiceBus
+from repro.service.cluster import (
+    ServiceCluster,
+    ServiceClusterResult,
+    node_configs,
+)
+from repro.service.node import ServiceNode, ServiceNodeSnapshot
+from repro.service.recovery import (
+    NodeConfig,
+    ReplayResult,
+    replay,
+    state_digest,
+)
+from repro.service.wal import (
+    FileWalStore,
+    MemoryWalStore,
+    WriteAheadLog,
+    read_log,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.service.wire import ServiceEnvelope
+
+__all__ = [
+    "FileWalStore",
+    "MemoryWalStore",
+    "NodeConfig",
+    "ReplayResult",
+    "ServiceBus",
+    "ServiceCluster",
+    "ServiceClusterResult",
+    "ServiceEnvelope",
+    "ServiceNode",
+    "ServiceNodeSnapshot",
+    "WriteAheadLog",
+    "node_configs",
+    "read_log",
+    "read_snapshot",
+    "replay",
+    "state_digest",
+    "write_snapshot",
+]

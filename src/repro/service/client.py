@@ -1,0 +1,63 @@
+"""Client helpers for the TCP commit service.
+
+Clients are not cluster members: they send envelopes with ``sender =
+-1`` and the server answers inline on the same connection
+(:mod:`repro.service.server`).  Two requests exist — ``submit``
+(release the coordinator's held transaction) and ``state-query``
+(decision + full node status).  The helpers here are small sync
+wrappers the CLI and the crash demo share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.wire import ServiceEnvelope
+
+
+async def request(
+    host: str, port: int, envelope: ServiceEnvelope, timeout: float = 5.0
+) -> ServiceEnvelope:
+    """Send one client envelope and await the inline reply."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout
+    )
+    try:
+        writer.write(envelope.encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    finally:
+        writer.close()
+    if not line:
+        raise ServiceError(f"no reply from {host}:{port}")
+    return ServiceEnvelope.decode(line)
+
+
+def submit(host: str, port: int, timeout: float = 5.0) -> dict[str, Any]:
+    """Release the transaction held at ``host:port`` (the coordinator).
+
+    Returns the node's status dict from the acknowledgement.
+    """
+    reply = asyncio.run(
+        request(
+            host, port, ServiceEnvelope(kind="submit", sender=-1), timeout
+        )
+    )
+    return reply.body.get("status", {})
+
+
+def status(host: str, port: int, timeout: float = 5.0) -> dict[str, Any]:
+    """One node's status: pid, incarnation, decision, steps, records."""
+    reply = asyncio.run(
+        request(
+            host,
+            port,
+            ServiceEnvelope(kind="state-query", sender=-1),
+            timeout,
+        )
+    )
+    body = dict(reply.body.get("status", {}))
+    body.setdefault("decision", reply.body.get("decision"))
+    return body

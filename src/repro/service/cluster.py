@@ -1,0 +1,300 @@
+"""Service clusters: co-hosted nodes under kill/recover fault schedules.
+
+The deployable service runs one OS process per node (:mod:`repro.service.server`);
+this module hosts a whole cluster inside one event loop so the fault
+campaign can run thousands of crash-recovery trials on the virtual clock
+(:func:`~repro.runtime.virtualtime.run_virtual`) with no real I/O.
+
+The orchestrator realises a :class:`~repro.faults.plan.FaultPlan` in the
+crash-*recovery* model: a :class:`~repro.faults.plan.CrashFault` at
+cycle ``c`` cancels the node's tasks (losing all volatile state — the
+SIGKILL analogue), and a ``recover_cycle`` builds a *fresh*
+:class:`~repro.service.node.ServiceNode` over the same
+:class:`~repro.service.wal.WalStore` — the store is the disk that
+survives the process.  A kill can also leave a **torn tail** in the
+store (a partial record mid-``write``), which the restarted node's WAL
+repair must absorb; the orchestrator injects those with seeded
+randomness so every campaign exercises the repair path.
+
+Termination here is *service-level*: a node counts as done once it has
+a decision, whether its protocol decided locally or the recovery
+handshake transferred one.  The run ends when every node not
+permanently crashed is done, or at the deadline (``NONTERMINATED``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.seeds import SERVICE_NODE_STREAM, derive_keyed
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime_compile import PlanLinkFaults, plan_reliability
+from repro.runtime.cluster import NONTERMINATED, TERMINATED
+from repro.runtime.delays import DelayModel
+from repro.service.bus import ServiceBus
+from repro.service.node import ServiceNode, ServiceNodeSnapshot
+from repro.service.recovery import NodeConfig
+from repro.service.wal import MemoryWalStore, WalStore, encode_record
+from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
+
+_log = get_logger("service.cluster")
+
+
+def node_configs(
+    n: int,
+    t: int,
+    votes: list[int] | tuple[int, ...],
+    K: int,
+    seed: int,
+    variant: str = "commit",
+) -> list[NodeConfig]:
+    """One :class:`NodeConfig` per pid, with derived tape seeds."""
+    if len(votes) != n:
+        raise ConfigurationError(
+            f"got {len(votes)} votes for n={n} processors"
+        )
+    return [
+        NodeConfig(
+            pid=pid,
+            n=n,
+            t=t,
+            K=K,
+            vote=int(vote),
+            tape_seed=derive_keyed(seed, SERVICE_NODE_STREAM, pid),
+            variant=variant,
+        )
+        for pid, vote in enumerate(votes)
+    ]
+
+
+@dataclass
+class ServiceClusterResult:
+    """Aggregated outcome of one service-cluster run.
+
+    ``nodes`` holds each pid's final observable state (for a killed pid,
+    the state of its last life).  ``permanently_crashed`` are the pids a
+    plan killed without recovery — the fail-stop subset the safety
+    monitor excludes from liveness obligations.
+    """
+
+    nodes: list[ServiceNodeSnapshot] = field(default_factory=list)
+    outcome: str = TERMINATED
+    permanently_crashed: set[int] = field(default_factory=set)
+    recoveries: int = 0
+    bus_stats: dict[str, int] = field(default_factory=dict)
+
+    def decisions(self) -> dict[int, int | None]:
+        return {s.pid: s.decision for s in self.nodes}
+
+    def decision_values(self) -> set[int]:
+        return {s.decision for s in self.nodes if s.decision is not None}
+
+    @property
+    def consistent(self) -> bool:
+        return len(self.decision_values()) <= 1
+
+    @property
+    def terminated(self) -> bool:
+        return self.outcome == TERMINATED
+
+
+class ServiceCluster:
+    """Runs one commit over durable nodes under a kill/recover schedule.
+
+    Args:
+        configs: per-pid protocol configs (see :func:`node_configs`).
+        plan: fault schedule; crashes become kill(/restart) events and
+            link faults apply to every bus transmission.
+        seed: trial seed (bus fault draws, torn-tail injection, node
+            retransmission jitter).
+        tick_interval: seconds per protocol step.
+        delay: bus latency model.
+        stores: per-pid durable stores; default fresh in-memory stores.
+            Pass real :class:`~repro.service.wal.FileWalStore` instances
+            to run the same orchestration over disks.
+        fsync: WAL fsync policy for the nodes (pointless for memory
+            stores, so the default is off; the TCP service syncs).
+        snapshot_every: node snapshot-compaction period in steps.
+        torn_tail_probability: chance that a kill leaves a partial
+            record at the victim's log tail.
+    """
+
+    def __init__(
+        self,
+        configs: list[NodeConfig],
+        plan: FaultPlan | None = None,
+        *,
+        seed: int = 0,
+        tick_interval: float = 0.002,
+        delay: DelayModel | None = None,
+        stores: list[WalStore] | None = None,
+        fsync: bool = False,
+        snapshot_every: int = 0,
+        torn_tail_probability: float = 0.25,
+        K: int = 4,
+    ) -> None:
+        if not configs:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.configs = configs
+        self.n = len(configs)
+        self.plan = plan if plan is not None else FaultPlan(n=self.n)
+        self.seed = seed
+        self.tick_interval = tick_interval
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.torn_tail_probability = torn_tail_probability
+        self.stores = (
+            stores
+            if stores is not None
+            else [MemoryWalStore() for _ in configs]
+        )
+        if len(self.stores) != self.n:
+            raise ConfigurationError(
+                f"got {len(self.stores)} stores for {self.n} nodes"
+            )
+        self.bus = ServiceBus(
+            n=self.n,
+            seed=seed,
+            delay=delay,
+            link_faults=PlanLinkFaults(
+                self.plan, tick_interval=tick_interval, K=K
+            ),
+        )
+        self.reliability = plan_reliability(tick_interval)
+        self.nodes: dict[int, ServiceNode] = {}
+        self.permanently_crashed: set[int] = set()
+        self.recoveries = 0
+        self._live: dict[int, list[asyncio.Task]] = {}
+
+    # -- node lifecycle ------------------------------------------------------
+
+    def _spawn(self, pid: int) -> None:
+        node = ServiceNode(
+            self.configs[pid],
+            self.stores[pid],
+            self.bus.send,
+            tick_interval=self.tick_interval,
+            reliability=self.reliability,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
+            seed=self.seed,
+        )
+        self.nodes[pid] = node
+
+        async def pump() -> None:
+            while True:
+                node.deliver(await self.bus.receive(pid))
+
+        self._live[pid] = [
+            asyncio.ensure_future(node.run()),
+            asyncio.ensure_future(pump()),
+        ]
+
+    def _kill(self, pid: int, rng: random.Random) -> None:
+        node = self.nodes.get(pid)
+        if node is not None:
+            node.halt()
+        for task in self._live.pop(pid, []):
+            task.cancel()
+        self.bus.mark_down(pid)
+        if rng.random() < self.torn_tail_probability:
+            # Simulate a SIGKILL landing mid-append: a partial record at
+            # the tail that the next life's WAL repair must discard.
+            line = encode_record({"type": "step", "batch": []}).rstrip("\n")
+            cut = rng.randint(1, max(1, len(line) - 1))
+            self.stores[pid].append_line(line[:cut])
+            if telemetry.enabled():
+                telemetry.count(
+                    "service_torn_tails_injected_total",
+                    help="torn WAL tails injected by kill events",
+                )
+
+    # -- the run -------------------------------------------------------------
+
+    async def _supervise(self, pid: int) -> None:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        rng = random.Random(
+            derive_keyed(self.seed, SERVICE_NODE_STREAM, pid, 0xFA11)
+        )
+        schedule = sorted(
+            (c for c in self.plan.crashes if c.pid == pid),
+            key=lambda c: c.cycle,
+        )
+        self._spawn(pid)
+        for fault in schedule:
+            kill_at = start + fault.cycle * self.tick_interval
+            await asyncio.sleep(max(0.0, kill_at - loop.time()))
+            self._kill(pid, rng)
+            _log.debug("p%d killed at cycle %d", pid, fault.cycle)
+            if fault.recover_cycle is None:
+                self.permanently_crashed.add(pid)
+                return
+            recover_at = start + fault.recover_cycle * self.tick_interval
+            await asyncio.sleep(max(0.0, recover_at - loop.time()))
+            self.bus.mark_up(pid)
+            self.recoveries += 1
+            self._spawn(pid)
+            _log.debug("p%d restarted at cycle %d", pid, fault.recover_cycle)
+
+    async def _all_done(self) -> None:
+        while True:
+            done = all(
+                pid in self.permanently_crashed
+                or (
+                    pid in self._live
+                    and self.nodes[pid].decision is not None
+                )
+                for pid in range(self.n)
+            )
+            if done:
+                return
+            await asyncio.sleep(self.tick_interval)
+
+    async def run(self, deadline: float = 5.0) -> ServiceClusterResult:
+        """Run the commit to service-level termination or ``deadline``."""
+        supervisors = [
+            asyncio.ensure_future(self._supervise(pid))
+            for pid in range(self.n)
+        ]
+        try:
+            await asyncio.wait_for(self._all_done(), timeout=deadline)
+            outcome = TERMINATED
+        except asyncio.TimeoutError:
+            outcome = NONTERMINATED
+        finally:
+            for task in supervisors:
+                task.cancel()
+            for node in self.nodes.values():
+                node.halt()
+            for tasks in self._live.values():
+                for task in tasks:
+                    task.cancel()
+            await asyncio.gather(
+                *supervisors,
+                *(t for tasks in self._live.values() for t in tasks),
+                return_exceptions=True,
+            )
+        snapshots = [
+            self.nodes[pid].snapshot_state()
+            for pid in range(self.n)
+            if pid in self.nodes
+        ]
+        if telemetry.enabled():
+            telemetry.count(
+                "service_runs_total", help="service cluster runs", outcome=outcome
+            )
+        return ServiceClusterResult(
+            nodes=snapshots,
+            outcome=outcome,
+            permanently_crashed=set(self.permanently_crashed),
+            recoveries=self.recoveries,
+            bus_stats={
+                "delivered": self.bus.delivered,
+                "dropped": self.bus.dropped,
+            },
+        )

@@ -1,0 +1,296 @@
+"""Replay: rebuilding a node's protocol state from its durable records.
+
+The hosted state machine is a Python generator
+(:class:`~repro.sim.process.SimProcess`), which cannot be serialized
+mid-run — so the WAL is a *command log*, not a state dump.  An ``init``
+record pins the protocol configuration (including the tape seed), and
+each ``step`` record captures one call's replay input: the batch of
+delivered envelopes.  Deterministic re-execution of the same inputs with
+the same tape reconstructs the state byte-for-byte; idle ticks (empty
+batches) are logged too because they advance the protocol clock and
+hence the timeout machinery.
+
+Replay also regenerates everything volatile that died with the process:
+
+* the **dedup set** — the identities of every envelope the node has
+  applied, so a restarted node still rejects duplicates its previous
+  life already consumed;
+* the **outbox** — every outgoing envelope the previous life produced,
+  with its *original* ``(incarnation, seq)`` identity (the replay walks
+  ``recover`` records to know which incarnation was live at each step),
+  so resending everything after a restart is safe: receivers that
+  already applied an envelope drop the retransmission;
+* the **service overlay** — a decision adopted via state transfer, and
+  whether a transaction ``submit`` was already released.
+
+:func:`state_digest` canonicalises the observable process state into a
+hash; snapshots store it so recovery can verify the replayed prefix, and
+the property tests use it as the byte-identity oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import WalError
+from repro.faults.variants import resolve_variant
+from repro.service.wire import (
+    ServiceEnvelope,
+    payload_from_dict,
+    payload_to_dict,
+)
+from repro.sim.message import ReceivedPayload
+from repro.sim.process import SimProcess
+from repro.sim.tape import RandomTape
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything that pins one node's protocol behaviour.
+
+    Stored in the ``init`` WAL record so a restart rebuilds the exact
+    same program: same variant, same vote, same tape seed.
+    """
+
+    pid: int
+    n: int
+    t: int
+    K: int
+    vote: int
+    tape_seed: int
+    variant: str = "commit"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "n": self.n,
+            "t": self.t,
+            "K": self.K,
+            "vote": self.vote,
+            "tape_seed": self.tape_seed,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "NodeConfig":
+        return cls(
+            pid=doc["pid"],
+            n=doc["n"],
+            t=doc["t"],
+            K=doc["K"],
+            vote=doc["vote"],
+            tape_seed=doc["tape_seed"],
+            variant=doc.get("variant", "commit"),
+        )
+
+
+def build_process(config: NodeConfig) -> SimProcess:
+    """A fresh process at step 0 for ``config``."""
+    program_cls = resolve_variant(config.variant)
+    program = program_cls(
+        pid=config.pid,
+        n=config.n,
+        t=config.t,
+        initial_vote=config.vote,
+        K=config.K,
+        allow_sub_resilience=True,
+    )
+    return SimProcess(program, RandomTape(seed=config.tape_seed))
+
+
+def state_digest(process: SimProcess) -> str:
+    """A canonical hash of the observable protocol state.
+
+    Covers the clock, lifecycle status, decision (value and clock), and
+    the bulletin board in receipt order — everything the protocol's
+    future behaviour depends on besides the (seed-determined) tape.
+    """
+    board = [
+        [entry.sender, payload_to_dict(entry.payload), entry.receive_clock]
+        for entry in process.board.entries()
+    ]
+    doc = {
+        "clock": process.clock,
+        "status": process.status.name,
+        "decision": process.decision,
+        "decision_clock": process.decision_clock,
+        "board": board,
+    }
+    body = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def batch_to_record(delivered: list[ServiceEnvelope]) -> list[list[Any]]:
+    """The WAL form of one step's delivered batch."""
+    return [
+        [
+            env.sender,
+            env.incarnation,
+            env.seq,
+            [payload_to_dict(p) for p in env.payloads],
+        ]
+        for env in delivered
+    ]
+
+
+def _batch_to_received(
+    batch: list[list[Any]], receive_clock: int
+) -> list[ReceivedPayload]:
+    received: list[ReceivedPayload] = []
+    for sender, _incarnation, _seq, payloads in batch:
+        for doc in payloads:
+            received.append(
+                ReceivedPayload(
+                    sender=sender,
+                    payload=payload_from_dict(doc),
+                    receive_clock=receive_clock,
+                )
+            )
+    return received
+
+
+@dataclass
+class ReplayResult:
+    """A node's life, rebuilt from its durable records.
+
+    Attributes:
+        process: the replayed state machine.
+        config: the ``init`` record's configuration.
+        incarnation: this life's incarnation (count of ``recover``
+            records — the caller appends the new ``recover`` record
+            *after* replaying, so the value here is already the live
+            one only if the caller logged it before calling).
+        steps: protocol steps replayed.
+        next_seq: the next unused sequence number of the *current*
+            incarnation.
+        applied: identities of every envelope ever applied (dedup set).
+        outgoing: every ``(recipient, envelope)`` the replayed life
+            produced, with original identities, for resend-on-recovery.
+        transfer_decision: decision adopted from a peer's state
+            transfer, or ``None``.
+        submitted: whether a ``submit`` record was seen.
+    """
+
+    process: SimProcess
+    config: NodeConfig
+    incarnation: int = 0
+    steps: int = 0
+    next_seq: int = 0
+    applied: set[tuple[int, int, int]] = field(default_factory=set)
+    outgoing: list[tuple[int, ServiceEnvelope]] = field(default_factory=list)
+    transfer_decision: int | None = None
+    submitted: bool = False
+
+    @property
+    def decision(self) -> int | None:
+        """The effective decision: protocol-decided or transferred."""
+        if self.process.decision is not None:
+            return self.process.decision
+        return self.transfer_decision
+
+
+def replay(
+    records: list[dict[str, Any]],
+    expect_config: NodeConfig | None = None,
+    verify_digest_at: tuple[int, str] | None = None,
+) -> ReplayResult:
+    """Re-execute a record sequence into a live :class:`ReplayResult`.
+
+    Args:
+        records: the durable record sequence (snapshot records + log
+            suffix, see :func:`repro.service.wal.durable_records`).
+        expect_config: when given, the ``init`` record must match it —
+            catches a WAL directory wired to the wrong node.
+        verify_digest_at: optional ``(step, digest)`` integrity check —
+            snapshot recovery passes the snapshot's recorded digest and
+            replay fails loudly if the replayed state diverges.
+
+    Raises:
+        WalError: on a record sequence no crash can produce — missing or
+            mismatched ``init``, conflicting decision records, or a
+            digest mismatch at the checkpoint.
+    """
+    if not records:
+        raise WalError("cannot replay an empty record sequence (no init)")
+    first = records[0]
+    if first.get("type") != "init":
+        raise WalError(
+            f"first durable record must be init, got {first.get('type')!r}"
+        )
+    config = NodeConfig.from_dict(first["config"])
+    if expect_config is not None and config != expect_config:
+        raise WalError(
+            f"WAL init record {config} does not match the expected "
+            f"configuration {expect_config}"
+        )
+
+    result = ReplayResult(process=build_process(config), config=config)
+    seen_decision: int | None = None
+
+    for record in records[1:]:
+        rtype = record["type"]
+        if rtype == "init":
+            raise WalError("duplicate init record mid-log")
+        if rtype == "step":
+            batch = record.get("batch", [])
+            for sender, incarnation, seq, _payloads in batch:
+                result.applied.add((sender, incarnation, seq))
+            delivered = _batch_to_received(
+                batch, receive_clock=result.process.clock + 1
+            )
+            sends = result.process.on_step(delivered)
+            result.steps += 1
+            for recipient, payloads in sends:
+                envelope = ServiceEnvelope(
+                    kind="msg",
+                    sender=config.pid,
+                    incarnation=result.incarnation,
+                    seq=result.next_seq,
+                    payloads=payloads,
+                )
+                result.next_seq += 1
+                result.outgoing.append((recipient, envelope))
+            if (
+                verify_digest_at is not None
+                and result.steps == verify_digest_at[0]
+            ):
+                digest = state_digest(result.process)
+                if digest != verify_digest_at[1]:
+                    raise WalError(
+                        f"replayed state digest {digest} does not match "
+                        f"the snapshot digest {verify_digest_at[1]} at "
+                        f"step {result.steps}"
+                    )
+        elif rtype == "recover":
+            result.incarnation += 1
+            result.next_seq = 0
+        elif rtype == "decision":
+            value = record["value"]
+            if seen_decision is not None and seen_decision != value:
+                raise WalError(
+                    f"conflicting decision records in one WAL: "
+                    f"{seen_decision} then {value}"
+                )
+            seen_decision = value
+            if record.get("origin") == "transfer":
+                result.transfer_decision = value
+        elif rtype == "submit":
+            result.submitted = True
+        elif rtype in ("vote", "coins", "round"):
+            pass  # observability records; replay derives them from steps
+        else:  # pragma: no cover - reader already filters unknown types
+            raise WalError(f"unknown record type {rtype!r}")
+
+    if (
+        seen_decision is not None
+        and result.process.decision is not None
+        and seen_decision != result.process.decision
+    ):
+        raise WalError(
+            f"WAL decision record {seen_decision} conflicts with the "
+            f"replayed process decision {result.process.decision}"
+        )
+    return result

@@ -1,0 +1,183 @@
+"""The TCP face of a service node: one OS process per processor.
+
+Deployment layout: node ``p`` of an ``n``-node cluster is one process
+(`repro service start`) listening on ``base_port + p``, with its WAL and
+snapshot in ``<data_dir>/node<p>/``.  Peers exchange
+:class:`~repro.service.wire.ServiceEnvelope` lines over short-lived
+connections — one connection per transmission attempt, written and
+closed.  Connection failures are simply dropped transmissions: the
+node-level retry-until-acked loop (:mod:`repro.service.node`) is the
+reliability layer, exactly as on the in-memory bus, so a peer that is
+down (killed, restarting) catches up when it returns.
+
+Clients (``repro service submit|status``) speak the same envelope
+framing with ``sender = -1`` and get an inline reply on the same
+connection:
+
+* ``submit`` releases the coordinator's held transaction and returns an
+  ``ack`` carrying the node's status;
+* ``state-query`` returns a ``state-transfer`` whose body includes the
+  decision and the full node status — the same record a recovering peer
+  would receive, which is why ``repro service status`` needs no
+  separate protocol.
+
+Real sockets need real time, so servers run on the standard event loop
+(contrast :mod:`repro.service.cluster`, which co-hosts nodes on the
+virtual clock).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict
+
+from repro.errors import ServiceError
+from repro.service.node import ServiceNode
+from repro.service.recovery import NodeConfig
+from repro.service.wal import FileWalStore
+from repro.service.wire import ServiceEnvelope
+from repro.telemetry.log import get_logger
+
+_log = get_logger("service.server")
+
+
+def peer_address(base_port: int, pid: int, host: str = "127.0.0.1") -> tuple[str, int]:
+    """The listen address of node ``pid`` under the port convention."""
+    return (host, base_port + pid)
+
+
+class ServiceServer:
+    """Hosts one :class:`~repro.service.node.ServiceNode` behind TCP.
+
+    Args:
+        config: the node's protocol identity.
+        store: its durable storage (a
+            :class:`~repro.service.wal.FileWalStore` in deployment).
+        peers: listen addresses, indexed by pid.
+        tick_interval: protocol step granularity in (real) seconds —
+            coarser than the in-memory default because real sockets
+            carry the traffic.
+        fsync: WAL fsync policy (on, in deployment).
+        hold_for_submit: wait for a client ``submit`` before stepping
+            (the coordinator's default).
+        seed: retransmission jitter seed.
+    """
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        store: FileWalStore,
+        peers: list[tuple[str, int]],
+        *,
+        tick_interval: float = 0.02,
+        fsync: bool = True,
+        hold_for_submit: bool = False,
+        snapshot_every: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if len(peers) != config.n:
+            raise ServiceError(
+                f"got {len(peers)} peer addresses for n={config.n}"
+            )
+        self.peers = peers
+        self.node = ServiceNode(
+            config,
+            store,
+            self._send,
+            tick_interval=tick_interval,
+            fsync=fsync,
+            hold_for_submit=hold_for_submit,
+            snapshot_every=snapshot_every,
+            seed=seed,
+        )
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- outbound ------------------------------------------------------------
+
+    def _send(
+        self, recipient: int, envelope: ServiceEnvelope, attempt: int
+    ) -> None:
+        asyncio.ensure_future(self._transmit(recipient, envelope))
+
+    async def _transmit(
+        self, recipient: int, envelope: ServiceEnvelope
+    ) -> None:
+        host, port = self.peers[recipient]
+        try:
+            _reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            return  # peer down: this attempt is a dropped transmission
+        try:
+            writer.write(envelope.encode())
+            await writer.drain()
+        except OSError:
+            pass
+        finally:
+            writer.close()
+
+    # -- inbound -------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    envelope = ServiceEnvelope.decode(line)
+                except ServiceError:
+                    _log.warning("dropping undecodable line: %r", line[:200])
+                    continue
+                if envelope.sender < 0:
+                    reply = self._client_request(envelope)
+                    writer.write(reply.encode())
+                    await writer.drain()
+                else:
+                    self.node.deliver(envelope)
+        except (OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    def _client_request(self, envelope: ServiceEnvelope) -> ServiceEnvelope:
+        status = asdict(self.node.snapshot_state())
+        if envelope.kind == "submit":
+            self.node.submit()
+            return ServiceEnvelope(
+                kind="ack", sender=self.node.pid, body={"status": status}
+            )
+        if envelope.kind == "state-query":
+            return ServiceEnvelope(
+                kind="state-transfer",
+                sender=self.node.pid,
+                body={"decision": self.node.decision, "status": status},
+            )
+        return ServiceEnvelope(
+            kind="ack",
+            sender=self.node.pid,
+            body={"error": f"unsupported client request {envelope.kind!r}"},
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Listen, recover/run the node, and serve until halted."""
+        host, port = self.peers[self.node.pid]
+        self._server = await asyncio.start_server(self._handle, host, port)
+        _log.info(
+            "p%d listening on %s:%d (data: %s)",
+            self.node.pid,
+            host,
+            port,
+            getattr(self.node.store, "directory", "<memory>"),
+        )
+        try:
+            await self.node.run()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def halt(self) -> None:
+        self.node.halt()

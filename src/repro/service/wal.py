@@ -1,0 +1,427 @@
+"""Append-only, checksummed, fsync'd write-ahead logs and snapshots.
+
+Each service node owns one WAL (``log.jsonl``) and one snapshot slot
+(``snapshot.json``).  The log is the node's durable truth: every record
+is one JSON line ``{"c": <crc32>, "r": <record>}`` where the checksum
+covers the record's canonical JSON form.  Records are appended *before*
+their effect is applied to the protocol state machine and fsync'd before
+the corresponding envelope is acknowledged, so an acknowledged message
+is durable by construction.
+
+Record vocabulary (``repro.wal v1``):
+
+* ``init`` — the node's protocol configuration (pid, n, t, K, vote,
+  tape seed, program variant);
+* ``step`` — one state-machine step: the batch of delivered envelopes
+  ``[sender, incarnation, seq, [payloads...]]`` (empty for idle ticks —
+  idle ticks advance the protocol clock, so replay must reproduce
+  them);
+* ``vote`` / ``coins`` / ``round`` — observability records derived from
+  traffic (the broadcast vote, the GO coin list, agreement stage
+  transitions); redundant for replay, invaluable for postmortems;
+* ``decision`` — the decided value with its origin (``process`` for a
+  locally decided value, ``transfer`` for one adopted from a peer's
+  state transfer);
+* ``recover`` — appended each time the node restarts and replays,
+  carrying the new incarnation number;
+* ``submit`` — the transaction was released to the coordinator (TCP
+  service; replay resumes a submitted run without waiting again).
+
+**Torn tails.**  A SIGKILL can land mid-``write``; the reader treats any
+trailing undecodable or checksum-failing line as a torn tail: it returns
+the valid prefix and flags the truncation, and opening the log for
+append first truncates the store back to that prefix.  A valid line
+*after* an invalid one is structural corruption and raises
+:class:`~repro.errors.WalError` — that is not a crash artifact.
+
+**Snapshots** compact the replay inputs: the generator-based state
+machine cannot be pickled mid-run, so a snapshot is the canonical record
+prefix (init + steps + decisions) rewritten into one atomically-replaced
+checksummed file, plus a digest of the replayed state for integrity
+checking.  After a snapshot the log is truncated; recovery is
+``replay(snapshot records + log suffix)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import WalError
+from repro.telemetry import registry as telemetry
+from repro.telemetry.log import get_logger
+
+_log = get_logger("service.wal")
+
+#: Schema tag of the log record stream.
+WAL_SCHEMA = "repro.wal v1"
+#: Schema tag of the snapshot document.
+SNAPSHOT_SCHEMA = "repro.wal-snapshot v1"
+
+#: Record types the reader accepts.
+RECORD_TYPES = (
+    "init",
+    "step",
+    "vote",
+    "coins",
+    "round",
+    "decision",
+    "recover",
+    "submit",
+)
+
+
+def _canonical(record: dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_record(record: dict[str, Any]) -> str:
+    """One checksummed JSONL line for ``record`` (newline included)."""
+    body = _canonical(record)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps({"c": crc, "r": record}, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def decode_line(line: str) -> dict[str, Any] | None:
+    """The record in one line, or ``None`` if the line is invalid.
+
+    Invalid covers truncated JSON, a missing checksum, a checksum
+    mismatch, and an unknown record type — everything a torn write can
+    produce.
+    """
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(doc, dict) or "c" not in doc or "r" not in doc:
+        return None
+    record = doc["r"]
+    if not isinstance(record, dict):
+        return None
+    if zlib.crc32(_canonical(record).encode("utf-8")) != doc["c"]:
+        return None
+    if record.get("type") not in RECORD_TYPES:
+        return None
+    return record
+
+
+# -- storage backends ---------------------------------------------------------
+
+
+class WalStore:
+    """Storage backend of one node's log + snapshot slot.
+
+    Two implementations: :class:`FileWalStore` (real durability — the
+    deployable service) and :class:`MemoryWalStore` (campaign trials:
+    the store object survives the simulated process kill, modelling the
+    disk, while the node object holding everything volatile does not).
+    """
+
+    def read_lines(self) -> list[str]:
+        raise NotImplementedError
+
+    def append_line(self, line: str) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush appended lines to durable storage (fsync)."""
+        raise NotImplementedError
+
+    def truncate_lines(self, keep: int) -> None:
+        """Drop everything after the first ``keep`` lines (tail repair)."""
+        raise NotImplementedError
+
+    def reset_log(self) -> None:
+        """Empty the log (called after a snapshot compaction)."""
+        self.truncate_lines(0)
+
+    def write_snapshot(self, text: str) -> None:
+        raise NotImplementedError
+
+    def read_snapshot(self) -> str | None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class MemoryWalStore(WalStore):
+    """An in-process store: a list of lines plus a snapshot slot."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._snapshot: str | None = None
+        self.syncs = 0
+
+    def read_lines(self) -> list[str]:
+        return list(self._lines)
+
+    def append_line(self, line: str) -> None:
+        self._lines.append(line)
+
+    def sync(self) -> None:
+        self.syncs += 1
+
+    def truncate_lines(self, keep: int) -> None:
+        del self._lines[keep:]
+
+    def tear_tail(self, keep_bytes: int) -> None:
+        """Truncate the final line mid-bytes (test/fault-injection aid)."""
+        if self._lines:
+            self._lines[-1] = self._lines[-1][:keep_bytes]
+
+    def write_snapshot(self, text: str) -> None:
+        self._snapshot = text
+
+    def read_snapshot(self) -> str | None:
+        return self._snapshot
+
+
+class FileWalStore(WalStore):
+    """The on-disk store: ``log.jsonl`` + ``snapshot.json`` in one dir."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.directory / "log.jsonl"
+        self.snapshot_path = self.directory / "snapshot.json"
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.log_path, "a", encoding="utf-8")
+        return self._handle
+
+    def read_lines(self) -> list[str]:
+        if not self.log_path.exists():
+            return []
+        with open(self.log_path, "r", encoding="utf-8") as f:
+            return f.read().splitlines()
+
+    def append_line(self, line: str) -> None:
+        handle = self._open()
+        handle.write(line)
+        handle.flush()
+
+    def sync(self) -> None:
+        handle = self._open()
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def truncate_lines(self, keep: int) -> None:
+        self.close()
+        if not self.log_path.exists():
+            return
+        with open(self.log_path, "r+", encoding="utf-8") as f:
+            offset = 0
+            for _ in range(keep):
+                if not f.readline():
+                    break
+                offset = f.tell()
+            f.truncate(offset)
+            f.flush()
+            os.fsync(f.fileno())
+
+    def write_snapshot(self, text: str) -> None:
+        # Atomic replace: the old snapshot stays valid until the new one
+        # is durably on disk, so a kill mid-snapshot loses nothing.
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.snapshot_path)
+
+    def read_snapshot(self) -> str | None:
+        if not self.snapshot_path.exists():
+            return None
+        return self.snapshot_path.read_text(encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+
+# -- the log ------------------------------------------------------------------
+
+
+@dataclass
+class WalReadResult:
+    """Outcome of reading one log: the valid records and tail health."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    valid_lines: int = 0
+    torn_tail: bool = False
+
+
+def read_log(store: WalStore) -> WalReadResult:
+    """Read a store's log, recovering from a torn tail.
+
+    Raises:
+        WalError: when a valid record follows an invalid line —
+            mid-file corruption a crash cannot produce.
+    """
+    result = WalReadResult()
+    lines = store.read_lines()
+    bad_at: int | None = None
+    for index, line in enumerate(lines):
+        record = decode_line(line)
+        if record is None:
+            if not line.strip() and index == len(lines) - 1:
+                continue  # trailing blank line, not a record
+            if bad_at is None:
+                bad_at = index
+            continue
+        if bad_at is not None:
+            raise WalError(
+                f"valid record at line {index + 1} after invalid line "
+                f"{bad_at + 1}: mid-log corruption, not a torn tail"
+            )
+        result.records.append(record)
+        result.valid_lines += 1
+    if bad_at is not None:
+        result.torn_tail = True
+        _log.warning(
+            "torn WAL tail: recovering from record %d, discarding %d "
+            "invalid trailing line(s)",
+            result.valid_lines,
+            len(lines) - bad_at,
+        )
+        if telemetry.enabled():
+            telemetry.count(
+                "wal_torn_tails_total",
+                help="torn WAL tails recovered on open",
+            )
+    return result
+
+
+class WriteAheadLog:
+    """Appender over a :class:`WalStore` with a configurable fsync policy.
+
+    Args:
+        store: the storage backend.
+        fsync: ``True`` syncs after every append (the durability the
+            recovery proofs assume); ``False`` leaves syncing to the OS
+            — campaign trials on in-memory stores use this since the
+            "disk" is process memory anyway.
+    """
+
+    def __init__(self, store: WalStore, fsync: bool = True) -> None:
+        self.store = store
+        self.fsync = fsync
+        self.appended = 0
+
+    def open_repairing(self) -> WalReadResult:
+        """Read the log and truncate any torn tail before appending."""
+        result = read_log(self.store)
+        if result.torn_tail:
+            self.store.truncate_lines(result.valid_lines)
+        return result
+
+    def append(self, record: dict[str, Any]) -> None:
+        self.store.append_line(encode_record(record))
+        self.appended += 1
+        if self.fsync:
+            started = time.perf_counter()
+            self.store.sync()
+            if telemetry.enabled():
+                telemetry.observe(
+                    "wal_fsync_seconds",
+                    time.perf_counter() - started,
+                    help="seconds per WAL fsync",
+                )
+        if telemetry.enabled():
+            telemetry.count(
+                "wal_records_total",
+                help="WAL records appended, by type",
+                type=record.get("type", "unknown"),
+            )
+
+    def append_all(self, records: Iterable[dict[str, Any]]) -> None:
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+def write_snapshot(
+    store: WalStore,
+    records: list[dict[str, Any]],
+    digest: str,
+    taken_at_step: int,
+) -> None:
+    """Compact ``records`` into the snapshot slot and truncate the log.
+
+    ``records`` must be the node's *complete* canonical record history
+    (its replay inputs); ``digest`` is the replayed-state digest at
+    ``taken_at_step`` for recovery-time integrity checking.
+    """
+    doc = {
+        "schema": SNAPSHOT_SCHEMA,
+        "taken_at_step": taken_at_step,
+        "digest": digest,
+        "records": records,
+    }
+    body = _canonical(doc)
+    envelope = json.dumps(
+        {"c": zlib.crc32(body.encode("utf-8")), "d": doc},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    store.write_snapshot(envelope)
+    store.reset_log()
+    if telemetry.enabled():
+        telemetry.count(
+            "wal_snapshots_total", help="snapshot compactions written"
+        )
+
+
+def read_snapshot(store: WalStore) -> dict[str, Any] | None:
+    """Load and verify the snapshot document, if one exists.
+
+    Raises:
+        WalError: on a checksum-failing or schema-mismatched snapshot —
+            atomic replacement means a torn snapshot cannot exist, so
+            any damage here is real corruption.
+    """
+    text = store.read_snapshot()
+    if text is None:
+        return None
+    try:
+        envelope = json.loads(text)
+        doc = envelope["d"]
+        crc = envelope["c"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise WalError("unreadable snapshot document") from exc
+    if zlib.crc32(_canonical(doc).encode("utf-8")) != crc:
+        raise WalError("snapshot checksum mismatch")
+    if doc.get("schema") != SNAPSHOT_SCHEMA:
+        raise WalError(
+            f"unsupported snapshot schema {doc.get('schema')!r} "
+            f"(expected {SNAPSHOT_SCHEMA!r})"
+        )
+    return doc
+
+
+def durable_records(store: WalStore) -> WalReadResult:
+    """A node's full replay input: snapshot records + log suffix."""
+    snapshot = read_snapshot(store)
+    log = read_log(store)
+    if snapshot is None:
+        return log
+    return WalReadResult(
+        records=list(snapshot["records"]) + log.records,
+        valid_lines=log.valid_lines,
+        torn_tail=log.torn_tail,
+    )

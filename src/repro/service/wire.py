@@ -1,0 +1,161 @@
+"""Wire codecs: protocol payloads and service envelopes as JSON.
+
+The deployable service moves the simulator's typed payloads across real
+process boundaries (TCP streams, write-ahead logs), so every payload
+class gets a stable dict form here.  The envelope is the service-layer
+unit of transmission: one sender step's payloads plus the identity that
+makes retry-until-acked delivery safe.
+
+Envelope identity is the triple ``(sender, incarnation, seq)``:
+
+* ``seq`` counts envelopes per sender *incarnation*;
+* ``incarnation`` counts the sender's recoveries, so a restarted node
+  can never collide with sequence numbers its previous life consumed —
+  receivers deduplicate on the full triple, and the dedup set is
+  durable because every applied envelope's identity lands in the
+  receiver's write-ahead log (:mod:`repro.service.wal`).
+
+Control kinds (``ack``, ``state-query``, ``state-transfer``, ``submit``)
+ride the same envelope format; only ``msg`` envelopes reach the hosted
+protocol state machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.messages import (
+    DecidedMessage,
+    GoMessage,
+    StageMessage,
+    VoteMessage,
+)
+from repro.errors import ServiceError
+from repro.sim.message import Payload, RawPayload
+
+#: Envelope kinds the service understands.  ``msg`` carries protocol
+#: payloads; the rest are service-layer control traffic.
+KINDS = ("msg", "ack", "state-query", "state-transfer", "submit")
+
+
+def payload_to_dict(payload: Payload) -> dict[str, Any]:
+    """The stable dict form of one protocol payload."""
+    if isinstance(payload, GoMessage):
+        return {"k": "go", "coins": list(payload.coins)}
+    if isinstance(payload, VoteMessage):
+        return {"k": "vote", "vote": payload.vote}
+    if isinstance(payload, StageMessage):
+        return {
+            "k": "stage",
+            "phase": payload.phase,
+            "stage": payload.stage,
+            "value": payload.value,
+        }
+    if isinstance(payload, DecidedMessage):
+        return {"k": "decided", "value": payload.value}
+    if isinstance(payload, RawPayload):
+        return {"k": "raw", "data": payload.data}
+    raise ServiceError(
+        f"no wire form for payload type {type(payload).__name__}"
+    )
+
+
+def payload_from_dict(data: dict[str, Any]) -> Payload:
+    """Rebuild a payload from :func:`payload_to_dict` output."""
+    kind = data.get("k")
+    if kind == "go":
+        return GoMessage(coins=tuple(data["coins"]))
+    if kind == "vote":
+        return VoteMessage(vote=data["vote"])
+    if kind == "stage":
+        return StageMessage(
+            phase=data["phase"], stage=data["stage"], value=data["value"]
+        )
+    if kind == "decided":
+        return DecidedMessage(value=data["value"])
+    if kind == "raw":
+        return RawPayload(data=data["data"])
+    raise ServiceError(f"unknown wire payload kind {kind!r}: {data!r}")
+
+
+@dataclass(frozen=True)
+class ServiceEnvelope:
+    """One service-layer transmission unit.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        sender: sending node's pid.
+        incarnation: sender's recovery count when the envelope was
+            first created (identity component, see module docstring).
+        seq: per-(sender, incarnation) sequence number; ``-1`` for
+            unsequenced control traffic (acks).
+        payloads: protocol payloads (``msg`` envelopes only).
+        body: control data — the acked ``(incarnation, seq)`` pair for
+            ``ack``, the transferred state for ``state-transfer``.
+    """
+
+    kind: str
+    sender: int
+    incarnation: int = 0
+    seq: int = -1
+    payloads: tuple[Payload, ...] = ()
+    body: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ServiceError(
+                f"unknown envelope kind {self.kind!r}; choose from {KINDS}"
+            )
+
+    @property
+    def identity(self) -> tuple[int, int, int]:
+        """The dedup key ``(sender, incarnation, seq)``."""
+        return (self.sender, self.incarnation, self.seq)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "kind": self.kind,
+            "sender": self.sender,
+            "incarnation": self.incarnation,
+            "seq": self.seq,
+        }
+        if self.payloads:
+            doc["payloads"] = [payload_to_dict(p) for p in self.payloads]
+        if self.body:
+            doc["body"] = self.body
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ServiceEnvelope":
+        try:
+            return cls(
+                kind=doc["kind"],
+                sender=doc["sender"],
+                incarnation=doc.get("incarnation", 0),
+                seq=doc.get("seq", -1),
+                payloads=tuple(
+                    payload_from_dict(p) for p in doc.get("payloads", ())
+                ),
+                body=doc.get("body", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ServiceError(f"malformed envelope: {doc!r}") from exc
+
+    def encode(self) -> bytes:
+        """One newline-terminated JSON line (the TCP framing)."""
+        return (
+            json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, line: bytes | str) -> "ServiceEnvelope":
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"undecodable envelope line: {line!r}") from exc
+        return cls.from_dict(doc)

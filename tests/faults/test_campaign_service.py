@@ -1,0 +1,99 @@
+"""Campaign tests for the service track: config gates and trial sweeps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import (
+    CampaignConfig,
+    TrialCase,
+    execute_trial_case,
+    run_campaign,
+)
+from repro.faults.plan import CrashFault, FaultPlan
+
+
+class TestConfigGates:
+    def test_recovery_probability_requires_service_track(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(recovery_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(
+                recovery_probability=0.5, tracks=("sim", "service")
+            )
+        config = CampaignConfig(recovery_probability=0.5, tracks=("service",))
+        assert config.recovery_probability == 0.5
+
+    def test_recovery_probability_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(recovery_probability=1.5, tracks=("service",))
+
+    def test_dict_form_stays_backward_compatible(self):
+        # Pre-service reports must stay byte-identical: the new key is
+        # emitted only when the feature is in use.
+        assert "recovery_probability" not in CampaignConfig().to_dict()
+        doc = CampaignConfig(
+            recovery_probability=0.5, tracks=("service",)
+        ).to_dict()
+        assert doc["recovery_probability"] == 0.5
+
+    def test_recovery_plans_rejected_on_fail_stop_tracks(self):
+        plan = FaultPlan(
+            n=3, crashes=(CrashFault(pid=1, cycle=2, recover_cycle=6),)
+        )
+        with pytest.raises(ConfigurationError):
+            TrialCase(n=3, t=1, K=4, votes=(1, 1, 1), plan=plan, seed=0)
+        case = TrialCase(
+            n=3,
+            t=1,
+            K=4,
+            votes=(1, 1, 1),
+            plan=plan,
+            seed=0,
+            tracks=("service",),
+        )
+        assert case.tracks == ("service",)
+
+
+class TestServiceTrialExecution:
+    def test_kill_recover_trial_reports_recoveries(self):
+        plan = FaultPlan(
+            n=5,
+            crashes=(
+                CrashFault(pid=0, cycle=3, recover_cycle=10),
+                CrashFault(pid=2, cycle=4, recover_cycle=12),
+            ),
+        )
+        case = TrialCase(
+            n=5,
+            t=2,
+            K=4,
+            votes=(1, 1, 1, 1, 1),
+            plan=plan,
+            seed=17,
+            tracks=("service",),
+            deadline=8.0,
+        )
+        result = execute_trial_case(case)
+        service = result["tracks"]["service"]
+        assert service["outcome"] == "terminated"
+        assert set(service["decisions"]) == {1}
+        assert service["recoveries"] == 2
+        assert service["crashed"] == []
+
+
+class TestServiceCampaign:
+    def test_small_service_sweep_is_safe(self):
+        config = CampaignConfig(
+            n=5,
+            plans=6,
+            base_seed=400,
+            tracks=("service",),
+            recovery_probability=0.75,
+            deadline=8.0,
+        )
+        report = run_campaign(config, workers=1)
+        summary = report["summary"]
+        assert summary["safety_violations"] == 0
+        service = summary["tracks"]["service"]["service"]
+        assert service["recoveries"] >= 0
+        assert "transfer_decisions" in service

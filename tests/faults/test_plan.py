@@ -188,3 +188,85 @@ class TestRandom:
             plan = FaultPlan.random(n=5, t=2, seed=seed)
             for window in plan.partitions:
                 assert window.heal_cycle > window.start_cycle
+
+
+class TestCrashRecovery:
+    def test_recover_cycle_must_follow_crash_cycle(self):
+        with pytest.raises(ConfigurationError):
+            CrashFault(pid=1, cycle=5, recover_cycle=5)
+        with pytest.raises(ConfigurationError):
+            CrashFault(pid=1, cycle=5, recover_cycle=3)
+
+    def test_permanent_classification(self):
+        assert CrashFault(pid=1, cycle=5).permanent
+        assert not CrashFault(pid=1, cycle=5, recover_cycle=9).permanent
+
+    def test_budget_counts_only_permanent_crashes(self):
+        plan = FaultPlan(
+            n=5,
+            crashes=(
+                CrashFault(pid=1, cycle=0),
+                CrashFault(pid=2, cycle=0, recover_cycle=4),
+                CrashFault(pid=3, cycle=1, recover_cycle=6),
+            ),
+        )
+        assert plan.crash_count == 3
+        assert plan.permanent_crash_count == 1
+        assert plan.has_recoveries
+        assert plan.within_budget(1)
+        assert not plan.within_budget(0)
+
+    def test_recovering_coordinator_keeps_termination_guarantee(self):
+        # Fail-stop, a cycle-0 coordinator crash voids termination (the
+        # GO fan-out never happens); with a scheduled recovery the
+        # coordinator replays its WAL and still drives the commit home.
+        fail_stop = FaultPlan(n=5, crashes=(CrashFault(pid=0, cycle=0),))
+        assert not fail_stop.guarantees_termination(2)
+        recovering = FaultPlan(
+            n=5, crashes=(CrashFault(pid=0, cycle=0, recover_cycle=6),)
+        )
+        assert recovering.guarantees_termination(2)
+
+    def test_dict_roundtrip_with_recoveries(self):
+        plan = FaultPlan(
+            n=5,
+            crashes=(
+                CrashFault(pid=1, cycle=2),
+                CrashFault(pid=3, cycle=4, recover_cycle=11),
+            ),
+        )
+        doc = plan.to_dict()
+        crash_docs = {c["pid"]: c for c in doc["crashes"]}
+        assert "recover_cycle" not in crash_docs[1]  # fail-stop form stable
+        assert crash_docs[3]["recover_cycle"] == 11
+        assert FaultPlan.from_dict(doc) == plan
+
+    def test_zero_recovery_probability_reproduces_historical_stream(self):
+        for seed in range(30):
+            assert FaultPlan.random(
+                n=5, t=2, seed=seed, recovery_probability=0.0
+            ) == FaultPlan.random(n=5, t=2, seed=seed)
+
+    def test_recovery_draws_leave_link_faults_untouched(self):
+        for seed in range(30):
+            base = FaultPlan.random(n=5, t=2, seed=seed)
+            recovering = FaultPlan.random(
+                n=5, t=2, seed=seed, recovery_probability=1.0
+            )
+            assert recovering.loss == base.loss
+            assert recovering.link_loss == base.link_loss
+            assert recovering.link_delays == base.link_delays
+            assert recovering.partitions == base.partitions
+            assert all(not c.permanent for c in recovering.crashes)
+            assert {c.pid for c in recovering.crashes} == {
+                c.pid for c in base.crashes
+            }
+
+    def test_recovering_plans_always_terminate(self):
+        for seed in range(30):
+            plan = FaultPlan.random(
+                n=5, t=2, seed=seed, recovery_probability=1.0
+            )
+            assert plan.permanent_crash_count == 0
+            assert plan.within_budget(0)
+            assert plan.guarantees_termination(2)

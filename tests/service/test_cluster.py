@@ -1,0 +1,151 @@
+"""Integration tests: service clusters under kill/recover schedules.
+
+Everything here runs on the virtual clock — whole cluster lifetimes
+(including crash-recovery campaigns' worth of restarts) execute in
+milliseconds of real time.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.runtime.virtualtime import run_virtual
+from repro.service.cluster import ServiceCluster, node_configs
+from repro.service.node import ServiceNode
+from repro.service.recovery import replay, state_digest
+from repro.service.wal import MemoryWalStore, durable_records
+from repro.service.wire import ServiceEnvelope
+
+N, T, K = 5, 2, 4
+
+
+def run_cluster(votes, plan=None, seed=0, deadline=5.0, **kwargs):
+    configs = node_configs(len(votes), T, votes, K, seed)
+    cluster = ServiceCluster(configs, plan, seed=seed, K=K, **kwargs)
+    result = run_virtual(cluster.run(deadline=deadline))
+    return cluster, result
+
+
+class TestValidation:
+    def test_vote_count_must_match_n(self):
+        with pytest.raises(ConfigurationError):
+            node_configs(5, T, [1, 1], K, seed=0)
+
+    def test_store_count_must_match_nodes(self):
+        configs = node_configs(3, 1, [1, 1, 1], K, seed=0)
+        with pytest.raises(ConfigurationError):
+            ServiceCluster(configs, stores=[MemoryWalStore()])
+
+
+class TestFaultFreeRuns:
+    def test_all_commit(self):
+        _, result = run_cluster([1] * N)
+        assert result.terminated
+        assert result.decision_values() == {1}
+
+    def test_single_no_vote_aborts(self):
+        _, result = run_cluster([1, 1, 0, 1, 1])
+        assert result.terminated
+        assert result.decision_values() == {0}
+
+    def test_durable_log_replays_to_live_state(self):
+        cluster, result = run_cluster([1] * N)
+        assert result.terminated
+        for pid in range(N):
+            replayed = replay(durable_records(cluster.stores[pid]).records)
+            live = cluster.nodes[pid].process
+            assert state_digest(replayed.process) == state_digest(live)
+
+
+class TestKillRecover:
+    def test_coordinator_and_participant_recover_mid_commit(self):
+        plan = FaultPlan(
+            n=N,
+            crashes=(
+                CrashFault(pid=0, cycle=3, recover_cycle=12),
+                CrashFault(pid=3, cycle=5, recover_cycle=20),
+            ),
+        )
+        cluster, result = run_cluster([1] * N, plan, seed=11, deadline=8.0)
+        assert result.terminated
+        assert result.consistent
+        assert result.decision_values() == {1}
+        assert result.recoveries == 2
+        assert result.permanently_crashed == set()
+        assert any(s.incarnation > 0 for s in result.nodes)
+
+    def test_recovered_participant_joins_abort(self):
+        plan = FaultPlan(
+            n=N, crashes=(CrashFault(pid=2, cycle=2, recover_cycle=15),)
+        )
+        _, result = run_cluster([1, 1, 0, 1, 1], plan, seed=3, deadline=8.0)
+        assert result.terminated
+        assert result.decision_values() == {0}
+
+    def test_permanent_coordinator_crash_at_start_blocks(self):
+        plan = FaultPlan(n=N, crashes=(CrashFault(pid=0, cycle=0),))
+        _, result = run_cluster([1] * N, plan, seed=5, deadline=1.0)
+        assert not result.terminated
+        assert result.permanently_crashed == {0}
+        assert result.consistent  # blocked, but never inconsistent
+
+    def test_torn_tail_injection_is_repaired(self):
+        plan = FaultPlan(
+            n=N, crashes=(CrashFault(pid=1, cycle=4, recover_cycle=10),)
+        )
+        cluster, result = run_cluster(
+            [1] * N, plan, seed=2, deadline=8.0, torn_tail_probability=1.0
+        )
+        assert result.terminated
+        assert result.decision_values() == {1}
+        # The injected partial line was truncated by the restarted node.
+        assert not durable_records(cluster.stores[1]).torn_tail
+
+    def test_snapshot_compaction_preserves_recovery(self):
+        plan = FaultPlan(
+            n=N, crashes=(CrashFault(pid=4, cycle=6, recover_cycle=14),)
+        )
+        cluster, result = run_cluster(
+            [1] * N, plan, seed=9, deadline=8.0, snapshot_every=5
+        )
+        assert result.terminated
+        assert result.decision_values() == {1}
+        for pid in range(N):
+            replayed = replay(durable_records(cluster.stores[pid]).records)
+            assert replayed.decision == 1
+
+
+class TestStateTransfer:
+    def test_undecided_node_adopts_transferred_decision(self):
+        sent = []
+
+        async def scenario():
+            cfg = node_configs(3, 1, [1, 1, 1], K, seed=0)[1]
+            node = ServiceNode(
+                cfg,
+                MemoryWalStore(),
+                lambda recipient, env, attempt: sent.append((recipient, env)),
+                fsync=False,
+            )
+            runner = asyncio.ensure_future(node.run())
+            await asyncio.sleep(0.05)
+            assert node.decision is None  # alone, the protocol cannot decide
+            node.deliver(
+                ServiceEnvelope(
+                    kind="state-transfer", sender=0, body={"decision": 1}
+                )
+            )
+            await asyncio.sleep(0.05)
+            node.halt()
+            runner.cancel()
+            await asyncio.gather(runner, return_exceptions=True)
+            return node
+
+        node = run_virtual(scenario())
+        assert node.decision == 1
+        snapshot = node.snapshot_state()
+        assert snapshot.decision_origin == "transfer"
+        # The adoption is durable: a restart replays to the same decision.
+        assert replay(durable_records(node.store).records).decision == 1

@@ -1,0 +1,120 @@
+"""Unit tests for WAL replay: deterministic re-execution of logged steps."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.service.recovery import NodeConfig, replay, state_digest
+
+
+def config(pid=0, vote=1):
+    return NodeConfig(pid=pid, n=3, t=1, K=4, vote=vote, tape_seed=99)
+
+
+def init_record(cfg):
+    return {"type": "init", "config": cfg.to_dict()}
+
+
+def empty_steps(count):
+    return [{"type": "step", "batch": []} for _ in range(count)]
+
+
+class TestNodeConfig:
+    def test_dict_roundtrip(self):
+        cfg = config(pid=2, vote=0)
+        assert NodeConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestReplayValidation:
+    def test_empty_log_rejected(self):
+        with pytest.raises(WalError):
+            replay([])
+
+    def test_first_record_must_be_init(self):
+        with pytest.raises(WalError):
+            replay([{"type": "step", "batch": []}])
+
+    def test_duplicate_init_rejected(self):
+        cfg = config()
+        with pytest.raises(WalError):
+            replay([init_record(cfg), init_record(cfg)])
+
+    def test_config_mismatch_rejected(self):
+        with pytest.raises(WalError):
+            replay([init_record(config(pid=0))], expect_config=config(pid=1))
+
+    def test_conflicting_decisions_rejected(self):
+        records = [
+            init_record(config()),
+            {"type": "decision", "value": 1, "origin": "transfer"},
+            {"type": "decision", "value": 0, "origin": "transfer"},
+        ]
+        with pytest.raises(WalError):
+            replay(records)
+
+    def test_digest_mismatch_rejected(self):
+        records = [init_record(config())] + empty_steps(2)
+        with pytest.raises(WalError):
+            replay(records, verify_digest_at=(2, "not-the-digest"))
+
+
+class TestReplaySemantics:
+    def test_coordinator_regenerates_go_fanout(self):
+        result = replay([init_record(config(pid=0))] + empty_steps(1))
+        assert result.steps == 1
+        recipients = {recipient for recipient, _ in result.outgoing}
+        assert recipients  # the GO fan-out went out again
+        seqs = [env.seq for _, env in result.outgoing]
+        assert seqs == list(range(len(seqs)))  # dense per-incarnation seqs
+        assert all(env.incarnation == 0 for _, env in result.outgoing)
+
+    def test_recover_record_bumps_incarnation_and_resets_seq(self):
+        records = (
+            [init_record(config(pid=0))]
+            + empty_steps(1)
+            + [{"type": "recover"}]
+            + empty_steps(1)
+        )
+        result = replay(records)
+        assert result.incarnation == 1
+        late = [env for _, env in result.outgoing if env.incarnation == 1]
+        if late:
+            assert min(env.seq for env in late) == 0
+
+    def test_transfer_decision_adopted(self):
+        records = [
+            init_record(config(pid=1)),
+            {"type": "decision", "value": 0, "origin": "transfer"},
+        ]
+        result = replay(records)
+        assert result.transfer_decision == 0
+        assert result.decision == 0
+
+    def test_step_batches_land_in_dedup_set(self):
+        records = [
+            init_record(config(pid=1)),
+            {"type": "step", "batch": [[0, 0, 4, []]]},
+        ]
+        result = replay(records)
+        assert (0, 0, 4) in result.applied
+
+    def test_submit_record_restores_submitted_flag(self):
+        records = [init_record(config(pid=0)), {"type": "submit"}]
+        assert replay(records).submitted
+
+    def test_replay_is_deterministic(self):
+        records = [init_record(config(pid=0))] + empty_steps(5)
+        first = replay(records)
+        second = replay(records)
+        assert state_digest(first.process) == state_digest(second.process)
+
+    def test_digest_checkpoint_accepts_true_digest(self):
+        records = [init_record(config(pid=0))] + empty_steps(3)
+        digest = state_digest(replay(records).process)
+        again = replay(records, verify_digest_at=(3, digest))
+        assert state_digest(again.process) == digest
+
+    def test_digest_distinguishes_states(self):
+        base = [init_record(config(pid=0))]
+        assert state_digest(replay(base).process) != state_digest(
+            replay(base + empty_steps(1)).process
+        )

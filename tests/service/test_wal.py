@@ -1,0 +1,138 @@
+"""Unit tests for the write-ahead log: checksums, torn tails, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import WalError
+from repro.service.wal import (
+    FileWalStore,
+    MemoryWalStore,
+    WriteAheadLog,
+    decode_line,
+    durable_records,
+    encode_record,
+    read_log,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+def records(count):
+    return [{"type": "step", "batch": [], "i": i} for i in range(count)]
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = {"type": "vote", "value": 1}
+        assert decode_line(encode_record(record)) == record
+
+    def test_tampered_payload_rejected(self):
+        line = encode_record({"type": "vote", "value": 1})
+        tampered = line.replace('"value":1', '"value":0')
+        assert tampered != line
+        assert decode_line(tampered) is None
+
+    def test_partial_line_rejected(self):
+        line = encode_record({"type": "step", "batch": []})
+        for cut in (1, len(line) // 2, len(line) - 2):
+            assert decode_line(line[:cut]) is None
+
+
+class TestReadLog:
+    def test_reads_valid_records_in_order(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(3))
+        result = read_log(store)
+        assert [r["i"] for r in result.records] == [0, 1, 2]
+        assert result.valid_lines == 3
+        assert not result.torn_tail
+
+    def test_torn_tail_recovers_valid_prefix(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(3))
+        store.tear_tail(keep_bytes=10)
+        result = read_log(store)
+        assert [r["i"] for r in result.records] == [0, 1]
+        assert result.torn_tail
+
+    def test_valid_record_after_invalid_line_is_corruption(self):
+        store = MemoryWalStore()
+        store.append_line("garbage")
+        store.append_line(encode_record({"type": "step", "batch": []}))
+        with pytest.raises(WalError):
+            read_log(store)
+
+    def test_open_repairing_truncates_torn_tail(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(2))
+        store.append_line('{"c": 0, "r": {"type"')  # partial append
+        result = wal.open_repairing()
+        assert result.torn_tail
+        wal.append({"type": "step", "batch": [], "i": 2})
+        clean = read_log(store)
+        assert not clean.torn_tail
+        assert [r["i"] for r in clean.records] == [0, 1, 2]
+
+
+class TestFileStore:
+    def test_appends_survive_reopen(self, tmp_path):
+        store = FileWalStore(tmp_path / "node0")
+        WriteAheadLog(store).append_all(records(4))
+        store.close()
+        again = FileWalStore(tmp_path / "node0")
+        assert [r["i"] for r in read_log(again).records] == [0, 1, 2, 3]
+        again.close()
+
+    def test_torn_tail_repair_persists(self, tmp_path):
+        store = FileWalStore(tmp_path / "node0")
+        WriteAheadLog(store).append_all(records(2))
+        with open(store.log_path, "a") as f:
+            f.write(encode_record({"type": "step", "batch": []})[:11])
+        store.close()
+
+        damaged = FileWalStore(tmp_path / "node0")
+        assert WriteAheadLog(damaged).open_repairing().torn_tail
+        damaged.close()
+        clean = FileWalStore(tmp_path / "node0")
+        result = read_log(clean)
+        clean.close()
+        assert not result.torn_tail
+        assert result.valid_lines == 2
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        store = FileWalStore(tmp_path / "node0")
+        write_snapshot(store, records(5), digest="d" * 64, taken_at_step=5)
+        doc = read_snapshot(store)
+        assert doc["taken_at_step"] == 5
+        assert len(doc["records"]) == 5
+        assert store.read_lines() == []  # log truncated by compaction
+        store.close()
+
+
+class TestSnapshots:
+    def test_corrupted_snapshot_rejected(self):
+        store = MemoryWalStore()
+        write_snapshot(store, records(2), digest="x", taken_at_step=2)
+        envelope = json.loads(store.read_snapshot())
+        envelope["d"]["taken_at_step"] = 99
+        store.write_snapshot(json.dumps(envelope))
+        with pytest.raises(WalError):
+            read_snapshot(store)
+
+    def test_missing_snapshot_is_none(self):
+        assert read_snapshot(MemoryWalStore()) is None
+
+    def test_durable_records_is_snapshot_plus_suffix(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(3))
+        write_snapshot(
+            store, read_log(store).records, digest="x", taken_at_step=3
+        )
+        wal.append({"type": "step", "batch": [], "i": 3})
+        combined = durable_records(store)
+        assert [r["i"] for r in combined.records] == [0, 1, 2, 3]

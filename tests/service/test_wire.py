@@ -1,0 +1,76 @@
+"""Unit tests for the service wire codecs: payloads and envelopes."""
+
+import pytest
+
+from repro.core.messages import (
+    DecidedMessage,
+    GoMessage,
+    StageMessage,
+    VoteMessage,
+)
+from repro.errors import ServiceError
+from repro.service.wire import (
+    ServiceEnvelope,
+    payload_from_dict,
+    payload_to_dict,
+)
+from repro.sim.message import RawPayload
+
+PAYLOADS = [
+    GoMessage(coins=(1, 0, 1, 1)),
+    VoteMessage(vote=1),
+    StageMessage(phase=2, stage=1, value=0),
+    DecidedMessage(value=1),
+    RawPayload(data="ping"),
+]
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+    def test_roundtrip(self, payload):
+        assert payload_from_dict(payload_to_dict(payload)) == payload
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError):
+            payload_from_dict({"k": "mystery"})
+
+
+class TestEnvelope:
+    def test_roundtrip_with_payloads(self):
+        envelope = ServiceEnvelope(
+            kind="msg",
+            sender=2,
+            incarnation=1,
+            seq=7,
+            payloads=tuple(PAYLOADS),
+        )
+        assert ServiceEnvelope.decode(envelope.encode()) == envelope
+
+    def test_roundtrip_control_body(self):
+        envelope = ServiceEnvelope(
+            kind="ack", sender=0, body={"incarnation": 0, "seq": 3}
+        )
+        again = ServiceEnvelope.decode(envelope.encode())
+        assert again.body == {"incarnation": 0, "seq": 3}
+        assert again.payloads == ()
+
+    def test_identity_is_sender_incarnation_seq(self):
+        envelope = ServiceEnvelope(kind="msg", sender=3, incarnation=2, seq=9)
+        assert envelope.identity == (3, 2, 9)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceEnvelope(kind="gossip", sender=0)
+
+    def test_undecodable_line_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceEnvelope.decode(b"not json\n")
+
+    def test_malformed_doc_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceEnvelope.decode(b'{"kind": "msg"}\n')
+
+    def test_encoding_is_one_line(self):
+        line = ServiceEnvelope(kind="state-query", sender=-1).encode()
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
