@@ -39,8 +39,10 @@ from repro.service.wal import (
     FileWalStore,
     MemoryWalStore,
     WriteAheadLog,
+    durable_records,
     read_log,
     read_snapshot,
+    split_log_suffix,
     write_snapshot,
 )
 from repro.service.wire import ServiceEnvelope
@@ -57,10 +59,12 @@ __all__ = [
     "ServiceNode",
     "ServiceNodeSnapshot",
     "WriteAheadLog",
+    "durable_records",
     "node_configs",
     "read_log",
     "read_snapshot",
     "replay",
+    "split_log_suffix",
     "state_digest",
     "write_snapshot",
 ]

@@ -281,6 +281,8 @@ def replay(
             result.submitted = True
         elif rtype in ("vote", "coins", "round"):
             pass  # observability records; replay derives them from steps
+        elif rtype == "compact":
+            pass  # compaction marker; carries no protocol input
         else:  # pragma: no cover - reader already filters unknown types
             raise WalError(f"unknown record type {rtype!r}")
 

@@ -15,7 +15,8 @@ Record vocabulary (``repro.wal v1``):
 * ``step`` — one state-machine step: the batch of delivered envelopes
   ``[sender, incarnation, seq, [payloads...]]`` (empty for idle ticks —
   idle ticks advance the protocol clock, so replay must reproduce
-  them);
+  them; decided nodes stop stepping on idle ticks, keeping the log
+  bounded);
 * ``vote`` / ``coins`` / ``round`` — observability records derived from
   traffic (the broadcast vote, the GO coin list, agreement stage
   transitions); redundant for replay, invaluable for postmortems;
@@ -25,7 +26,10 @@ Record vocabulary (``repro.wal v1``):
 * ``recover`` — appended each time the node restarts and replays,
   carrying the new incarnation number;
 * ``submit`` — the transaction was released to the coordinator (TCP
-  service; replay resumes a submitted run without waiting again).
+  service; replay resumes a submitted run without waiting again);
+* ``compact`` — the first record of a freshly compacted log, carrying
+  the snapshot's ``taken_at_step``; it marks the log as *newer* than
+  the snapshot (see below) and is skipped by replay.
 
 **Torn tails.**  A SIGKILL can land mid-``write``; the reader treats any
 trailing undecodable or checksum-failing line as a torn tail: it returns
@@ -40,6 +44,25 @@ prefix (init + steps + decisions) rewritten into one atomically-replaced
 checksummed file, plus a digest of the replayed state for integrity
 checking.  After a snapshot the log is truncated; recovery is
 ``replay(snapshot records + log suffix)``.
+
+Compaction is **two** durable operations — replace ``snapshot.json``,
+then truncate ``log.jsonl`` — and a kill can land between them, leaving
+a log whose every record is already inside the snapshot (nothing new
+can be appended in the window; compaction is synchronous).  The ``compact``
+marker record disambiguates: truncation immediately re-seeds the log
+with a marker carrying the snapshot's ``taken_at_step``, so a log whose
+head is *not* the current snapshot's marker is the stale pre-compaction
+log and :func:`split_log_suffix` discards it instead of replaying its
+records twice (or tripping over its duplicate ``init``).  Recovery
+re-establishes the marker before appending anything
+(:func:`reset_log_after_compaction`), so the invariant survives repeated
+kills in the window.
+
+**Durability scope.**  Appends and snapshot replacement are fsync'd,
+and :class:`FileWalStore` additionally fsyncs the WAL *directory* after
+creating ``log.jsonl`` and after the snapshot rename, so the guarantee
+covers whole-machine crashes, not just process kills, on POSIX
+filesystems with standard ordering semantics.
 """
 
 from __future__ import annotations
@@ -73,6 +96,7 @@ RECORD_TYPES = (
     "decision",
     "recover",
     "submit",
+    "compact",
 )
 
 
@@ -195,8 +219,25 @@ class FileWalStore(WalStore):
 
     def _open(self):
         if self._handle is None or self._handle.closed:
+            created = not self.log_path.exists()
             self._handle = open(self.log_path, "a", encoding="utf-8")
+            if created:
+                # The new directory entry must be durable too, or a
+                # machine crash can lose the whole (fsync'd) log file.
+                self._sync_directory()
         return self._handle
+
+    def _sync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without O_RDONLY dirs
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without directory fsync
+            pass
+        finally:
+            os.close(fd)
 
     def read_lines(self) -> list[str]:
         if not self.log_path.exists():
@@ -237,6 +278,9 @@ class FileWalStore(WalStore):
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, self.snapshot_path)
+        # Persist the rename itself: without a directory fsync a power
+        # loss can roll the directory entry back to the old snapshot.
+        self._sync_directory()
 
     def read_snapshot(self) -> str | None:
         if not self.snapshot_path.exists():
@@ -355,6 +399,30 @@ class WriteAheadLog:
 # -- snapshots ----------------------------------------------------------------
 
 
+def compaction_marker(taken_at_step: int) -> dict[str, Any]:
+    """The record that heads a freshly compacted log.
+
+    Its ``at`` field names the snapshot it belongs to, so a reader can
+    tell a post-compaction log (head = the current snapshot's marker)
+    from the stale pre-compaction log a kill in the compaction window
+    leaves behind (head = anything else).
+    """
+    return {"type": "compact", "at": taken_at_step}
+
+
+def reset_log_after_compaction(store: WalStore, taken_at_step: int) -> None:
+    """Truncate the log and durably re-seed it with the compaction marker.
+
+    Called by :func:`write_snapshot` right after the snapshot replace,
+    and again by recovery whenever the marker is missing — a kill
+    between the replace and this truncation (or mid-marker-append)
+    leaves the old log behind, and this repair is idempotent.
+    """
+    store.reset_log()
+    store.append_line(encode_record(compaction_marker(taken_at_step)))
+    store.sync()
+
+
 def write_snapshot(
     store: WalStore,
     records: list[dict[str, Any]],
@@ -365,7 +433,10 @@ def write_snapshot(
 
     ``records`` must be the node's *complete* canonical record history
     (its replay inputs); ``digest`` is the replayed-state digest at
-    ``taken_at_step`` for recovery-time integrity checking.
+    ``taken_at_step`` for recovery-time integrity checking.  The
+    truncated log is re-seeded with the snapshot's compaction marker so
+    a kill at any instant of this sequence is recoverable (see
+    :func:`split_log_suffix`).
     """
     doc = {
         "schema": SNAPSHOT_SCHEMA,
@@ -380,7 +451,7 @@ def write_snapshot(
         separators=(",", ":"),
     )
     store.write_snapshot(envelope)
-    store.reset_log()
+    reset_log_after_compaction(store, taken_at_step)
     if telemetry.enabled():
         telemetry.count(
             "wal_snapshots_total", help="snapshot compactions written"
@@ -414,14 +485,39 @@ def read_snapshot(store: WalStore) -> dict[str, Any] | None:
     return doc
 
 
+def split_log_suffix(
+    snapshot: dict[str, Any], log_records: list[dict[str, Any]]
+) -> tuple[list[dict[str, Any]], bool]:
+    """``(suffix, has_marker)``: the log records that extend ``snapshot``.
+
+    A log whose head is the snapshot's own compaction marker genuinely
+    continues it; the marker is stripped and the rest returned.  Any
+    other non-empty log is the *stale* pre-compaction log left by a kill
+    between the snapshot replace and the log truncation — every record
+    in it is already inside the snapshot (compaction is synchronous, so
+    nothing new lands in the window) — and is discarded.  ``has_marker``
+    is ``False`` for both the stale and the empty-log case; recovery
+    must then call :func:`reset_log_after_compaction` before appending.
+    """
+    if log_records:
+        head = log_records[0]
+        if (
+            head.get("type") == "compact"
+            and head.get("at") == snapshot["taken_at_step"]
+        ):
+            return log_records[1:], True
+    return [], False
+
+
 def durable_records(store: WalStore) -> WalReadResult:
     """A node's full replay input: snapshot records + log suffix."""
     snapshot = read_snapshot(store)
     log = read_log(store)
     if snapshot is None:
         return log
+    suffix, _has_marker = split_log_suffix(snapshot, log.records)
     return WalReadResult(
-        records=list(snapshot["records"]) + log.records,
+        records=list(snapshot["records"]) + suffix,
         valid_lines=log.valid_lines,
         torn_tail=log.torn_tail,
     )

@@ -14,6 +14,8 @@ from repro.service.wal import (
     encode_record,
     read_log,
     read_snapshot,
+    reset_log_after_compaction,
+    split_log_suffix,
     write_snapshot,
 )
 
@@ -109,7 +111,9 @@ class TestFileStore:
         doc = read_snapshot(store)
         assert doc["taken_at_step"] == 5
         assert len(doc["records"]) == 5
-        assert store.read_lines() == []  # log truncated by compaction
+        # Compaction truncates the log down to its marker record.
+        heads = [decode_line(line) for line in store.read_lines()]
+        assert heads == [{"type": "compact", "at": 5}]
         store.close()
 
 
@@ -136,3 +140,83 @@ class TestSnapshots:
         wal.append({"type": "step", "batch": [], "i": 3})
         combined = durable_records(store)
         assert [r["i"] for r in combined.records] == [0, 1, 2, 3]
+
+
+def _undo_truncation(store, pre_lines):
+    """Reconstruct the disk a SIGKILL inside the compaction window leaves:
+    the snapshot is durably replaced, but the log was never truncated."""
+    store.truncate_lines(0)
+    for line in pre_lines:
+        store.append_line(line)
+
+
+class TestCompactionWindow:
+    def test_split_log_suffix_strips_matching_marker(self):
+        snapshot = {"taken_at_step": 5}
+        tail = [{"type": "compact", "at": 5}, {"type": "recover"}]
+        suffix, has_marker = split_log_suffix(snapshot, tail)
+        assert has_marker
+        assert suffix == [{"type": "recover"}]
+        suffix, has_marker = split_log_suffix(snapshot, [])
+        assert not has_marker
+        assert suffix == []
+
+    def test_stale_precompaction_log_is_discarded(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(3))
+        pre_lines = store.read_lines()
+        write_snapshot(
+            store, read_log(store).records, digest="x", taken_at_step=3
+        )
+        _undo_truncation(store, pre_lines)
+        # Every stale log record is already inside the snapshot; nothing
+        # may be replayed twice.
+        combined = durable_records(store)
+        assert [r["i"] for r in combined.records] == [0, 1, 2]
+
+    def test_stale_marker_of_previous_snapshot_is_discarded(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(3))
+        write_snapshot(
+            store, read_log(store).records, digest="x", taken_at_step=3
+        )
+        wal.append({"type": "step", "batch": [], "i": 3})
+        pre_lines = store.read_lines()  # [marker@3, step 3]
+        write_snapshot(store, records(4), digest="x", taken_at_step=4)
+        _undo_truncation(store, pre_lines)
+        combined = durable_records(store)
+        assert [r["i"] for r in combined.records] == [0, 1, 2, 3]
+
+    def test_repair_reestablishes_marker(self):
+        store = MemoryWalStore()
+        wal = WriteAheadLog(store, fsync=False)
+        wal.append_all(records(2))
+        pre_lines = store.read_lines()
+        write_snapshot(
+            store, read_log(store).records, digest="x", taken_at_step=2
+        )
+        _undo_truncation(store, pre_lines)
+        reset_log_after_compaction(store, taken_at_step=2)
+        heads = [decode_line(line) for line in store.read_lines()]
+        assert heads == [{"type": "compact", "at": 2}]
+        # Post-repair appends land after the marker and survive reads.
+        wal.append({"type": "step", "batch": [], "i": 2})
+        combined = durable_records(store)
+        assert [r["i"] for r in combined.records] == [0, 1, 2]
+
+    def test_window_crash_on_file_store(self, tmp_path):
+        store = FileWalStore(tmp_path / "node0")
+        wal = WriteAheadLog(store)
+        wal.append_all(records(3))
+        pre_lines = store.read_lines()
+        write_snapshot(
+            store, read_log(store).records, digest="x", taken_at_step=3
+        )
+        _undo_truncation(store, pre_lines)
+        store.close()
+        again = FileWalStore(tmp_path / "node0")
+        combined = durable_records(again)
+        again.close()
+        assert [r["i"] for r in combined.records] == [0, 1, 2]
