@@ -1,0 +1,81 @@
+"""Multi-transaction commit throughput benchmark.
+
+Drives the open-loop load generator (:mod:`repro.service.load`)
+through sharded commit groups and records transactions per virtual
+second plus p50/p99 submission-to-decision latency into
+``benchmarks/results/BENCH_throughput.json``.
+
+Unlike the wall-clock A/B benchmarks, every number here is measured on
+the virtual clock: a run is deterministic in ``(txns, rate, shards,
+seed)``, so the artifact is machine-independent and the assertion
+floor — 500 committed txn/s on a single five-node shard — cannot
+flake on a loaded runner.  A kill/recover configuration rides along to
+record what sustained crash-recovery traffic costs, with the usual
+zero-violation safety gate.
+"""
+
+from __future__ import annotations
+
+from abharness import write_results
+
+from repro.service.load import run_load
+
+#: Open-loop configurations: (label, txns, offered rate txn/s, shards,
+#: group size, kills).  Rates are offered load on the virtual clock;
+#: the report records what the service actually sustained.
+CONFIGS = (
+    ("1shard", 120, 600.0, 1, 5, 0),
+    ("2shard", 160, 800.0, 2, 5, 0),
+    ("4shard", 200, 1200.0, 4, 5, 0),
+    ("2shard_kill_recover", 120, 400.0, 2, 5, 2),
+)
+
+SEED = 11
+
+#: Assertion floor for the single-shard configuration (virtual txn/s).
+MIN_SINGLE_SHARD_THROUGHPUT = 500.0
+
+
+def test_multi_txn_throughput():
+    sweeps = {}
+    by_label = {}
+    for label, txns, rate, shards, group_size, kills in CONFIGS:
+        report = run_load(
+            txns=txns,
+            rate=rate,
+            shards=shards,
+            group_size=group_size,
+            seed=SEED,
+            kills=kills,
+        )
+        # Correctness before performance: every transaction decided,
+        # no two group members disagreeing on any of them.
+        assert report.outcome == "terminated", (
+            f"{label}: undecided txns {report.undecided}"
+        )
+        assert report.decided == txns, label
+        assert report.safety_violations == 0, label
+        if kills:
+            assert report.recoveries >= 1, label
+        by_label[label] = report
+        sweeps[label] = report.to_dict()
+
+    single = by_label["1shard"]
+    assert single.throughput >= MIN_SINGLE_SHARD_THROUGHPUT, (
+        f"single shard sustained {single.throughput:.0f} txn/s, "
+        f"floor is {MIN_SINGLE_SHARD_THROUGHPUT:.0f}"
+    )
+    # Sharding must actually scale: four independent groups sustain
+    # strictly more than one.
+    assert by_label["4shard"].throughput > single.throughput
+
+    write_results(
+        "BENCH_throughput.json",
+        {
+            "benchmark": "multi_txn_throughput",
+            "clock": "virtual",
+            "seed": SEED,
+            "min_single_shard_throughput": MIN_SINGLE_SHARD_THROUGHPUT,
+            "sweeps": sweeps,
+        },
+    )

@@ -2,19 +2,26 @@
 """Crash-recovery demo: SIGKILL the coordinator and a participant mid-commit.
 
 Launches a real ``repro service`` cluster — one OS process per node,
-write-ahead logs on disk — submits a transaction, SIGKILLs the
-coordinator and one participant while the commit is in flight, restarts
-both from their WALs, and verifies that every node ends with the same
-decision.  This is the paper's nonblocking claim carried into the
-crash-recovery model: killed processors replay their durable logs,
-rejoin, and the transaction still completes consistently.
+write-ahead logs on disk — submits one or more transactions, SIGKILLs
+the coordinator and one participant while the commits are in flight,
+restarts both from their WALs, and verifies that every node ends with
+the same decision for every transaction.  This is the paper's
+nonblocking claim carried into the crash-recovery model: killed
+processors replay their durable logs, rejoin, and the transactions
+still complete consistently.
+
+With ``--txns`` greater than one (the default is 2) the nodes run in
+multi-transaction mode: all transactions are submitted back-to-back so
+the victims die hosting several in-flight protocol instances at once,
+and recovery must replay the interleaved per-transaction WAL records.
+``--txns 1`` reproduces the original single-transaction demo.
 
 Exit status: 0 on a consistent, fully-decided cluster; 1 otherwise.
 
 Usage::
 
     PYTHONPATH=src python scripts/service_crash_demo.py \
-        --data-dir /tmp/crash-demo --base-port 7500
+        --data-dir /tmp/crash-demo --base-port 7500 --txns 2
 """
 
 from __future__ import annotations
@@ -56,6 +63,8 @@ def start_node(args, pid: int) -> subprocess.Popen:
         "--trace-spans",
         str(Path(args.data_dir) / f"node{pid}" / "trace.jsonl"),
     ]
+    if args.txns > 1:
+        command.append("--multi-txn")
     log = open(Path(args.data_dir) / f"node{pid}.out", "ab")
     return subprocess.Popen(command, stdout=log, stderr=log)
 
@@ -69,21 +78,71 @@ def service(args, *command: str) -> subprocess.CompletedProcess:
     )
 
 
-def cluster_status(args) -> tuple[int, dict]:
-    result = service(
-        args,
-        "status",
-        "--base-port",
-        str(args.base_port),
-        "--n",
-        str(N),
-        "--check",
-    )
+def cluster_status(args, check: bool = True) -> tuple[int, dict]:
+    command = ["status", "--base-port", str(args.base_port), "--n", str(N)]
+    if check:
+        command.append("--check")
+    result = service(args, *command)
     try:
         doc = json.loads(result.stdout)
     except json.JSONDecodeError:
         doc = {"nodes": []}
     return result.returncode, doc
+
+
+def submit_all(args) -> bool:
+    """Release every transaction at the coordinator, back-to-back.
+
+    Multi-transaction submissions go through one helper process (one
+    interpreter start-up, then millisecond-spaced TCP submits) so that
+    when the SIGKILL lands moments later, the victims are hosting all
+    of them in flight at once.
+    """
+    if args.txns == 1:
+        result = service(
+            args, "submit", "--port", str(args.base_port + COORDINATOR)
+        )
+    else:
+        script = (
+            "import sys; from repro.service.client import submit; "
+            "port, txns = int(sys.argv[1]), int(sys.argv[2]); "
+            "[submit('127.0.0.1', port, txn=i) for i in range(1, txns + 1)]"
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                script,
+                str(args.base_port + COORDINATOR),
+                str(args.txns),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    if result.returncode != 0:
+        print(f"submit failed: {result.stderr}", file=sys.stderr)
+        return False
+    return True
+
+
+def multi_txn_agreement(args, doc: dict) -> dict[int, int] | None:
+    """Per-transaction unanimous decisions, or None while incomplete.
+
+    Every node must be reachable and report the same decision for every
+    submitted transaction id.
+    """
+    nodes = doc.get("nodes", [])
+    if len(nodes) < N or any("unreachable" in n for n in nodes):
+        return None
+    expected = {str(txn) for txn in range(1, args.txns + 1)}
+    agreed: dict[int, int] = {}
+    for txn in sorted(expected, key=int):
+        bits = {(n.get("txns") or {}).get(txn) for n in nodes}
+        if len(bits) != 1 or None in bits:
+            return None
+        agreed[int(txn)] = bits.pop()
+    return agreed
 
 
 def main() -> int:
@@ -98,7 +157,16 @@ def main() -> int:
         default=20.0,
         help="seconds to wait for post-restart agreement",
     )
+    parser.add_argument(
+        "--txns",
+        type=int,
+        default=2,
+        help="transactions to drive (>1 runs the nodes in "
+        "multi-transaction mode; 1 is the classic demo)",
+    )
     args = parser.parse_args()
+    if args.txns < 1:
+        parser.error("--txns must be >= 1")
 
     shutil.rmtree(args.data_dir, ignore_errors=True)
     Path(args.data_dir).mkdir(parents=True)
@@ -107,16 +175,15 @@ def main() -> int:
     try:
         time.sleep(2.0)  # listeners up, coordinator holding for submit
 
-        print("submitting the transaction...")
-        result = service(
-            args, "submit", "--port", str(args.base_port + COORDINATOR)
-        )
-        if result.returncode != 0:
-            print(f"submit failed: {result.stderr}", file=sys.stderr)
+        noun = "transaction" if args.txns == 1 else f"{args.txns} transactions"
+        print(f"submitting {noun}...")
+        if not submit_all(args):
             return 1
 
         # Strike mid-commit: the tick interval keeps the protocol slow
-        # enough that both victims die with the outcome still open.
+        # enough that both victims die with the outcome(s) still open —
+        # in multi-transaction mode the back-to-back submissions mean
+        # every instance is in flight when the signal lands.
         time.sleep(4 * args.tick_interval)
         for victim in (COORDINATOR, PARTICIPANT):
             print(f"SIGKILL node {victim} (pid {procs[victim].pid})")
@@ -130,28 +197,40 @@ def main() -> int:
 
         print("waiting for cluster-wide agreement...")
         deadline = time.monotonic() + args.settle
+        agreed: dict[int, int] | None = None
         while time.monotonic() < deadline:
-            code, doc = cluster_status(args)
-            if code == 0:
-                break
+            if args.txns == 1:
+                code, doc = cluster_status(args)
+                if code == 0:
+                    agreed = {1: next(iter(
+                        {n["decision"] for n in doc["nodes"]}
+                    ))}
+                    break
+            else:
+                _, doc = cluster_status(args, check=False)
+                agreed = multi_txn_agreement(args, doc)
+                if agreed is not None:
+                    break
             time.sleep(0.5)
         else:
             print("cluster did not reach agreement in time", file=sys.stderr)
-            _, doc = cluster_status(args)
+            _, doc = cluster_status(args, check=False)
             print(json.dumps(doc, indent=2, sort_keys=True), file=sys.stderr)
             return 1
 
-        decisions = {n["pid"]: n["decision"] for n in doc["nodes"]}
         incarnations = {n["pid"]: n["incarnation"] for n in doc["nodes"]}
-        print(f"decisions:    {decisions}")
+        print(f"decisions:    {agreed}")
         print(f"incarnations: {incarnations}")
-        if set(decisions.values()) != {1}:
-            print("expected a unanimous commit", file=sys.stderr)
+        if set(agreed.values()) != {1}:
+            print("expected unanimous commits", file=sys.stderr)
             return 1
         if incarnations[COORDINATOR] < 1 or incarnations[PARTICIPANT] < 1:
             print("victims did not actually recover", file=sys.stderr)
             return 1
-        print("OK: both victims replayed their WALs and the commit held")
+        print(
+            f"OK: both victims replayed their WALs and "
+            f"{'the commit' if args.txns == 1 else 'every commit'} held"
+        )
         return 0
     finally:
         for proc in procs.values():

@@ -511,6 +511,9 @@ def _cmd_faults_campaign(args) -> int:
         all_commit_fraction=args.all_commit_fraction,
         recovery_probability=args.recovery_probability,
         program=args.variant,
+        txns=args.txns,
+        shards=args.shards,
+        commit_bias=args.commit_bias,
     )
     report = run_campaign(config, workers=args.workers)
     if registry is not None:
@@ -914,6 +917,8 @@ def _cmd_service_start(args) -> int:
         vote=votes[args.node],
         tape_seed=derive_keyed(args.seed, SERVICE_NODE_STREAM, args.node),
         variant=args.variant,
+        multi_txn=args.multi_txn,
+        commit_bias=args.commit_bias,
     )
     node_dir = Path(args.data_dir) / f"node{args.node}"
     store = FileWalStore(node_dir)
@@ -947,7 +952,9 @@ def cmd_service_submit(args) -> int:
     from repro.service.client import submit
 
     try:
-        status = submit(args.host, args.port, timeout=args.timeout)
+        status = submit(
+            args.host, args.port, timeout=args.timeout, txn=args.txn
+        )
     except (ServiceError, OSError, TimeoutError) as exc:
         print(
             f"error: submit to {args.host}:{args.port} failed: {exc}",
@@ -995,16 +1002,73 @@ def cmd_service_kill(args) -> int:
     pid_path = Path(args.data_dir) / f"node{args.node}" / "pid"
     try:
         pid = int(pid_path.read_text().strip())
+    except FileNotFoundError:
+        print(f"node {args.node}: no pidfile at {pid_path}; nothing to kill")
+        return 0
     except (OSError, ValueError) as exc:
         print(f"error: cannot read {pid_path}: {exc}", file=sys.stderr)
         return 2
     signum = signal.SIGKILL if args.signal == "KILL" else signal.SIGTERM
     try:
         os.kill(pid, signum)
+    except ProcessLookupError:
+        # A crashed/killed node leaves its pidfile behind; treat the
+        # stale entry as already-dead rather than an error so kill is
+        # idempotent in restart scripts.
+        pid_path.unlink(missing_ok=True)
+        print(
+            f"node {args.node}: pid {pid} is not running "
+            f"(stale pidfile removed)"
+        )
+        return 0
     except OSError as exc:
         print(f"error: kill {pid} failed: {exc}", file=sys.stderr)
         return 2
     print(f"sent SIG{args.signal} to node {args.node} (pid {pid})")
+    return 0
+
+
+def cmd_service_load(args) -> int:
+    return _with_observability(args, lambda: _cmd_service_load(args))
+
+
+def _cmd_service_load(args) -> int:
+    from repro.errors import ReproError
+    from repro.runtime.cluster import TERMINATED
+    from repro.service.load import run_load
+
+    if args.txns is not None:
+        txns = args.txns
+    else:
+        txns = max(1, int(args.rate * args.duration))
+    try:
+        report = run_load(
+            txns=txns,
+            rate=args.rate,
+            shards=args.shards,
+            group_size=args.group_size,
+            K=args.K,
+            seed=args.seed,
+            tick_interval=args.tick_interval,
+            kills=args.kills,
+            commit_bias=args.commit_bias,
+            snapshot_every=args.snapshot_every,
+            deadline=args.deadline,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    doc = report.to_dict()
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if report.safety_violations or report.outcome != TERMINATED:
+        return 1
     return 0
 
 
@@ -1235,6 +1299,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     campaign_parser.add_argument(
+        "--txns",
+        type=int,
+        default=1,
+        help=(
+            "transactions per trial (multi-transaction workload; "
+            "requires --tracks service)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "commit groups per trial, n processors each (requires "
+            "--tracks service)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--commit-bias",
+        type=float,
+        default=1.0,
+        help=(
+            "Bernoulli parameter of derived per-transaction votes "
+            "(multi-transaction trials only)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -1431,7 +1522,7 @@ def build_parser() -> argparse.ArgumentParser:
         "service",
         help=(
             "deployable crash-recovery commit service over TCP "
-            "(see: service start, submit, status, kill)"
+            "(see: service start, submit, status, kill, load)"
         ),
     )
     service_sub = service_parser.add_subparsers(
@@ -1506,6 +1597,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="compact the WAL into a snapshot every N steps (0 = never)",
     )
+    start_parser.add_argument(
+        "--multi-txn",
+        action="store_true",
+        help=(
+            "host many concurrent transactions (lazily created per "
+            "txn id) instead of the single default transaction"
+        ),
+    )
+    start_parser.add_argument(
+        "--commit-bias",
+        type=float,
+        default=1.0,
+        help=(
+            "Bernoulli parameter of derived per-transaction votes "
+            "(multi-txn only; 1.0 = always vote yes)"
+        ),
+    )
     _add_observability_args(start_parser)
     start_parser.set_defaults(fn=cmd_service_start)
 
@@ -1519,6 +1627,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit_parser.add_argument(
         "--timeout", type=float, default=5.0, help="request timeout in seconds"
+    )
+    submit_parser.add_argument(
+        "--txn",
+        type=int,
+        default=0,
+        help=(
+            "transaction id to submit to a multi-transaction node "
+            "(0 = the node's default held transaction)"
+        ),
     )
     submit_parser.set_defaults(fn=cmd_service_submit)
 
@@ -1559,6 +1676,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="TERM halts cleanly; KILL simulates a crash (default)",
     )
     kill_parser.set_defaults(fn=cmd_service_kill)
+
+    load_parser = service_sub.add_parser(
+        "load",
+        help=(
+            "open-loop multi-transaction load run on the virtual clock: "
+            "sharded commit groups, optional kill/recover faults, "
+            "txn/s + p50/p99 latency report"
+        ),
+    )
+    load_parser.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="offered arrival rate in transactions per virtual second",
+    )
+    load_parser.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="submission window in virtual seconds (txns = rate * duration)",
+    )
+    load_parser.add_argument(
+        "--txns",
+        type=int,
+        default=None,
+        help="exact transaction count (overrides --duration)",
+    )
+    load_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent commit groups (txn i goes to shard i %% shards)",
+    )
+    load_parser.add_argument(
+        "--group-size", type=int, default=5, help="processors per group"
+    )
+    load_parser.add_argument("--K", type=int, default=4, help="on-time bound")
+    load_parser.add_argument("--seed", type=int, default=0)
+    load_parser.add_argument(
+        "--tick-interval",
+        type=float,
+        default=0.002,
+        help="virtual seconds per protocol step",
+    )
+    load_parser.add_argument(
+        "--kills",
+        type=int,
+        default=0,
+        help="seeded kill/recover faults to inject during the run",
+    )
+    load_parser.add_argument(
+        "--commit-bias",
+        type=float,
+        default=1.0,
+        help="Bernoulli parameter of derived per-transaction votes",
+    )
+    load_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=32,
+        help="node snapshot-compaction period in steps (0 = never)",
+    )
+    load_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="virtual-time budget (default: window + recovery tail)",
+    )
+    load_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path (e.g. BENCH_throughput.json)",
+    )
+    _add_observability_args(load_parser)
+    load_parser.set_defaults(fn=cmd_service_load)
 
     mc_parser = sub.add_parser(
         "mc",

@@ -83,6 +83,17 @@ SERVICE_ENVELOPE_STREAM = 15_485_863
 #: keyed by pid (:mod:`repro.service.cluster`).
 SERVICE_NODE_STREAM = 17_624_813
 
+#: Keyed stream of one hosted transaction instance's protocol tape,
+#: keyed by ``txn_id`` off the node's own tape seed — transaction 0
+#: keeps the node tape seed itself so single-transaction (v1) WALs
+#: replay byte-identically (:mod:`repro.service.txn`).
+SERVICE_TXN_TAPE_STREAM = 19_999_999
+
+#: Keyed stream of one hosted transaction instance's derived initial
+#: vote, keyed by ``txn_id`` off the node's own tape seed
+#: (:func:`repro.service.txn.txn_vote`).
+SERVICE_TXN_VOTE_STREAM = 22_801_763
+
 
 def trial_seed(base_seed: int, index: int) -> int:
     """Seed of trial ``index`` in a batch anchored at ``base_seed``."""

@@ -94,6 +94,17 @@ class CampaignConfig:
             kill/recover pair instead of a fail-stop crash.  Nonzero
             values require ``tracks == ("service",)`` — the fail-stop
             tracks cannot execute recoveries.
+        txns: transactions per trial.  ``1`` is the classic
+            one-commit campaign; larger values drive an open-loop
+            multi-transaction workload through the service track's
+            instance multiplexer and check safety per transaction.
+            Requires ``tracks == ("service",)``.
+        shards: commit groups per trial (multi-transaction mode);
+            the cluster spans ``n * shards`` processors, ``n`` per
+            group, and transaction ``i`` lands on shard ``i % shards``.
+        commit_bias: Bernoulli parameter of the derived per-transaction
+            votes in multi-transaction mode (the drawn vote vector only
+            covers the default transaction).
     """
 
     n: int = 5
@@ -109,6 +120,9 @@ class CampaignConfig:
     all_commit_fraction: float = 0.6
     program: str = "commit"
     recovery_probability: float = 0.0
+    txns: int = 1
+    shards: int = 1
+    commit_bias: float = 1.0
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -145,6 +159,23 @@ class CampaignConfig:
                 "only the service track can execute; use "
                 f"tracks=('service',), got {self.tracks!r}"
             )
+        if self.txns < 1 or self.shards < 1:
+            raise ConfigurationError(
+                f"txns and shards must be >= 1, got txns={self.txns}, "
+                f"shards={self.shards}"
+            )
+        if not 0.0 <= self.commit_bias <= 1.0:
+            raise ConfigurationError(
+                f"commit_bias out of [0, 1]: {self.commit_bias}"
+            )
+        if (self.txns > 1 or self.shards > 1) and self.tracks != (
+            "service",
+        ):
+            raise ConfigurationError(
+                "multi-transaction campaigns (txns > 1 or shards > 1) "
+                "run the instance multiplexer, which only the service "
+                f"track hosts; use tracks=('service',), got {self.tracks!r}"
+            )
         resolve_variant(self.program)
 
     @property
@@ -169,6 +200,10 @@ class CampaignConfig:
         # Emitted only when set so pre-service reports stay byte-identical.
         if self.recovery_probability > 0.0:
             doc["recovery_probability"] = self.recovery_probability
+        if self.txns > 1 or self.shards > 1:
+            doc["txns"] = self.txns
+            doc["shards"] = self.shards
+            doc["commit_bias"] = self.commit_bias
         return doc
 
 
@@ -205,6 +240,14 @@ class TrialCase:
     tick_interval: float = 0.002
     program: str = "commit"
     schedule: tuple[Decision, ...] | None = None
+    txns: int = 1
+    shards: int = 1
+    commit_bias: float = 1.0
+
+    @property
+    def multi_txn(self) -> bool:
+        """Whether this case drives the multi-transaction service."""
+        return self.txns > 1 or self.shards > 1
 
     def __post_init__(self) -> None:
         if len(self.votes) != self.n:
@@ -212,6 +255,18 @@ class TrialCase:
                 f"need one vote per processor: n={self.n}, "
                 f"got {len(self.votes)} votes"
             )
+        if self.multi_txn:
+            if self.tracks != ("service",):
+                raise ConfigurationError(
+                    "multi-transaction cases are service-only, got "
+                    f"tracks {self.tracks!r}"
+                )
+            if self.plan.n != self.n * self.shards:
+                raise ConfigurationError(
+                    f"a {self.shards}-shard case needs a plan spanning "
+                    f"{self.n * self.shards} processors, got "
+                    f"plan.n={self.plan.n}"
+                )
         for track in self.tracks:
             if track not in TRACKS:
                 raise ConfigurationError(
@@ -251,6 +306,16 @@ class TrialCase:
             # A scripted prefix may starve or withhold arbitrarily; no
             # termination obligation can be read off it.
             return False
+        if self.multi_txn:
+            # The plan's termination analysis reasons about pid 0 as
+            # *the* coordinator; a sharded cluster has one coordinator
+            # per group, so only plans where every crash recovers (no
+            # group can lose its coordinator for good) carry the
+            # obligation over.
+            return (
+                self.plan.guarantees_termination(self.t)
+                and self.plan.permanent_crash_count == 0
+            )
         return self.plan.guarantees_termination(self.t)
 
     def to_dict(self) -> dict[str, Any]:
@@ -269,6 +334,10 @@ class TrialCase:
         }
         if self.schedule is not None:
             doc["schedule"] = [decision_to_dict(d) for d in self.schedule]
+        if self.multi_txn:
+            doc["txns"] = self.txns
+            doc["shards"] = self.shards
+            doc["commit_bias"] = self.commit_bias
         return doc
 
     @classmethod
@@ -292,6 +361,9 @@ class TrialCase:
                     if schedule is not None
                     else None
                 ),
+                txns=doc.get("txns", 1),
+                shards=doc.get("shards", 1),
+                commit_bias=doc.get("commit_bias", 1.0),
             )
         except (KeyError, TypeError) as exc:
             raise AnalysisError(f"malformed trial case: {doc!r}") from exc
@@ -314,8 +386,11 @@ def _draw_plan(config: CampaignConfig, seed: int) -> FaultPlan:
         config.resolved_t < config.n - 1
         and shape.random() < config.over_budget_fraction
     )
+    # Multi-transaction trials span shards * n processors; keeping the
+    # crash budget at the per-group t means within-budget plans stay
+    # within every group's budget no matter where the crashes land.
     return FaultPlan.random(
-        n=config.n,
+        n=config.n * config.shards,
         t=config.resolved_t,
         seed=seed,
         K=config.K,
@@ -338,6 +413,9 @@ def case_from_config(config: CampaignConfig, seed: int) -> TrialCase:
         deadline=config.deadline,
         tick_interval=config.tick_interval,
         program=config.program,
+        txns=config.txns,
+        shards=config.shards,
+        commit_bias=config.commit_bias,
     )
 
 
@@ -399,9 +477,128 @@ def _run_runtime_track(case: TrialCase) -> dict[str, Any]:
     }
 
 
+def _run_service_multi_track(case: TrialCase) -> dict[str, Any]:
+    """Execute a multi-transaction case and check safety per txn.
+
+    One trial = one sharded cluster (``shards`` commit groups of ``n``)
+    under one FaultPlan, with an open-loop workload of ``case.txns``
+    transactions.  Agreement/validity are per-transaction properties of
+    that transaction's group, so this track builds its own per-txn
+    :class:`~repro.faults.safety.SafetyMonitor` reports (against the
+    derived per-transaction votes) and merges them — the generic
+    whole-cluster check in :func:`execute_trial_case` does not apply.
+    """
+    from repro.service.cluster import (
+        ServiceCluster,
+        TxnWorkload,
+        shard_configs,
+    )
+    from repro.service.txn import ShardMap, txn_vote
+
+    # Submit everything inside the first quarter of the budget so a
+    # kill/recover tail still fits before the deadline.
+    window = max(case.tick_interval * 4, min(1.0, case.deadline / 4))
+    rate = case.txns / window
+    shard_map = ShardMap(shards=case.shards, group_size=case.n)
+    configs = shard_configs(
+        case.shards,
+        case.n,
+        case.t,
+        case.K,
+        case.seed,
+        variant=case.program,
+        commit_bias=case.commit_bias,
+    )
+    cluster = ServiceCluster(
+        configs,
+        case.plan,
+        seed=case.seed,
+        tick_interval=case.tick_interval,
+        snapshot_every=32,
+        K=case.K,
+        workload=TxnWorkload.open_loop(case.txns, rate, case.tick_interval),
+        shard_map=shard_map,
+    )
+    result = run_virtual(cluster.run(deadline=case.deadline))
+    txns_by_pid = {
+        snapshot.pid: dict(snapshot.txns or {}) for snapshot in result.nodes
+    }
+    checked: set[str] = set()
+    violations: list[dict[str, Any]] = []
+    txn_decisions: dict[int, int | None] = {}
+    for txn_id in result.submitted_txns:
+        members = list(shard_map.members(shard_map.group_of(txn_id)))
+        monitor = SafetyMonitor(
+            n=case.n,
+            t=case.t,
+            votes=[txn_vote(configs[pid], txn_id) for pid in members],
+        )
+        decisions = {
+            local: txns_by_pid.get(pid, {}).get(txn_id)
+            for local, pid in enumerate(members)
+        }
+        crashed = {
+            local
+            for local, pid in enumerate(members)
+            if pid in result.permanently_crashed
+        }
+        obligated = [
+            bit for local, bit in decisions.items() if local not in crashed
+        ]
+        report = monitor.check(
+            decisions=decisions,
+            crashed=crashed,
+            terminated=bool(obligated)
+            and all(bit is not None for bit in obligated),
+            expect_termination=case.expect_termination,
+            benign=False,
+        )
+        checked.update(report.checked)
+        for violation in report.violations:
+            doc = violation.to_dict()
+            doc["txn"] = txn_id
+            violations.append(doc)
+        agreed = {bit for bit in decisions.values() if bit is not None}
+        txn_decisions[txn_id] = agreed.pop() if len(agreed) == 1 else None
+    return {
+        "outcome": result.outcome,
+        "decisions": [
+            txn_decisions.get(txn_id) for txn_id in result.submitted_txns
+        ],
+        "crashed": sorted(result.permanently_crashed),
+        "recoveries": result.recoveries,
+        "transfer_decisions": sum(
+            1 for s in result.nodes if s.decision_origin == "transfer"
+        ),
+        "bus": dict(result.bus_stats),
+        "txns": {
+            "submitted": len(result.submitted_txns),
+            "decided": sum(
+                1 for bit in txn_decisions.values() if bit is not None
+            ),
+            "undecided": {
+                str(pid): txn_ids
+                for pid, txn_ids in sorted(result.undecided.items())
+            },
+        },
+        "safety": {
+            "checked": sorted(checked),
+            "violations": violations,
+            "safety_ok": not any(
+                v["property"] != "nonblocking" for v in violations
+            ),
+            "liveness_ok": not any(
+                v["property"] == "nonblocking" for v in violations
+            ),
+        },
+    }
+
+
 def _run_service_track(case: TrialCase) -> dict[str, Any]:
     # Imported here (not at module top) to keep the fail-stop campaign
     # path free of the service subsystem's import cost.
+    if case.multi_txn:
+        return _run_service_multi_track(case)
     from repro.service.cluster import ServiceCluster, node_configs
 
     cluster = ServiceCluster(
@@ -466,16 +663,17 @@ def execute_trial_case(case: TrialCase) -> dict[str, Any]:
             outcome = _run_service_track(case)
         else:
             outcome = _run_runtime_track(case)
-        report = monitor.check(
-            decisions={
-                pid: bit for pid, bit in enumerate(outcome["decisions"])
-            },
-            crashed=set(outcome["crashed"]),
-            terminated=outcome["outcome"] == TERMINATED,
-            expect_termination=case.expect_termination,
-            benign=False,
-        )
-        outcome["safety"] = report.to_dict()
+        if "safety" not in outcome:
+            report = monitor.check(
+                decisions={
+                    pid: bit for pid, bit in enumerate(outcome["decisions"])
+                },
+                crashed=set(outcome["crashed"]),
+                terminated=outcome["outcome"] == TERMINATED,
+                expect_termination=case.expect_termination,
+                benign=False,
+            )
+            outcome["safety"] = report.to_dict()
         tracks[track] = outcome
         if telemetry.enabled():
             telemetry.count(

@@ -13,27 +13,43 @@ state machines as a *service* in the crash-**recovery** model:
   dedup, so it survives restarts (:mod:`repro.service.node`);
 * a recovering node that missed the outcome adopts it through the
   ``state-query`` / ``state-transfer`` handshake;
+* one node process hosts many concurrent Protocol 2 instances — one per
+  transaction — behind an instance multiplexer, with account-sharded
+  commit groups and an open-loop load generator
+  (:mod:`repro.service.txn`, :mod:`repro.service.load`);
 * clusters run over an in-memory bus on the virtual clock for fault
   campaigns (:mod:`repro.service.cluster`,
   :mod:`repro.service.bus`) or over real TCP as separate OS
   processes (:mod:`repro.service.server`, :mod:`repro.service.client`).
 
-See ``docs/SERVICE.md`` for the process layout, the WAL format, and the
-recovery handshake.
+See ``docs/SERVICE.md`` for the process layout, the WAL format, the
+recovery handshake, and the multi-transaction wire/WAL extensions.
 """
 
 from repro.service.bus import ServiceBus
 from repro.service.cluster import (
     ServiceCluster,
     ServiceClusterResult,
+    TxnSubmission,
+    TxnWorkload,
     node_configs,
+    shard_configs,
 )
+from repro.service.load import LoadReport, run_load
 from repro.service.node import ServiceNode, ServiceNodeSnapshot
 from repro.service.recovery import (
     NodeConfig,
     ReplayResult,
     replay,
     state_digest,
+)
+from repro.service.txn import (
+    DEFAULT_TXN,
+    InstanceMux,
+    ShardMap,
+    TxnInstance,
+    txn_tape_seed,
+    txn_vote,
 )
 from repro.service.wal import (
     FileWalStore,
@@ -48,7 +64,10 @@ from repro.service.wal import (
 from repro.service.wire import ServiceEnvelope
 
 __all__ = [
+    "DEFAULT_TXN",
     "FileWalStore",
+    "InstanceMux",
+    "LoadReport",
     "MemoryWalStore",
     "NodeConfig",
     "ReplayResult",
@@ -58,13 +77,21 @@ __all__ = [
     "ServiceEnvelope",
     "ServiceNode",
     "ServiceNodeSnapshot",
+    "ShardMap",
+    "TxnInstance",
+    "TxnSubmission",
+    "TxnWorkload",
     "WriteAheadLog",
     "durable_records",
     "node_configs",
     "read_log",
     "read_snapshot",
     "replay",
+    "run_load",
+    "shard_configs",
     "split_log_suffix",
     "state_digest",
+    "txn_tape_seed",
+    "txn_vote",
     "write_snapshot",
 ]

@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.engine.seeds import SERVICE_NODE_STREAM, derive_keyed
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServiceError
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime_compile import PlanLinkFaults, plan_reliability
 from repro.runtime.cluster import NONTERMINATED, TERMINATED
@@ -37,11 +37,53 @@ from repro.runtime.delays import DelayModel
 from repro.service.bus import ServiceBus
 from repro.service.node import ServiceNode, ServiceNodeSnapshot
 from repro.service.recovery import NodeConfig
+from repro.service.txn import DEFAULT_TXN, ShardMap
 from repro.service.wal import MemoryWalStore, WalStore, encode_record
 from repro.telemetry import registry as telemetry
 from repro.telemetry.log import get_logger
 
 _log = get_logger("service.cluster")
+
+
+@dataclass(frozen=True)
+class TxnSubmission:
+    """One scheduled transaction submission (cycle units of the tick)."""
+
+    txn_id: int
+    at_cycle: float
+
+
+@dataclass(frozen=True)
+class TxnWorkload:
+    """A deterministic submission schedule for a multi-transaction run."""
+
+    submissions: tuple[TxnSubmission, ...]
+
+    @classmethod
+    def open_loop(
+        cls,
+        count: int,
+        rate: float,
+        tick_interval: float,
+        first_txn: int = 1,
+    ) -> "TxnWorkload":
+        """An open-loop arrival process: ``count`` transactions at a
+        fixed ``rate`` (transactions per virtual second), submitted on
+        schedule regardless of how far earlier ones have progressed.
+        """
+        if count < 1:
+            raise ConfigurationError(f"need at least one txn, got {count}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        return cls(
+            submissions=tuple(
+                TxnSubmission(
+                    txn_id=first_txn + i,
+                    at_cycle=(i / rate) / tick_interval,
+                )
+                for i in range(count)
+            )
+        )
 
 
 def node_configs(
@@ -71,6 +113,48 @@ def node_configs(
     ]
 
 
+def shard_configs(
+    shards: int,
+    group_size: int,
+    t: int,
+    K: int,
+    seed: int,
+    variant: str = "commit",
+    commit_bias: float = 1.0,
+) -> list[NodeConfig]:
+    """Node configs of a sharded multi-transaction cluster.
+
+    ``shards`` independent commit groups of ``group_size`` processors
+    each, laid out contiguously on one wire pid space: group ``g`` owns
+    wire pids ``[g * group_size, (g + 1) * group_size)`` and its local
+    pid 0 coordinates every transaction :class:`ShardMap` assigns to it.
+    Tape seeds are keyed by *wire* pid so no two nodes anywhere share a
+    random stream.
+    """
+    shard_map = ShardMap(shards=shards, group_size=group_size)
+    configs: list[NodeConfig] = []
+    for group in range(shards):
+        base = shard_map.base(group)
+        for pid in range(group_size):
+            configs.append(
+                NodeConfig(
+                    pid=pid,
+                    n=group_size,
+                    t=t,
+                    K=K,
+                    vote=1,
+                    tape_seed=derive_keyed(
+                        seed, SERVICE_NODE_STREAM, base + pid
+                    ),
+                    variant=variant,
+                    multi_txn=True,
+                    base=base,
+                    commit_bias=commit_bias,
+                )
+            )
+    return configs
+
+
 @dataclass
 class ServiceClusterResult:
     """Aggregated outcome of one service-cluster run.
@@ -79,6 +163,13 @@ class ServiceClusterResult:
     the state of its last life).  ``permanently_crashed`` are the pids a
     plan killed without recovery — the fail-stop subset the safety
     monitor excludes from liveness obligations.
+
+    Multi-transaction runs additionally report, per transaction: the
+    submission-to-group-decision latency in virtual seconds
+    (``txn_latency``), and — when the run hit its deadline — exactly
+    which nodes were still undecided on which transactions
+    (``undecided``), so a ``NONTERMINATED`` outcome is attributable
+    rather than a bare timeout.
     """
 
     nodes: list[ServiceNodeSnapshot] = field(default_factory=list)
@@ -86,12 +177,24 @@ class ServiceClusterResult:
     permanently_crashed: set[int] = field(default_factory=set)
     recoveries: int = 0
     bus_stats: dict[str, int] = field(default_factory=dict)
+    submitted_txns: list[int] = field(default_factory=list)
+    txn_latency: dict[int, float] = field(default_factory=dict)
+    undecided: dict[int, list[int]] = field(default_factory=dict)
 
     def decisions(self) -> dict[int, int | None]:
         return {s.pid: s.decision for s in self.nodes}
 
     def decision_values(self) -> set[int]:
         return {s.decision for s in self.nodes if s.decision is not None}
+
+    def txn_decision_values(self) -> dict[int, set[int]]:
+        """Per transaction, the set of values any node decided — a
+        singleton per key iff the run was agreement-safe."""
+        values: dict[int, set[int]] = {}
+        for snapshot in self.nodes:
+            for txn_id, value in (snapshot.txns or {}).items():
+                values.setdefault(txn_id, set()).add(value)
+        return values
 
     @property
     def consistent(self) -> bool:
@@ -121,6 +224,11 @@ class ServiceCluster:
         snapshot_every: node snapshot-compaction period in steps.
         torn_tail_probability: chance that a kill leaves a partial
             record at the victim's log tail.
+        workload: multi-transaction submission schedule; each
+            transaction is submitted to its shard's coordinator on
+            schedule (waiting out coordinator downtime).
+        shard_map: transaction-to-group assignment (defaults to one
+            group spanning the whole cluster).
     """
 
     def __init__(
@@ -136,6 +244,8 @@ class ServiceCluster:
         snapshot_every: int = 0,
         torn_tail_probability: float = 0.25,
         K: int = 4,
+        workload: TxnWorkload | None = None,
+        shard_map: ShardMap | None = None,
     ) -> None:
         if not configs:
             raise ConfigurationError("a cluster needs at least one node")
@@ -147,6 +257,17 @@ class ServiceCluster:
         self.fsync = fsync
         self.snapshot_every = snapshot_every
         self.torn_tail_probability = torn_tail_probability
+        self.workload = workload
+        self.shard_map = shard_map or ShardMap(shards=1, group_size=self.n)
+        if self.shard_map.total_pids != self.n:
+            raise ConfigurationError(
+                f"shard map covers {self.shard_map.total_pids} wire pids "
+                f"but the cluster has {self.n} nodes"
+            )
+        self.submitted_txns: set[int] = set()
+        self.unsubmittable: set[int] = set()
+        self.txn_submitted_at: dict[int, float] = {}
+        self.txn_decided_at: dict[int, float] = {}
         self.stores = (
             stores
             if stores is not None
@@ -241,34 +362,154 @@ class ServiceCluster:
             self._spawn(pid)
             _log.debug("p%d restarted at cycle %d", pid, fault.recover_cycle)
 
-    async def _all_done(self) -> None:
+    # -- multi-transaction traffic ---------------------------------------------
+
+    def _group_members(self, txn_id: int) -> range:
+        return self.shard_map.members(self.shard_map.group_of(txn_id))
+
+    async def _drive_workload(self) -> None:
+        """Submit the workload on schedule, each transaction to its
+        shard's coordinator (waiting out coordinator downtime — the
+        submit record is durable, so one accepted submission is enough).
+        """
+        assert self.workload is not None
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        for submission in sorted(
+            self.workload.submissions, key=lambda s: s.at_cycle
+        ):
+            target = start + submission.at_cycle * self.tick_interval
+            await asyncio.sleep(max(0.0, target - loop.time()))
+            await self._submit_txn(submission.txn_id)
+
+    async def _submit_txn(self, txn_id: int) -> None:
+        pid = self.shard_map.coordinator(txn_id)
         while True:
-            done = all(
-                pid in self.permanently_crashed
-                or (
-                    pid in self._live
-                    and self.nodes[pid].decision is not None
+            node = self.nodes.get(pid)
+            if pid in self._live and node is not None and node.ready:
+                try:
+                    node.submit_txn(txn_id)
+                except ServiceError:
+                    # A recovered coordinator already holds the durable
+                    # submit record: the transaction is in flight.
+                    pass
+                self.submitted_txns.add(txn_id)
+                self.txn_submitted_at.setdefault(
+                    txn_id, asyncio.get_running_loop().time()
                 )
-                for pid in range(self.n)
-            )
-            if done:
+                return
+            if pid in self.permanently_crashed:
+                self.unsubmittable.add(txn_id)
+                _log.warning(
+                    "txn %d unsubmittable: coordinator p%d is "
+                    "permanently crashed",
+                    txn_id,
+                    pid,
+                )
                 return
             await asyncio.sleep(self.tick_interval)
 
+    def _note_completions(self, now: float) -> None:
+        """Record the first instant every non-crashed member of a
+        transaction's group holds a decision for it."""
+        for txn_id in self.submitted_txns:
+            if txn_id in self.txn_decided_at:
+                continue
+            members = [
+                pid
+                for pid in self._group_members(txn_id)
+                if pid not in self.permanently_crashed
+            ]
+            if members and all(
+                pid in self._live
+                and self.nodes.get(pid) is not None
+                and txn_id in self.nodes[pid].decisions()
+                for pid in members
+            ):
+                self.txn_decided_at[txn_id] = now
+
+    def _undecided_map(self) -> dict[int, list[int]]:
+        """Which nodes still lack decisions on which transactions —
+        the structured content behind a ``NONTERMINATED`` outcome."""
+        if self.workload is None:
+            return {
+                pid: [DEFAULT_TXN]
+                for pid in range(self.n)
+                if pid not in self.permanently_crashed
+                and not (
+                    pid in self._live
+                    and self.nodes.get(pid) is not None
+                    and self.nodes[pid].decision is not None
+                )
+            }
+        pending: dict[int, list[int]] = {}
+        for txn_id in sorted(self.submitted_txns):
+            for pid in self._group_members(txn_id):
+                if pid in self.permanently_crashed:
+                    continue
+                node = self.nodes.get(pid)
+                if (
+                    pid not in self._live
+                    or node is None
+                    or txn_id not in node.decisions()
+                ):
+                    pending.setdefault(pid, []).append(txn_id)
+        return pending
+
+    async def _all_done(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if self.workload is not None:
+                self._note_completions(loop.time())
+                dispatched = len(self.submitted_txns) + len(
+                    self.unsubmittable
+                ) == len(self.workload.submissions)
+                if dispatched and not self._undecided_map():
+                    return
+            else:
+                done = all(
+                    pid in self.permanently_crashed
+                    or (
+                        pid in self._live
+                        and self.nodes[pid].decision is not None
+                    )
+                    for pid in range(self.n)
+                )
+                if done:
+                    return
+            await asyncio.sleep(self.tick_interval)
+
     async def run(self, deadline: float = 5.0) -> ServiceClusterResult:
-        """Run the commit to service-level termination or ``deadline``."""
+        """Run the commit(s) to service-level termination or ``deadline``.
+
+        A deadline expiry is reported as a structured outcome — the
+        result's ``undecided`` map names every (node, transaction) pair
+        still open — never as a bare ``TimeoutError``.
+        """
         supervisors = [
             asyncio.ensure_future(self._supervise(pid))
             for pid in range(self.n)
         ]
+        driver = None
+        if self.workload is not None:
+            driver = asyncio.ensure_future(self._drive_workload())
+        undecided: dict[int, list[int]] = {}
         try:
             await asyncio.wait_for(self._all_done(), timeout=deadline)
             outcome = TERMINATED
         except asyncio.TimeoutError:
             outcome = NONTERMINATED
+            undecided = self._undecided_map()
+            _log.warning(
+                "service run hit the %.3fs deadline; undecided: %s",
+                deadline,
+                {pid: txns for pid, txns in sorted(undecided.items())},
+            )
         finally:
             for task in supervisors:
                 task.cancel()
+            if driver is not None:
+                driver.cancel()
             for node in self.nodes.values():
                 node.halt()
             for tasks in self._live.values():
@@ -276,6 +517,7 @@ class ServiceCluster:
                     task.cancel()
             await asyncio.gather(
                 *supervisors,
+                *([driver] if driver is not None else []),
                 *(t for tasks in self._live.values() for t in tasks),
                 return_exceptions=True,
             )
@@ -297,4 +539,12 @@ class ServiceCluster:
                 "delivered": self.bus.delivered,
                 "dropped": self.bus.dropped,
             },
+            submitted_txns=sorted(self.submitted_txns),
+            txn_latency={
+                txn_id: self.txn_decided_at[txn_id]
+                - self.txn_submitted_at[txn_id]
+                for txn_id in self.txn_decided_at
+                if txn_id in self.txn_submitted_at
+            },
+            undecided=undecided,
         )

@@ -142,12 +142,25 @@ class ServiceServer:
             writer.close()
 
     def _client_request(self, envelope: ServiceEnvelope) -> ServiceEnvelope:
-        status = asdict(self.node.snapshot_state())
         if envelope.kind == "submit":
-            self.node.submit()
+            txn = envelope.body.get("txn", 0)
+            try:
+                if isinstance(txn, int) and txn > 0:
+                    self.node.submit_txn(txn)
+                else:
+                    self.node.submit()
+            except ServiceError as exc:
+                return ServiceEnvelope(
+                    kind="ack",
+                    sender=self.node.pid,
+                    body={"error": f"submit rejected: {exc}"},
+                )
             return ServiceEnvelope(
-                kind="ack", sender=self.node.pid, body={"status": status}
+                kind="ack",
+                sender=self.node.pid,
+                body={"status": asdict(self.node.snapshot_state())},
             )
+        status = asdict(self.node.snapshot_state())
         if envelope.kind == "state-query":
             return ServiceEnvelope(
                 kind="state-transfer",

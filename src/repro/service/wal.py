@@ -97,6 +97,7 @@ RECORD_TYPES = (
     "recover",
     "submit",
     "compact",
+    "close",
 )
 
 

@@ -18,13 +18,24 @@ Envelope identity is the triple ``(sender, incarnation, seq)``:
 Control kinds (``ack``, ``state-query``, ``state-transfer``, ``submit``)
 ride the same envelope format; only ``msg`` envelopes reach the hosted
 protocol state machine.
+
+**Multi-transaction envelopes (wire v2).**  A node can host many
+concurrent protocol instances, one per transaction; each ``msg``
+envelope then carries *groups* — ``(txn_id, payloads)`` pairs — so one
+flush batches the outgoing traffic of several instances into a single
+transmission per destination.  The encoding is versioned by shape, not
+by a version field: an envelope whose only group belongs to the default
+transaction (:data:`DEFAULT_TXN`) encodes in the original v1 form
+(``payloads``), so single-transaction traffic and the WALs derived from
+it are byte-identical to the pre-multiplexer service; anything else
+encodes the groups under the ``txns`` key, which v1 never emitted.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.messages import (
     DecidedMessage,
@@ -38,6 +49,14 @@ from repro.sim.message import Payload, RawPayload
 #: Envelope kinds the service understands.  ``msg`` carries protocol
 #: payloads; the rest are service-layer control traffic.
 KINDS = ("msg", "ack", "state-query", "state-transfer", "submit")
+
+#: The transaction id of the original single-transaction service.  A v1
+#: envelope or WAL record, which predates transaction ids entirely,
+#: always denotes this transaction.
+DEFAULT_TXN = 0
+
+#: One transaction's payloads inside an envelope: ``(txn_id, payloads)``.
+PayloadGroup = tuple[int, tuple[Payload, ...]]
 
 
 def payload_to_dict(payload: Payload) -> dict[str, Any]:
@@ -91,7 +110,12 @@ class ServiceEnvelope:
             first created (identity component, see module docstring).
         seq: per-(sender, incarnation) sequence number; ``-1`` for
             unsequenced control traffic (acks).
-        payloads: protocol payloads (``msg`` envelopes only).
+        payloads: protocol payloads of the default transaction (the v1
+            form; ``msg`` envelopes only).
+        groups: per-transaction payload groups (the v2 multi-transaction
+            form).  At most one of ``payloads``/``groups`` is set; use
+            :meth:`msg` to build outgoing protocol envelopes in normal
+            form and :meth:`payload_groups` to read either form.
         body: control data — the acked ``(incarnation, seq)`` pair for
             ``ack``, the transferred state for ``state-transfer``.
     """
@@ -101,6 +125,7 @@ class ServiceEnvelope:
     incarnation: int = 0
     seq: int = -1
     payloads: tuple[Payload, ...] = ()
+    groups: tuple[PayloadGroup, ...] = ()
     body: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -108,11 +133,60 @@ class ServiceEnvelope:
             raise ServiceError(
                 f"unknown envelope kind {self.kind!r}; choose from {KINDS}"
             )
+        if self.payloads and self.groups:
+            raise ServiceError(
+                "an envelope carries v1 payloads or v2 groups, never both"
+            )
 
     @property
     def identity(self) -> tuple[int, int, int]:
         """The dedup key ``(sender, incarnation, seq)``."""
         return (self.sender, self.incarnation, self.seq)
+
+    @classmethod
+    def msg(
+        cls,
+        sender: int,
+        incarnation: int,
+        seq: int,
+        groups: Iterable[tuple[int, Iterable[Payload]]],
+    ) -> "ServiceEnvelope":
+        """An outgoing protocol envelope in wire normal form.
+
+        A single default-transaction group becomes a v1 ``payloads``
+        envelope (byte-identical to the pre-multiplexer encoding);
+        anything else carries v2 ``groups``.
+        """
+        normal = tuple(
+            (txn, tuple(payloads)) for txn, payloads in groups if payloads
+        )
+        if len(normal) == 1 and normal[0][0] == DEFAULT_TXN:
+            return cls(
+                kind="msg",
+                sender=sender,
+                incarnation=incarnation,
+                seq=seq,
+                payloads=normal[0][1],
+            )
+        return cls(
+            kind="msg",
+            sender=sender,
+            incarnation=incarnation,
+            seq=seq,
+            groups=normal,
+        )
+
+    def payload_groups(self) -> tuple[PayloadGroup, ...]:
+        """The per-transaction view of this envelope's payloads.
+
+        Reads both wire forms: v1 payloads are the default transaction's
+        single group.
+        """
+        if self.groups:
+            return self.groups
+        if self.payloads:
+            return ((DEFAULT_TXN, self.payloads),)
+        return ()
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -123,6 +197,11 @@ class ServiceEnvelope:
         }
         if self.payloads:
             doc["payloads"] = [payload_to_dict(p) for p in self.payloads]
+        if self.groups:
+            doc["txns"] = [
+                [txn, [payload_to_dict(p) for p in payloads]]
+                for txn, payloads in self.groups
+            ]
         if self.body:
             doc["body"] = self.body
         return doc
@@ -138,9 +217,16 @@ class ServiceEnvelope:
                 payloads=tuple(
                     payload_from_dict(p) for p in doc.get("payloads", ())
                 ),
+                groups=tuple(
+                    (
+                        int(txn),
+                        tuple(payload_from_dict(p) for p in payloads),
+                    )
+                    for txn, payloads in doc.get("txns", ())
+                ),
                 body=doc.get("body", {}),
             )
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed envelope: {doc!r}") from exc
 
     def encode(self) -> bytes:

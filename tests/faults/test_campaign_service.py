@@ -97,3 +97,158 @@ class TestServiceCampaign:
         service = summary["tracks"]["service"]["service"]
         assert service["recoveries"] >= 0
         assert "transfer_decisions" in service
+
+
+class TestMultiTxnConfigGates:
+    def test_multi_txn_requires_service_track(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(txns=4)
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(shards=2, tracks=("sim", "service"))
+        config = CampaignConfig(txns=4, shards=2, tracks=("service",))
+        assert config.txns == 4
+        assert config.shards == 2
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(txns=0, tracks=("service",))
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(shards=0, tracks=("service",))
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(
+                txns=2, commit_bias=1.5, tracks=("service",)
+            )
+
+    def test_dict_form_stays_backward_compatible(self):
+        assert "txns" not in CampaignConfig().to_dict()
+        doc = CampaignConfig(
+            txns=4, shards=2, commit_bias=0.9, tracks=("service",)
+        ).to_dict()
+        assert doc["txns"] == 4
+        assert doc["shards"] == 2
+        assert doc["commit_bias"] == 0.9
+
+
+class TestMultiTxnTrialCase:
+    def _plan(self, n):
+        return FaultPlan(n=n)
+
+    def test_plan_must_span_the_sharded_cluster(self):
+        with pytest.raises(ConfigurationError):
+            TrialCase(
+                n=3,
+                t=1,
+                K=4,
+                votes=(1, 1, 1),
+                plan=self._plan(3),  # needs n * shards = 6
+                seed=0,
+                tracks=("service",),
+                txns=4,
+                shards=2,
+            )
+
+    def test_multi_txn_is_service_only(self):
+        with pytest.raises(ConfigurationError):
+            TrialCase(
+                n=3,
+                t=1,
+                K=4,
+                votes=(1, 1, 1),
+                plan=self._plan(3),
+                seed=0,
+                txns=2,
+            )
+
+    def test_dict_roundtrip_preserves_workload(self):
+        case = TrialCase(
+            n=3,
+            t=1,
+            K=4,
+            votes=(1, 1, 1),
+            plan=self._plan(6),
+            seed=5,
+            tracks=("service",),
+            txns=4,
+            shards=2,
+            commit_bias=0.8,
+        )
+        clone = TrialCase.from_dict(case.to_dict())
+        assert clone.txns == 4
+        assert clone.shards == 2
+        assert clone.commit_bias == 0.8
+        assert clone.multi_txn
+        # Single-txn docs stay free of the new keys.
+        single = TrialCase(
+            n=3, t=1, K=4, votes=(1, 1, 1), plan=self._plan(3), seed=5
+        )
+        assert "txns" not in single.to_dict()
+
+    def test_permanent_crash_voids_termination_obligation(self):
+        # A permanently-dead coordinator of one group must not be read
+        # as a liveness violation for that group's transactions.
+        dead_coordinator = FaultPlan(
+            n=6, crashes=(CrashFault(pid=3, cycle=2),)
+        )
+        case = TrialCase(
+            n=3,
+            t=1,
+            K=4,
+            votes=(1, 1, 1),
+            plan=dead_coordinator,
+            seed=0,
+            tracks=("service",),
+            txns=4,
+            shards=2,
+        )
+        assert not case.expect_termination
+
+
+class TestMultiTxnTrialExecution:
+    def test_kill_recover_trial_decides_every_txn(self):
+        plan = FaultPlan(
+            n=6,
+            crashes=(
+                CrashFault(pid=1, cycle=3, recover_cycle=12),
+                CrashFault(pid=4, cycle=5, recover_cycle=14),
+            ),
+        )
+        case = TrialCase(
+            n=3,
+            t=1,
+            K=4,
+            votes=(1, 1, 1),
+            plan=plan,
+            seed=23,
+            tracks=("service",),
+            deadline=8.0,
+            txns=4,
+            shards=2,
+        )
+        result = execute_trial_case(case)
+        service = result["tracks"]["service"]
+        assert service["outcome"] == "terminated"
+        assert service["txns"]["submitted"] == 4
+        assert service["txns"]["decided"] == 4
+        assert service["txns"]["undecided"] == {}
+        assert service["recoveries"] == 2
+        assert service["safety"]["safety_ok"]
+        assert service["safety"]["liveness_ok"]
+        assert service["safety"]["violations"] == []
+
+
+class TestMultiTxnCampaign:
+    def test_small_multi_txn_sweep_is_safe(self):
+        config = CampaignConfig(
+            n=3,
+            plans=4,
+            base_seed=700,
+            tracks=("service",),
+            recovery_probability=0.75,
+            deadline=8.0,
+            txns=3,
+            shards=2,
+        )
+        report = run_campaign(config, workers=1)
+        assert report["summary"]["safety_violations"] == 0
+        assert report["config"]["txns"] == 3
+        assert report["config"]["shards"] == 2

@@ -1,0 +1,116 @@
+"""Client connection hygiene and CLI pidfile handling.
+
+The client helpers run inside long-lived tools (the crash demo polls
+status in a loop), so a timed-out request must still release its
+socket, and ``repro service kill`` must treat leftovers of an
+already-dead node (stale pidfile) as a no-op rather than an error.
+"""
+
+import asyncio
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.service.client import _close_abandoned, request
+from repro.service.wire import ServiceEnvelope
+
+
+class TestConnectionHygiene:
+    def test_timed_out_request_closes_the_connection(self):
+        """A server that never replies must not be left holding the
+        client's half-open socket after the read times out."""
+
+        async def scenario():
+            closed = asyncio.Event()
+
+            async def handler(reader, writer):
+                await reader.read()  # EOF arrives iff the client closes
+                closed.set()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await request(
+                        "127.0.0.1",
+                        port,
+                        ServiceEnvelope(kind="state-query", sender=-1),
+                        timeout=0.2,
+                    )
+                await asyncio.wait_for(closed.wait(), timeout=5.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_abandoned_connect_transport_is_closed(self):
+        """When the connect completes in the same loop pass its timeout
+        fires, the orphaned transport must still be closed."""
+
+        class FakeWriter:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        async def scenario():
+            writer = FakeWriter()
+
+            async def connect():
+                return (None, writer)
+
+            task = asyncio.ensure_future(connect())
+            await task
+            _close_abandoned(task)
+            return writer.closed
+
+        assert asyncio.run(scenario())
+
+    def test_cancelled_or_failed_connect_is_a_noop(self):
+        async def scenario():
+            async def boom():
+                raise OSError("refused")
+
+            task = asyncio.ensure_future(boom())
+            await asyncio.gather(task, return_exceptions=True)
+            _close_abandoned(task)  # must not raise
+
+        asyncio.run(scenario())
+
+
+class TestKillPidfileHandling:
+    def test_missing_pidfile_is_not_an_error(self, tmp_path, capsys):
+        code = main(
+            ["service", "kill", "--data-dir", str(tmp_path), "--node", "0"]
+        )
+        assert code == 0
+        assert "nothing to kill" in capsys.readouterr().out
+
+    def test_stale_pidfile_is_removed(self, tmp_path, capsys):
+        # A real pid that is guaranteed dead: a just-reaped child.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        node_dir = tmp_path / "node0"
+        node_dir.mkdir()
+        pidfile = node_dir / "pid"
+        pidfile.write_text(f"{proc.pid}\n")
+        code = main(
+            ["service", "kill", "--data-dir", str(tmp_path), "--node", "0"]
+        )
+        assert code == 0
+        assert "stale pidfile removed" in capsys.readouterr().out
+        assert not pidfile.exists()
+
+    def test_unreadable_pidfile_still_errors(self, tmp_path, capsys):
+        node_dir = tmp_path / "node0"
+        node_dir.mkdir()
+        (node_dir / "pid").write_text("not-a-pid\n")
+        code = main(
+            ["service", "kill", "--data-dir", str(tmp_path), "--node", "0"]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Load-generator tests: open-loop traffic, latency accounting, faults."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cluster import TxnWorkload
+from repro.service.load import kill_recover_plan, percentile, run_load
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 10)]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.99) == 9.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+
+class TestWorkload:
+    def test_open_loop_schedule(self):
+        workload = TxnWorkload.open_loop(4, 500.0, 0.002)
+        assert [s.txn_id for s in workload.submissions] == [1, 2, 3, 4]
+        cycles = [s.at_cycle for s in workload.submissions]
+        assert cycles == sorted(cycles)
+        assert cycles[1] - cycles[0] == pytest.approx(1.0)  # 500/s at 2ms
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TxnWorkload.open_loop(0, 500.0, 0.002)
+        with pytest.raises(ConfigurationError):
+            TxnWorkload.open_loop(5, 0.0, 0.002)
+
+
+class TestKillRecoverPlan:
+    def test_respects_per_group_tolerance(self):
+        plan = kill_recover_plan(
+            2, 3, kills=4, seed=7, window_cycles=100, tolerance=1
+        )
+        per_group: dict[int, int] = {}
+        for crash in plan.crashes:
+            group = crash.pid // 3
+            per_group[group] = per_group.get(group, 0) + 1
+            assert crash.recover_cycle is not None  # every kill recovers
+        assert all(count <= 1 for count in per_group.values())
+
+    def test_deterministic_in_seed(self):
+        first = kill_recover_plan(2, 5, 3, seed=9, window_cycles=50,
+                                  tolerance=2)
+        second = kill_recover_plan(2, 5, 3, seed=9, window_cycles=50,
+                                   tolerance=2)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestRunLoad:
+    def test_fault_free_burst_decides_everything(self):
+        report = run_load(
+            txns=20, rate=400.0, shards=2, group_size=3, seed=1
+        )
+        assert report.outcome == "terminated"
+        assert report.submitted == 20
+        assert report.decided == 20
+        assert report.safety_violations == 0
+        assert report.undecided == {}
+        assert report.throughput > 0
+        assert 0 < report.p50_latency <= report.p99_latency
+        doc = report.to_dict()
+        assert doc["throughput_txn_per_s"] == report.throughput
+        assert doc["safety_violations"] == 0
+
+    def test_kill_recover_burst_stays_safe(self):
+        report = run_load(
+            txns=16, rate=200.0, shards=2, group_size=3, seed=3, kills=2
+        )
+        assert report.safety_violations == 0
+        assert report.kills == 2
+        assert report.recoveries >= 1
+        assert report.outcome == "terminated"
+        assert report.decided == 16
+
+    def test_single_shard_sustains_virtual_rate(self):
+        # The CI floor asserted by the benchmark, at smoke-test scale.
+        report = run_load(txns=30, rate=600.0, shards=1, group_size=5,
+                          seed=2)
+        assert report.outcome == "terminated"
+        assert report.decided == 30
+        assert report.throughput >= 500.0
