@@ -1,0 +1,88 @@
+"""Protocol degradation atlas benchmark.
+
+Fans the protocol battery (Protocol 1, Protocol 2, 2PC, 3PC) across the
+timing-model zoo (:mod:`repro.models`) and records the per-cell
+degradation numbers — termination rate, mean rounds, decision latency,
+decision mix, safety violations — into
+``benchmarks/results/BENCH_model_atlas.json``.
+
+Like ``test_throughput.py``, every number is measured on the virtual
+clock: a run is deterministic in the :class:`AtlasConfig` alone, so the
+artifact is machine-independent.  Correctness gates before numbers:
+
+* the reference protocol (Protocol 2) must show **zero** safety
+  violations in *every* timing model — degradation may cost liveness,
+  never safety;
+* under the realistic model (the paper's), Protocol 2 must still
+  terminate in a healthy majority of trials (the nonblocking theorem,
+  sampled across faulty schedules);
+* the grid must actually cover >= 4 protocols x >= 4 models.
+
+Set ``REPRO_BENCH_FULL=1`` for a larger per-cell trial count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from abharness import write_results
+from conftest import full_mode
+
+from repro.models.atlas import (
+    AtlasConfig,
+    reference_protocol_safe,
+    run_atlas,
+)
+
+SEED = 0
+
+#: Protocol 2 must terminate in at least this fraction of realistic-model
+#: trials (the sweep includes over-budget crash plans, so 100% is not
+#: expected — but the paper's model must stay clearly nonblocking).
+MIN_REALISTIC_TERMINATION = 0.5
+
+
+def test_model_atlas():
+    config = AtlasConfig(
+        n=5,
+        K=4,
+        trials=50 if full_mode() else 25,
+        base_seed=SEED,
+        max_steps=6_000,
+    )
+    start = time.perf_counter()
+    report = run_atlas(config)
+    seconds = time.perf_counter() - start
+
+    protocols = {name.split("/", 1)[0] for name in report["cells"]}
+    models = {name.split("/", 1)[1] for name in report["cells"]}
+    assert len(protocols) >= 4, protocols
+    assert len(models) >= 4, models
+    assert len(report["cells"]) == len(protocols) * len(models)
+
+    # Correctness before numbers: the reference protocol keeps safety in
+    # every timing model, and every cell ran its full trial count.
+    assert reference_protocol_safe(report), [
+        (name, cell["violations"])
+        for name, cell in report["cells"].items()
+        if name.startswith("protocol2/") and cell["safety_violations"]
+    ]
+    for name, cell in report["cells"].items():
+        assert cell["trials"] == config.trials, name
+
+    realistic = report["cells"]["protocol2/realistic"]
+    assert realistic["termination_rate"] >= MIN_REALISTIC_TERMINATION, (
+        f"protocol2/realistic terminated in only "
+        f"{realistic['termination_rate']:.0%} of trials"
+    )
+
+    write_results(
+        "BENCH_model_atlas.json",
+        {
+            "benchmark": "model_atlas",
+            "clock": "virtual",
+            "seconds": seconds,
+            "min_realistic_termination": MIN_REALISTIC_TERMINATION,
+            "report": report,
+        },
+    )

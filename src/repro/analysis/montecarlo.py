@@ -138,6 +138,9 @@ def run_commit_trial(config: CommitTrialConfig, seed: int) -> RunMetrics:
         for pid, vote in enumerate(votes)
     ]
     adversary = config.adversary_factory(seed)
+    from repro.models import apply_active_model
+
+    adversary = apply_active_model(adversary, K=config.K, seed=seed)
     simulation = Simulation(
         programs=programs,
         adversary=adversary,

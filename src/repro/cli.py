@@ -108,6 +108,16 @@ exit codes (all commands):
      valid span-trace file that contains no spans or events (the
      traced command recorded nothing)
 
+repro models commands map onto the same codes:
+  0  success — registry listed (models list), atlas swept with the
+     reference protocol (protocol2) safe in every model (models atlas)
+  1  findings — models atlas observed a safety violation for the
+     reference protocol under some timing model
+  2  usage or input error — unknown timing model, a model selected on
+     a track it has no analogue for, --model with a non-cycle
+     adversary (run-commit --adversary random), mc --model without
+     --no-por
+
 repro service commands map onto the same codes:
   0  success — node served and halted cleanly (start), request
      acknowledged (submit/kill), status gathered (status)
@@ -295,6 +305,34 @@ def _add_sim_core_arg(parser) -> None:
     )
 
 
+def _install_timing_model(name: str | None) -> None:
+    """Install ``--model`` process-wide, and export it to workers.
+
+    Mirrors :func:`_install_sim_core`: engine worker processes
+    re-resolve the ambient model from the environment they inherit.
+    """
+    if name is None:
+        return
+    import os
+
+    from repro.models import set_default_timing_model
+
+    set_default_timing_model(name)
+    os.environ["REPRO_TIMING_MODEL"] = name
+
+
+def _add_model_arg(parser) -> None:
+    parser.add_argument(
+        "--model",
+        default=None,
+        metavar="NAME",
+        help=(
+            "timing model from the zoo (see: repro models list); "
+            "default realistic, the paper's model"
+        ),
+    )
+
+
 def cmd_run_commit(args) -> int:
     return _with_observability(args, lambda: _cmd_run_commit(args))
 
@@ -314,9 +352,14 @@ def _cmd_run_commit(args) -> int:
     # regardless; the flag installs the default for any engine-routed
     # batch this invocation triggers (e.g. via future batch options).
     set_default_workers(args.workers)
+    _install_timing_model(args.model)
     adversary = build_adversary(
         args.adversary, K=args.K, seed=args.seed, crashes=args.crashes
     )
+    if args.model is not None:
+        from repro.models import apply_active_model
+
+        adversary = apply_active_model(adversary, K=args.K, seed=args.seed)
     outcome = run_commit(
         args.votes,
         K=args.K,
@@ -437,6 +480,7 @@ def cmd_experiment(args) -> int:
         from repro.engine.executor import default_workers
 
         workers = default_workers()
+    _install_timing_model(args.model)
     start = time.perf_counter()
     table = run_experiment(
         args.id, trials=args.trials, quick=args.quick, workers=workers
@@ -452,6 +496,79 @@ def cmd_experiment(args) -> int:
     else:
         print(table.render())
     return 0
+
+
+def cmd_models_list(args) -> int:
+    from repro.models import model_names, resolve_model
+
+    if args.json:
+        print(
+            json.dumps(
+                [resolve_model(name).describe() for name in model_names()],
+                sort_keys=True,
+            )
+        )
+        return 0
+    for name in model_names():
+        model = resolve_model(name)
+        default = " (default)" if name == "realistic" else ""
+        fast = (
+            "fast-core sweep"
+            if model.fastcore_whitelisted
+            else "fast-core fallback (counted)"
+        )
+        print(f"{name}{default} — {model.summary}")
+        print(f"    source: {model.source}")
+        print(
+            f"    tracks: {', '.join(model.tracks)}; "
+            f"mc: {'yes' if model.mc_supported else 'no'}; {fast}"
+        )
+        if not model.preserves_eventual_delivery:
+            print(
+                "    drops messages permanently: termination is "
+                "degradation data, not a liveness obligation"
+            )
+        for knob in model.knobs:
+            print(f"    knob {knob.name} = {knob.default}: {knob.help}")
+    return 0
+
+
+def cmd_models_atlas(args) -> int:
+    return _with_observability(args, lambda: _cmd_models_atlas(args))
+
+
+def _cmd_models_atlas(args) -> int:
+    from repro.models.atlas import (
+        AtlasConfig,
+        reference_protocol_safe,
+        render_atlas,
+        run_atlas,
+        write_atlas_report,
+    )
+
+    _install_sim_core(args.sim_core)
+    config = AtlasConfig(
+        protocols=tuple(args.protocols.split(",")),
+        models=tuple(args.models.split(",")) if args.models else (),
+        n=args.n,
+        t=args.t,
+        K=args.K,
+        trials=args.trials,
+        base_seed=args.seed,
+        max_steps=args.max_steps,
+        over_budget_fraction=args.over_budget_fraction,
+        all_commit_fraction=args.all_commit_fraction,
+    )
+    report = run_atlas(config, workers=args.workers)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_atlas(report))
+    if args.out:
+        path = write_atlas_report(report, args.out)
+        if not args.json:
+            print(f"atlas report written to {path}")
+    return 0 if reference_protocol_safe(report) else 1
 
 
 def cmd_stats(args) -> int:
@@ -514,6 +631,7 @@ def _cmd_faults_campaign(args) -> int:
         txns=args.txns,
         shards=args.shards,
         commit_bias=args.commit_bias,
+        model=args.model if args.model is not None else "realistic",
     )
     report = run_campaign(config, workers=args.workers)
     if registry is not None:
@@ -697,6 +815,7 @@ def _cmd_mc_explore(args) -> int:
             split_depth=args.split_depth,
             max_states=args.max_states,
             stop_on_first=args.first,
+            model=args.model if args.model is not None else "realistic",
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1159,6 +1278,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_sim_core_arg(run_parser)
+    _add_model_arg(run_parser)
     _add_observability_args(run_parser)
     run_parser.set_defaults(fn=cmd_run_commit)
 
@@ -1203,6 +1323,7 @@ def build_parser() -> argparse.ArgumentParser:
             "via REPRO_WORKERS/os.cpu_count; 1 forces serial)"
         ),
     )
+    _add_model_arg(experiment_parser)
     experiment_parser.set_defaults(fn=cmd_experiment)
 
     stats_parser = sub.add_parser(
@@ -1361,6 +1482,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed a telemetry snapshot in the report",
     )
     _add_sim_core_arg(campaign_parser)
+    _add_model_arg(campaign_parser)
     _add_observability_args(campaign_parser)
     campaign_parser.set_defaults(fn=cmd_faults_campaign)
 
@@ -1896,6 +2018,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed a telemetry snapshot in the report",
     )
     _add_sim_core_arg(explore_parser)
+    _add_model_arg(explore_parser)
     _add_observability_args(explore_parser)
     explore_parser.set_defaults(fn=cmd_mc_explore)
 
@@ -1927,6 +2050,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report document instead of the summary",
     )
     certify_parser.set_defaults(fn=cmd_mc_certify)
+
+    models_parser = sub.add_parser(
+        "models",
+        help=(
+            "the timing-model zoo (see: models list, models atlas)"
+        ),
+    )
+    models_sub = models_parser.add_subparsers(
+        dest="models_command", required=True
+    )
+    models_list_parser = models_sub.add_parser(
+        "list",
+        help=(
+            "list registered timing models: semantics, track support, "
+            "fast-core whitelist status, and knobs"
+        ),
+    )
+    models_list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as a JSON array",
+    )
+    models_list_parser.set_defaults(fn=cmd_models_list)
+
+    atlas_parser = models_sub.add_parser(
+        "atlas",
+        help=(
+            "sweep a protocol battery across the timing-model zoo and "
+            "tabulate termination, latency, and machine-checked safety "
+            "per (protocol, model) cell"
+        ),
+    )
+    atlas_parser.add_argument(
+        "--protocols",
+        default="protocol1,protocol2,twopc,threepc",
+        help=(
+            "comma-separated battery: protocol1, protocol2, twopc, "
+            "twopc-block, threepc (default: all four classics)"
+        ),
+    )
+    atlas_parser.add_argument(
+        "--models",
+        default="",
+        help=(
+            "comma-separated timing models (default: every registered "
+            "model; see repro models list)"
+        ),
+    )
+    atlas_parser.add_argument(
+        "--n", type=int, default=5, help="processors per trial"
+    )
+    atlas_parser.add_argument(
+        "--t", type=int, default=None, help="fault budget (default (n-1)//2)"
+    )
+    atlas_parser.add_argument(
+        "--K", type=int, default=4, help="on-time bound"
+    )
+    atlas_parser.add_argument(
+        "--trials",
+        type=int,
+        default=25,
+        help="seeded trials per (protocol, model) cell",
+    )
+    atlas_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed; trial i uses seed+i"
+    )
+    atlas_parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=6_000,
+        help="simulator step horizon per trial",
+    )
+    atlas_parser.add_argument(
+        "--over-budget-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of plans drawing more than t crashes",
+    )
+    atlas_parser.add_argument(
+        "--all-commit-fraction",
+        type=float,
+        default=0.6,
+        help="fraction of trials voting all-commit",
+    )
+    atlas_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes per cell sweep (default: cpu count via "
+            "REPRO_WORKERS/os.cpu_count; 1 forces serial)"
+        ),
+    )
+    atlas_parser.add_argument(
+        "--out", default=None, help="write the atlas report JSON here"
+    )
+    atlas_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the table",
+    )
+    _add_sim_core_arg(atlas_parser)
+    _add_observability_args(atlas_parser)
+    atlas_parser.set_defaults(fn=cmd_models_atlas)
 
     trace_parser = sub.add_parser(
         "trace",

@@ -94,6 +94,19 @@ SERVICE_TXN_TAPE_STREAM = 19_999_999
 #: (:func:`repro.service.txn.txn_vote`).
 SERVICE_TXN_VOTE_STREAM = 22_801_763
 
+#: Per-trial stream of a timing model's delivery randomness — hold
+#: draws, random-async schedule hashing (:mod:`repro.models`).  Model
+#: draws live strictly *after* every historical stream: selecting the
+#: default ``realistic`` model consumes nothing from this stream, so
+#: pre-zoo plans, campaign reports, and mc reports replay byte-for-byte
+#: (the same pattern as the service track's recovery draws).
+MODEL_TIMING_STREAM = 23_879_519
+
+#: Keyed stream of the granular model's per-directed-link synchrony
+#: class draw, keyed by ``(sender, recipient)`` so a link's class never
+#: depends on message arrival order (:mod:`repro.models.policies`).
+MODEL_LINK_STREAM = 25_165_843
+
 
 def trial_seed(base_seed: int, index: int) -> int:
     """Seed of trial ``index`` in a batch anchored at ``base_seed``."""

@@ -42,6 +42,9 @@ def run_programs(
     max_steps: int,
 ) -> tuple[ProtocolOutcome, RunMetrics]:
     """Run arbitrary programs under an adversary and extract metrics."""
+    from repro.models import apply_active_model
+
+    adversary = apply_active_model(adversary, K=K, seed=seed)
     simulation = Simulation(
         programs=programs,
         adversary=adversary,

@@ -34,6 +34,7 @@ from repro.engine.executor import run_trials
 from repro.engine.seeds import (
     CAMPAIGN_SHAPE_STREAM,
     CAMPAIGN_VOTE_STREAM,
+    MODEL_TIMING_STREAM,
     derive,
 )
 from repro.errors import AnalysisError, ConfigurationError
@@ -42,6 +43,7 @@ from repro.faults.runtime_compile import cluster_from_plan
 from repro.faults.safety import SafetyMonitor
 from repro.faults.sim_compile import compile_to_adversary
 from repro.faults.variants import make_programs, resolve_variant
+from repro.models import DEFAULT_MODEL, resolve_model
 from repro.runtime.cluster import NONTERMINATED, TERMINATED
 from repro.runtime.virtualtime import run_virtual
 from repro.sim.decisions import (
@@ -105,6 +107,10 @@ class CampaignConfig:
         commit_bias: Bernoulli parameter of the derived per-transaction
             votes in multi-transaction mode (the drawn vote vector only
             covers the default transaction).
+        model: timing model each trial runs under, from the
+            :mod:`repro.models` zoo.  ``"realistic"`` (the paper's
+            model) compiles plans exactly as before; other models keep
+            the plan's crashes and partitions but re-time its links.
     """
 
     n: int = 5
@@ -123,6 +129,7 @@ class CampaignConfig:
     txns: int = 1
     shards: int = 1
     commit_bias: float = 1.0
+    model: str = DEFAULT_MODEL
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -177,6 +184,16 @@ class CampaignConfig:
                 f"track hosts; use tracks=('service',), got {self.tracks!r}"
             )
         resolve_variant(self.program)
+        timing = resolve_model(self.model)
+        if self.model != DEFAULT_MODEL:
+            unsupported = [
+                track for track in self.tracks if track not in timing.tracks
+            ]
+            if unsupported:
+                raise ConfigurationError(
+                    f"timing model {self.model!r} has no analogue on "
+                    f"tracks {unsupported}; it supports {timing.tracks}"
+                )
 
     @property
     def resolved_t(self) -> int:
@@ -204,6 +221,8 @@ class CampaignConfig:
             doc["txns"] = self.txns
             doc["shards"] = self.shards
             doc["commit_bias"] = self.commit_bias
+        if self.model != DEFAULT_MODEL:
+            doc["model"] = self.model
         return doc
 
 
@@ -243,6 +262,7 @@ class TrialCase:
     txns: int = 1
     shards: int = 1
     commit_bias: float = 1.0
+    model: str = DEFAULT_MODEL
 
     @property
     def multi_txn(self) -> bool:
@@ -284,6 +304,22 @@ class TrialCase:
                 f"tracks=('service',), got {self.tracks!r}"
             )
         resolve_variant(self.program)
+        timing = resolve_model(self.model)
+        if self.model != DEFAULT_MODEL:
+            if self.schedule is not None:
+                raise ConfigurationError(
+                    "scheduled cases pin the exact decision sequence; a "
+                    "timing model cannot re-time them — replay them "
+                    "under the realistic model"
+                )
+            unsupported = [
+                track for track in self.tracks if track not in timing.tracks
+            ]
+            if unsupported:
+                raise ConfigurationError(
+                    f"timing model {self.model!r} has no analogue on "
+                    f"tracks {unsupported}; it supports {timing.tracks}"
+                )
 
     @property
     def scheduled_crashes(self) -> int:
@@ -305,6 +341,11 @@ class TrialCase:
         if self.schedule is not None:
             # A scripted prefix may starve or withhold arbitrarily; no
             # termination obligation can be read off it.
+            return False
+        if not resolve_model(self.model).preserves_eventual_delivery:
+            # Models that drop messages permanently (round-closed) void
+            # the plan's termination analysis: nontermination there is
+            # degradation data, not a liveness violation.
             return False
         if self.multi_txn:
             # The plan's termination analysis reasons about pid 0 as
@@ -338,6 +379,8 @@ class TrialCase:
             doc["txns"] = self.txns
             doc["shards"] = self.shards
             doc["commit_bias"] = self.commit_bias
+        if self.model != DEFAULT_MODEL:
+            doc["model"] = self.model
         return doc
 
     @classmethod
@@ -364,6 +407,7 @@ class TrialCase:
                 txns=doc.get("txns", 1),
                 shards=doc.get("shards", 1),
                 commit_bias=doc.get("commit_bias", 1.0),
+                model=doc.get("model", DEFAULT_MODEL),
             )
         except (KeyError, TypeError) as exc:
             raise AnalysisError(f"malformed trial case: {doc!r}") from exc
@@ -416,6 +460,7 @@ def case_from_config(config: CampaignConfig, seed: int) -> TrialCase:
         txns=config.txns,
         shards=config.shards,
         commit_bias=config.commit_bias,
+        model=config.model,
     )
 
 
@@ -428,8 +473,17 @@ def _run_sim_track(case: TrialCase) -> dict[str, Any]:
             case.schedule,
             then=CycleAdversary(seed=case.seed, delivery=DeliverAll()),
         )
-    else:
+    elif case.model == DEFAULT_MODEL:
         adversary = compile_to_adversary(case.plan, K=case.K)
+    else:
+        # Non-realistic models own their delivery randomness; seeding it
+        # from MODEL_TIMING_STREAM keeps the draw strictly after every
+        # historical per-trial stream.
+        adversary = resolve_model(case.model).compile_plan(
+            case.plan,
+            K=case.K,
+            seed=derive(case.seed, MODEL_TIMING_STREAM),
+        )
     simulation = simulation_class()(
         programs=make_programs(
             case.program, case.n, case.t, case.votes, case.K
@@ -452,11 +506,14 @@ def _run_sim_track(case: TrialCase) -> dict[str, Any]:
 
 
 def _run_runtime_track(case: TrialCase) -> dict[str, Any]:
+    plan = case.plan
+    if case.model != DEFAULT_MODEL:
+        plan = resolve_model(case.model).runtime_plan(plan, K=case.K)
     cluster = cluster_from_plan(
         programs=make_programs(
             case.program, case.n, case.t, case.votes, case.K
         ),
-        plan=case.plan,
+        plan=plan,
         tick_interval=case.tick_interval,
         K=case.K,
     )

@@ -13,7 +13,15 @@ protocol.  This module keeps a small registry of program variants a
   of feeding 0 into the agreement subprotocol.  Under any schedule that
   makes one commit-voting processor time out while another learns of an
   abort vote (a single crash or partition window suffices), the cluster
-  splits into COMMIT and ABORT — violating agreement and abort validity.
+  splits into COMMIT and ABORT — violating agreement and abort validity;
+* ``twopc`` / ``twopc-block`` / ``threepc`` — the in-repo baseline
+  protocols (:mod:`repro.protocols`), adapted to the variant-builder
+  signature so campaigns, the model checker, and the degradation atlas
+  (:mod:`repro.models.atlas`) can sweep them under any timing model.
+  ``twopc`` presumes abort on a decision timeout (safe against blocking,
+  unsafe against late decisions); ``twopc-block`` waits forever — the
+  textbook blocking behaviour the paper's Protocol 2 exists to avoid;
+  ``threepc`` is the non-blocking-under-synchrony baseline.
 
 The broken variant is the end-to-end fixture for the counterexample
 pipeline (:mod:`repro.counterexample`): campaigns against it must find a
@@ -24,6 +32,8 @@ entries must stay picklable module-level classes with stable names.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.core.agreement import AgreementStats, agreement_script
 from repro.core.coins import CoinList, flip_coin_list
@@ -100,15 +110,78 @@ class BrokenCommitProgram(CommitProgram):
         return decision
 
 
+def twopc_program(
+    pid: int,
+    n: int,
+    t: int,
+    initial_vote: int,
+    K: int,
+    allow_sub_resilience: bool = True,
+) -> Program:
+    """2PC with the presume-abort timeout (``t`` is accepted, unused)."""
+    from repro.protocols.twopc import TimeoutAction, TwoPCProgram
+
+    return TwoPCProgram(
+        pid=pid,
+        n=n,
+        initial_vote=initial_vote,
+        K=K,
+        timeout_action=TimeoutAction.PRESUME_ABORT,
+    )
+
+
+def twopc_blocking_program(
+    pid: int,
+    n: int,
+    t: int,
+    initial_vote: int,
+    K: int,
+    allow_sub_resilience: bool = True,
+) -> Program:
+    """2PC with the blocking timeout — waits forever on a lost decision."""
+    from repro.protocols.twopc import TimeoutAction, TwoPCProgram
+
+    return TwoPCProgram(
+        pid=pid,
+        n=n,
+        initial_vote=initial_vote,
+        K=K,
+        timeout_action=TimeoutAction.BLOCK,
+    )
+
+
+def threepc_program(
+    pid: int,
+    n: int,
+    t: int,
+    initial_vote: int,
+    K: int,
+    allow_sub_resilience: bool = True,
+) -> Program:
+    """Three-phase commit (``t`` is accepted, unused)."""
+    from repro.protocols.threepc import ThreePCProgram
+
+    return ThreePCProgram(pid=pid, n=n, initial_vote=initial_vote, K=K)
+
+
 #: Registered program variants, by the name campaign configs carry.
-PROGRAM_VARIANTS: dict[str, type[CommitProgram]] = {
+#: Values are *builders*: callables accepting the uniform keyword
+#: signature ``(pid, n, t, initial_vote, K, allow_sub_resilience)`` —
+#: the commit-family classes take it natively, the baseline protocols
+#: through the adapter functions above.  Builders must stay picklable
+#: module-level objects with stable names (they travel inside campaign
+#: configs and replay artifacts).
+PROGRAM_VARIANTS: dict[str, Any] = {
     "commit": CommitProgram,
     "broken-commit": BrokenCommitProgram,
+    "twopc": twopc_program,
+    "twopc-block": twopc_blocking_program,
+    "threepc": threepc_program,
 }
 
 
-def resolve_variant(name: str) -> type[CommitProgram]:
-    """Look up a variant class; raises on unknown names."""
+def resolve_variant(name: str) -> Any:
+    """Look up a variant builder; raises on unknown names."""
     try:
         return PROGRAM_VARIANTS[name]
     except KeyError:
@@ -122,9 +195,9 @@ def make_programs(
     variant: str, n: int, t: int, votes: list[int] | tuple[int, ...], K: int
 ) -> list[Program]:
     """Instantiate one program per pid for the named variant."""
-    cls = resolve_variant(variant)
+    build = resolve_variant(variant)
     return [
-        cls(
+        build(
             pid=pid,
             n=n,
             t=t,

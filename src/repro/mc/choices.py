@@ -50,6 +50,7 @@ from itertools import combinations
 
 from repro.mc.config import MCConfig
 from repro.mc.fingerprint import LateKey
+from repro.models import mcfilter
 from repro.sim.decisions import CrashDecision, Decision, StepDecision
 from repro.sim.scheduler import Simulation
 from repro.types import ProcessStatus
@@ -165,6 +166,7 @@ def enumerate_choices(
         ]
     else:
         steppers = running
+    classifier = mcfilter.classifier_for(config)
     for pid in steppers:
         if sim.processes[pid].clock >= config.max_cycles:
             continue
@@ -174,9 +176,23 @@ def enumerate_choices(
         ):
             continue
         pending = list(sim.buffers[pid])
+        touched = frozenset(env.sender for env in pending)
+        if classifier is not None:
+            choices.extend(
+                _classified_steps(
+                    classifier,
+                    sim,
+                    config,
+                    pid,
+                    pending,
+                    touched,
+                    budget_left,
+                    late_keys,
+                )
+            )
+            continue
         guaranteed = [i for i, env in enumerate(pending) if env.guaranteed]
         free = [i for i, env in enumerate(pending) if not env.guaranteed]
-        touched = frozenset(env.sender for env in pending)
         for g_count in range(min(len(guaranteed), budget_left) + 1):
             for withheld_g in combinations(guaranteed, g_count):
                 marks = frozenset(
@@ -214,6 +230,93 @@ def enumerate_choices(
                                 touched_senders=touched,
                             )
                         )
+    return choices
+
+
+def _classified_steps(
+    classifier,
+    sim: Simulation,
+    config: MCConfig,
+    pid: int,
+    pending: list,
+    touched: frozenset[int],
+    budget_left: int,
+    late_keys: frozenset[LateKey],
+) -> list[Choice]:
+    """Step choices for ``pid`` under a timing-model classifier.
+
+    The classifier partitions the pending buffer: ``DROP``/``DEFER``
+    envelopes are forcibly withheld (no cost, no marks), ``MUST_DELIVER``
+    envelopes are forcibly delivered, non-guaranteed envelopes stay
+    freely withholdable (the paper's crash semantics survive every
+    model), ``FREE`` envelopes are withholdable at zero delay cost but
+    still charged late marks, and ``NORMAL`` envelopes keep the
+    realistic cost model.  Enumeration order matches the realistic
+    branch (withheld sets grow from empty) so reports are deterministic.
+    """
+    clock = sim.processes[pid].clock
+    excluded: set[int] = set()
+    normal: list[int] = []
+    free_marked: list[int] = []
+    free: list[int] = []
+    for i, env in enumerate(pending):
+        cls = classifier.classify(env, pid, clock)
+        if cls in (mcfilter.DROP, mcfilter.DEFER):
+            excluded.add(i)
+        elif not env.guaranteed:
+            free.append(i)
+        elif cls == mcfilter.MUST_DELIVER:
+            pass  # always delivered
+        elif cls == mcfilter.FREE:
+            free_marked.append(i)
+        else:
+            normal.append(i)
+    choices: list[Choice] = []
+    for g_count in range(min(len(normal), budget_left) + 1):
+        for withheld_g in combinations(normal, g_count):
+            for m_count in range(len(free_marked) + 1):
+                for withheld_m in combinations(free_marked, m_count):
+                    marks = frozenset(
+                        (pending[i].sender, pending[i].send_clock, pid)
+                        for i in withheld_g + withheld_m
+                    )
+                    if len(late_keys | marks) > config.max_late:
+                        continue
+                    for f_count in range(len(free) + 1):
+                        for withheld_f in combinations(free, f_count):
+                            withheld = (
+                                set(withheld_g)
+                                | set(withheld_m)
+                                | set(withheld_f)
+                                | excluded
+                            )
+                            delivered = [
+                                env
+                                for i, env in enumerate(pending)
+                                if i not in withheld
+                            ]
+                            choices.append(
+                                Choice(
+                                    decision=StepDecision(
+                                        pid=pid,
+                                        deliver=tuple(
+                                            env.message_id
+                                            for env in delivered
+                                        ),
+                                    ),
+                                    key=(
+                                        "step",
+                                        pid,
+                                        frozenset(
+                                            (env.sender, env.send_clock)
+                                            for env in delivered
+                                        ),
+                                    ),
+                                    cost=g_count,
+                                    late_marks=marks,
+                                    touched_senders=touched,
+                                )
+                            )
     return choices
 
 

@@ -81,6 +81,13 @@ class MCConfig:
             subtree's DFS) once a violation is recorded.
         artifact_max_steps: ``max_steps`` stamped into emitted
             :class:`~repro.faults.campaign.TrialCase` artifacts.
+        model: timing model from the :mod:`repro.models` zoo.  The
+            default ``"realistic"`` explores the paper's adversary;
+            other models install a choice classifier
+            (:mod:`repro.models.mcfilter`) that restricts or forces
+            delivery choices to the model's semantics.  Non-realistic
+            models require ``por=False`` — the sleep-set independence
+            relation is proved against realistic semantics only.
     """
 
     n: int = 3
@@ -100,6 +107,7 @@ class MCConfig:
     max_states: int = 2_000_000
     stop_on_first: bool = False
     artifact_max_steps: int = 20_000
+    model: str = "realistic"
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -149,6 +157,21 @@ class MCConfig:
                 f"got {len(self.votes)} votes"
             )
         resolve_variant(self.program)
+        from repro.models import resolve_model
+
+        timing = resolve_model(self.model)
+        if self.model != "realistic":
+            if not timing.mc_supported:
+                raise ConfigurationError(
+                    f"timing model {self.model!r} has no model-checker "
+                    "semantics"
+                )
+            if self.por:
+                raise ConfigurationError(
+                    f"timing model {self.model!r} requires por=False "
+                    "(pass --no-por): the sleep-set independence "
+                    "relation is proved for the realistic model only"
+                )
 
     @property
     def max_depth_bound(self) -> int:
@@ -162,7 +185,7 @@ class MCConfig:
         return tuple(product((0, 1), repeat=self.n))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "n": self.n,
             "t": self.t,
             "K": self.K,
@@ -181,6 +204,10 @@ class MCConfig:
             "stop_on_first": self.stop_on_first,
             "artifact_max_steps": self.artifact_max_steps,
         }
+        # Emitted only when set so pre-zoo reports stay byte-identical.
+        if self.model != "realistic":
+            doc["model"] = self.model
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "MCConfig":
@@ -203,4 +230,5 @@ class MCConfig:
             max_states=doc["max_states"],
             stop_on_first=doc["stop_on_first"],
             artifact_max_steps=doc["artifact_max_steps"],
+            model=doc.get("model", "realistic"),
         )

@@ -52,6 +52,7 @@ from repro.mc.choices import (
 )
 from repro.mc.config import MCConfig
 from repro.mc.fingerprint import LateKey, state_digest
+from repro.models import mcfilter
 from repro.sim.decisions import (
     Decision,
     StepDecision,
@@ -224,6 +225,9 @@ class _SubtreeExplorer:
         self.visited: dict[bytes, list[frozenset[TransitionKey]]] = {}
         self.stats = ExploreStats()
         self.violations: list[ViolationRecord] = []
+        # Pure in config, so charging here always agrees with
+        # enumeration (enumerate_choices builds its own copy per call).
+        self._classifier = mcfilter.classifier_for(config)
 
     # -- state materialisation -------------------------------------------
 
@@ -251,12 +255,29 @@ class _SubtreeExplorer:
         """Budgets after ``decision``, computed from the pre-state."""
         if isinstance(decision, StepDecision):
             delivered = set(decision.deliver)
+            clock = sim.processes[decision.pid].clock
             for env in sim.buffers[decision.pid]:
-                if env.message_id not in delivered and env.guaranteed:
-                    delay_spent += 1
-                    late_keys = late_keys | {
-                        (env.sender, env.send_clock, decision.pid)
-                    }
+                if env.message_id in delivered or not env.guaranteed:
+                    continue
+                if self._classifier is not None:
+                    # Mirror enumerate_choices' classified partition:
+                    # model-withheld (DROP/DEFER) envelopes are charged
+                    # nothing, FREE envelopes mark lateness only, and
+                    # NORMAL/MUST_DELIVER keep the realistic charge.
+                    cls = self._classifier.classify(
+                        env, decision.pid, clock
+                    )
+                    if cls in (mcfilter.DROP, mcfilter.DEFER):
+                        continue
+                    if cls == mcfilter.FREE:
+                        late_keys = late_keys | {
+                            (env.sender, env.send_clock, decision.pid)
+                        }
+                        continue
+                delay_spent += 1
+                late_keys = late_keys | {
+                    (env.sender, env.send_clock, decision.pid)
+                }
         return delay_spent, late_keys
 
     def replay(

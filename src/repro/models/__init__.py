@@ -1,0 +1,40 @@
+"""``repro.models`` — the timing-model zoo and its degradation atlas.
+
+See :mod:`repro.models.base` for the registry, :mod:`repro.models.zoo`
+for the non-realistic models, :mod:`repro.models.select` for ambient
+selection, and :mod:`repro.models.atlas` for the protocol degradation
+atlas.  Full semantics are documented in ``docs/MODELS.md``.
+"""
+
+from repro.models.base import (
+    DEFAULT_MODEL,
+    MODELS,
+    Knob,
+    TimingModel,
+    model_names,
+    register,
+    resolve_model,
+)
+from repro.models import zoo  # noqa: F401 - populates the registry
+from repro.models.select import (
+    ENV_VAR,
+    active_timing_model,
+    apply_active_model,
+    resolve_timing_model,
+    set_default_timing_model,
+)
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "ENV_VAR",
+    "MODELS",
+    "Knob",
+    "TimingModel",
+    "active_timing_model",
+    "apply_active_model",
+    "model_names",
+    "register",
+    "resolve_model",
+    "resolve_timing_model",
+    "set_default_timing_model",
+]

@@ -525,14 +525,14 @@ def _fast_selector(policy, rng):
     return None
 
 
-def sweep_eligible(adversary) -> bool:
-    """Whether the fused sweep driver can replicate this adversary.
+def adversary_sweep_supported(adversary) -> bool:
+    """Whether the adversary itself is on the sweep whitelist.
 
     Requires a *fresh* stock :class:`CycleAdversary` (no overridden
-    decision machinery, no consumed state), a whitelisted delivery
-    policy, no simulation attach hook, and no active observer (telemetry
-    registry or span recorder) — observers see scheduler internals the
-    sweep does not materialise.
+    decision machinery, no consumed state, no simulation attach hook)
+    carrying a whitelisted delivery policy.  Structural checks run
+    first, so non-:class:`CycleAdversary` objects (timing-model wraps,
+    scripted adversaries) are rejected before any attribute access.
     """
     cls = type(adversary)
     if (
@@ -546,11 +546,21 @@ def sweep_eligible(adversary) -> bool:
         return False
     if adversary._cycle != 0 or adversary._queue or adversary._event_cycles:
         return False
+    return _fast_selector(adversary.delivery, adversary.rng) is not None
+
+
+def sweep_eligible(adversary) -> bool:
+    """Whether the fused sweep driver can replicate this run.
+
+    The adversary must pass :func:`adversary_sweep_supported` and no
+    observer may be active (telemetry registry or span recorder) —
+    observers see scheduler internals the sweep does not materialise.
+    """
     if active_registry() is not None:
         return False
     if trace_spans.active_recorder() is not None:
         return False
-    return _fast_selector(adversary.delivery, adversary.rng) is not None
+    return adversary_sweep_supported(adversary)
 
 
 def _sweep_run(programs, adversary, K, t, seed, max_steps):
@@ -847,6 +857,9 @@ def fast_commit_trial(config, seed: int):
         for pid, vote in enumerate(votes)
     ]
     adversary = config.adversary_factory(seed)
+    from repro.models import apply_active_model
+
+    adversary = apply_active_model(adversary, K=config.K, seed=seed)
 
     if not sweep_eligible(adversary):
         from repro.analysis.metrics import (
@@ -855,6 +868,22 @@ def fast_commit_trial(config, seed: int):
             extract_metrics,
         )
         from repro.core.api import ProtocolOutcome
+
+        if not adversary_sweep_supported(adversary):
+            # The silent-but-counted fallback: off-whitelist adversaries
+            # (timing-model wraps included) still run byte-identically on
+            # FastSimulation, but the drop off the fused sweep is a
+            # performance cliff worth surfacing.  Observer-driven
+            # fallbacks are deliberate and not counted.
+            from repro.telemetry import registry as telemetry
+
+            telemetry.count(
+                "sim_fastcore_fallbacks_total",
+                help="fast-core trials that fell back from the fused "
+                "sweep to FastSimulation because the adversary is off "
+                "the sweep whitelist",
+                adversary=type(adversary).__name__,
+            )
 
         simulation = FastSimulation(
             programs=programs,

@@ -33,8 +33,16 @@ class TestRegistry:
 
     def test_registry_names_are_stable(self):
         # Artifact and campaign schemas embed these names; renaming them
-        # breaks replay of archived counterexamples.
-        assert set(PROGRAM_VARIANTS) == {"commit", "broken-commit"}
+        # breaks replay of archived counterexamples.  Growing the set
+        # (the atlas baselines) is fine; the historical names must stay.
+        assert {"commit", "broken-commit"} <= set(PROGRAM_VARIANTS)
+        assert set(PROGRAM_VARIANTS) == {
+            "commit",
+            "broken-commit",
+            "twopc",
+            "twopc-block",
+            "threepc",
+        }
 
     def test_make_programs_one_per_pid(self):
         programs = make_programs("broken-commit", N, T, [1, 0, 1, 1, 0], K)

@@ -1,0 +1,22 @@
+"""Shared fixtures: the ambient model selection must never leak.
+
+``--model`` installs a process-wide default and exports
+``REPRO_TIMING_MODEL`` for engine workers; in a test process that would
+silently re-time every subsequent trial, so both are reset around every
+test in this package.
+"""
+
+import os
+
+import pytest
+
+from repro.models import ENV_VAR, set_default_timing_model
+
+
+@pytest.fixture(autouse=True)
+def _reset_ambient_model(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    set_default_timing_model(None)
+    yield
+    set_default_timing_model(None)
+    os.environ.pop(ENV_VAR, None)

@@ -1,0 +1,91 @@
+"""2PC blocks where Protocol 2 terminates — across timing models.
+
+The paper's motivating contrast (ROADMAP item 4, experiment E6): under a
+coordinator crash, 2PC with ``BLOCK`` timeout semantics waits forever on
+a decision only the crashed coordinator knew, while Protocol 2 — on the
+*same* seeds, the same crash schedule, and the same timing model —
+terminates for every correct processor.  The contrast must survive the
+model swap: it holds in the paper's realistic model and in granular
+synchrony alike, and blocking never costs safety (the undecided
+processors are undecided, not inconsistent).
+
+The crash is pinned at cycle 2: the coordinator has collected the yes
+votes but crashes before any participant learns the verdict — the
+classic uncertainty window.
+"""
+
+import pytest
+
+from repro.engine.seeds import MODEL_TIMING_STREAM, derive
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.faults.safety import SafetyMonitor
+from repro.faults.variants import make_programs
+from repro.models import resolve_model
+from repro.sim.scheduler import Simulation
+
+N, T, K = 5, 2, 4
+CRASH_CYCLE = 2
+SEEDS = (0, 1, 2, 3)
+VOTES = (1,) * N
+
+
+def _run(variant: str, model_name: str, seed: int):
+    plan = FaultPlan(
+        n=N, seed=seed, crashes=(CrashFault(pid=0, cycle=CRASH_CYCLE),)
+    )
+    adversary = resolve_model(model_name).compile_plan(
+        plan, K=K, seed=derive(seed, MODEL_TIMING_STREAM)
+    )
+    programs = make_programs(variant, N, T, list(VOTES), K)
+    simulation = Simulation(
+        programs=programs,
+        adversary=adversary,
+        K=K,
+        t=T,
+        seed=seed,
+        max_steps=4_000,
+    )
+    attach = getattr(adversary, "attach", None)
+    if attach is not None:
+        attach(simulation)
+    return simulation.run()
+
+
+@pytest.mark.parametrize("model_name", ["realistic", "granular"])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCoordinatorCrashContrast:
+    def test_blocking_twopc_never_terminates(self, model_name, seed):
+        result = _run("twopc-block", model_name, seed)
+        assert not result.terminated
+        undecided = [
+            pid
+            for pid in range(1, N)
+            if result.run.decisions[pid] is None
+        ]
+        # At least one yes-voting participant is stuck in the
+        # uncertainty window (every vote here is yes).
+        assert undecided, "expected blocked participants"
+
+    def test_blocking_twopc_stays_safe(self, model_name, seed):
+        result = _run("twopc-block", model_name, seed)
+        report = SafetyMonitor(n=N, t=T, votes=list(VOTES)).check(
+            decisions={
+                pid: result.run.decisions[pid] for pid in range(N)
+            },
+            crashed=set(result.run.faulty()),
+            terminated=result.terminated,
+            expect_termination=False,
+        )
+        assert [v for v in report.violations] == []
+
+    def test_protocol2_terminates_on_the_same_schedule(
+        self, model_name, seed
+    ):
+        result = _run("commit", model_name, seed)
+        assert result.terminated
+        decisions = {
+            result.run.decisions[pid]
+            for pid in range(1, N)  # pid 0 crashed
+        }
+        assert None not in decisions
+        assert len(decisions) == 1  # agreement among survivors

@@ -1,0 +1,80 @@
+"""Default-model reports are byte-identical to pre-zoo output.
+
+The zoo draws its randomness from dedicated seed streams
+(``MODEL_TIMING_STREAM``, ``MODEL_LINK_STREAM``) placed strictly after
+the historical streams, and the ``"model"`` report key is emitted only
+when non-default — so introducing the zoo must not move a single byte
+of any existing artifact.  These digests were pinned on the commit
+*before* ``repro.models`` existed; a mismatch means a historical rng
+stream or report schema was perturbed.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.faults.plan import FaultPlan
+from repro.mc.config import MCConfig
+from repro.mc.explorer import explore
+
+#: sha256 over 40 seeds x 3 draw shapes of FaultPlan.random documents.
+PLAN_DIGEST = "e79a31ee722ff1b5daaad1b55a233d9cf04e62f7d29335bafcd9a78b2031d326"
+
+#: sha256 of the default-model campaign report below, any worker count.
+CAMPAIGN_DIGEST = (
+    "1cd40765391288f868def25707939ea2ec3b4ad35feb97f008fb7f2f33b453d7"
+)
+
+#: sha256 of the default-model mc report below, any worker count.
+MC_DIGEST = "b477cfdf3abaa9bd0613822e0899b6ad8fe7a625ccebc8ebc0af115913213d77"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def test_fault_plan_stream_untouched():
+    blobs = []
+    for seed in range(40):
+        for kwargs in (
+            {},
+            {"over_budget": True},
+            {"recovery_probability": 0.5},
+        ):
+            plan = FaultPlan.random(n=5, t=2, seed=seed, K=4, **kwargs)
+            blobs.append(json.dumps(plan.to_dict(), sort_keys=True))
+    assert _sha("\n".join(blobs)) == PLAN_DIGEST
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_default_campaign_report_byte_identical(workers):
+    report = run_campaign(
+        CampaignConfig(n=5, t=2, plans=12, base_seed=3, tracks=("sim",)),
+        workers=workers,
+    )
+    blob = json.dumps(report, sort_keys=True) + "\n"
+    assert "model" not in report["config"]
+    assert _sha(blob) == CAMPAIGN_DIGEST
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_default_mc_report_byte_identical(workers):
+    report = explore(
+        MCConfig(
+            n=3,
+            t=1,
+            K=2,
+            max_cycles=6,
+            crash_budget=1,
+            delay_budget=1,
+            max_late=1,
+            votes=(1, 1, 1),
+            split_depth=1,
+        ),
+        workers=workers,
+    ).to_dict()
+    blob = json.dumps(report, sort_keys=True) + "\n"
+    assert "model" not in report["config"]
+    assert _sha(blob) == MC_DIGEST

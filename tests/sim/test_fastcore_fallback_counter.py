@@ -1,0 +1,121 @@
+"""The ``sim_fastcore_fallbacks_total`` counter (timing-model fallbacks).
+
+The fused sweep only replicates whitelisted adversaries; anything else
+(timing-model wraps included) silently falls back to the byte-identical
+``FastSimulation`` path.  "Silently" must still be *counted*: the
+counter pins down two regression guarantees —
+
+* whitelisted (realistic, plan-compiled) trials NEVER increment it,
+  even when an active telemetry registry forces them off the fused
+  sweep (observer-driven fallbacks are deliberate, not a cliff);
+* off-whitelist trials increment it once per trial, labelled by
+  adversary class.
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import CommitTrialConfig
+from repro.engine.seeds import MODEL_TIMING_STREAM, derive
+from repro.faults.plan import FaultPlan
+from repro.faults.sim_compile import compile_to_adversary
+from repro.models import resolve_model, set_default_timing_model
+from repro.sim.fastcore import (
+    adversary_sweep_supported,
+    fast_commit_trial,
+    sweep_eligible,
+)
+from repro.telemetry import registry as telemetry
+
+N, T, K = 5, 2, 4
+
+COUNTER = "sim_fastcore_fallbacks_total"
+
+
+@pytest.fixture
+def metrics():
+    registry = telemetry.enable_telemetry()
+    registry.reset()
+    yield registry
+    registry.reset()
+    telemetry.disable_telemetry()
+
+
+@pytest.fixture(autouse=True)
+def _reset_ambient_model():
+    set_default_timing_model(None)
+    yield
+    set_default_timing_model(None)
+
+
+def _realistic_config():
+    return CommitTrialConfig(
+        votes=[1] * N,
+        adversary_factory=lambda seed: compile_to_adversary(
+            FaultPlan.random(n=N, t=T, seed=seed, K=K), K=K
+        ),
+        t=T,
+        K=K,
+        max_steps=4_000,
+    )
+
+
+def _model_config(model_name):
+    model = resolve_model(model_name)
+    return CommitTrialConfig(
+        votes=[1] * N,
+        adversary_factory=lambda seed: model.compile_plan(
+            FaultPlan.random(n=N, t=T, seed=seed, K=K),
+            K=K,
+            seed=derive(seed, MODEL_TIMING_STREAM),
+        ),
+        t=T,
+        K=K,
+        max_steps=4_000,
+    )
+
+
+def _counter_total(registry):
+    snapshot = registry.snapshot()
+    if COUNTER not in snapshot:
+        return 0
+    return sum(s["value"] for s in snapshot[COUNTER]["samples"])
+
+
+class TestWhitelistedNeverCounted:
+    def test_plan_compiled_adversary_is_whitelisted(self):
+        adversary = _realistic_config().adversary_factory(0)
+        assert adversary_sweep_supported(adversary)
+
+    def test_whitelisted_trials_never_increment(self, metrics):
+        config = _realistic_config()
+        for seed in range(5):
+            fast_commit_trial(config, seed)
+        assert _counter_total(metrics) == 0
+        assert COUNTER not in metrics.snapshot()
+
+    def test_observer_fallback_is_not_a_whitelist_fallback(self, metrics):
+        # The active registry itself forces these trials off the fused
+        # sweep — deliberately, and deliberately uncounted.
+        adversary = _realistic_config().adversary_factory(0)
+        assert adversary_sweep_supported(adversary)
+        assert not sweep_eligible(adversary)
+
+
+class TestOffWhitelistCounted:
+    @pytest.mark.parametrize(
+        "model_name", ["granular", "random-async", "round-closed"]
+    )
+    def test_model_adversaries_counted_per_trial(self, metrics, model_name):
+        config = _model_config(model_name)
+        trials = 3
+        for seed in range(trials):
+            fast_commit_trial(config, seed)
+        assert _counter_total(metrics) == trials
+        [sample] = metrics.snapshot()[COUNTER]["samples"]
+        assert sample["labels"] == {"adversary": "CycleAdversary"}
+
+    def test_disabled_telemetry_records_nothing(self):
+        assert not telemetry.enabled()
+        config = _model_config("granular")
+        fast_commit_trial(config, 0)
+        assert not telemetry.enabled()
